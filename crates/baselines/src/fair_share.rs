@@ -1,0 +1,121 @@
+//! Max–min fair bandwidth sharing — the "no global scheduler" baseline.
+//!
+//! Every application that wants I/O transfers concurrently; the PFS
+//! bandwidth is split by progressive water-filling: applications whose
+//! card limit `β·b` is below the equal share keep their limit, the
+//! leftover is redistributed among the rest. This is the fluid idealization
+//! of what a parallel file system does when nobody coordinates — and the
+//! state in which the disk-locality interference penalty of Fig. 1 bites
+//! hardest, because *all* K applications stream at once.
+
+use iosched_core::policy::{Allocation, OnlinePolicy, SchedContext};
+use iosched_model::Bw;
+
+/// Uncoordinated concurrent access with max–min fairness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairShare;
+
+impl OnlinePolicy for FairShare {
+    fn name(&self) -> String {
+        "fairshare".into()
+    }
+
+    fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
+        // Order is irrelevant for a policy that serves everyone; return
+        // id order for determinism (used only if someone wraps us).
+        (0..ctx.pending.len()).collect()
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
+        let n = ctx.pending.len();
+        if n == 0 {
+            return Allocation::empty();
+        }
+        // Progressive filling: satisfy the most-constrained demands first.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            ctx.pending[a]
+                .max_bw
+                .get()
+                .total_cmp(&ctx.pending[b].max_bw.get())
+                .then_with(|| ctx.pending[a].id.cmp(&ctx.pending[b].id))
+        });
+        let mut remaining = ctx.total_bw;
+        let mut left = n;
+        let mut grants = Vec::with_capacity(n);
+        for &i in &order {
+            let fair = remaining / left as f64;
+            let bw = ctx.pending[i].max_bw.min(fair);
+            if bw.get() > 0.0 {
+                grants.push((ctx.pending[i].id, bw));
+            }
+            remaining = (remaining - bw).max(Bw::ZERO);
+            left -= 1;
+        }
+        grants.sort_by_key(|(id, _)| *id);
+        Allocation { grants }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_core::policy::test_support::{app, ctx};
+    use iosched_model::AppId;
+
+    #[test]
+    fn equal_demands_split_equally() {
+        let pending = [app(0, 10.0), app(1, 10.0), app(2, 10.0), app(3, 10.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = FairShare.allocate(&c);
+        alloc.validate(&c).unwrap();
+        for i in 0..4 {
+            assert!(
+                alloc.granted(AppId(i)).approx_eq(Bw::gib_per_sec(2.5)),
+                "app {i} got {}",
+                alloc.granted(AppId(i))
+            );
+        }
+    }
+
+    #[test]
+    fn small_demand_frees_bandwidth_for_big_ones() {
+        // One app capped at 1 GiB/s, two at 10: water-filling gives
+        // 1 + 4.5 + 4.5.
+        let pending = [app(0, 1.0), app(1, 10.0), app(2, 10.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = FairShare.allocate(&c);
+        alloc.validate(&c).unwrap();
+        assert!(alloc.granted(AppId(0)).approx_eq(Bw::gib_per_sec(1.0)));
+        assert!(alloc.granted(AppId(1)).approx_eq(Bw::gib_per_sec(4.5)));
+        assert!(alloc.granted(AppId(2)).approx_eq(Bw::gib_per_sec(4.5)));
+    }
+
+    #[test]
+    fn undersubscribed_system_gives_everyone_their_cap() {
+        let pending = [app(0, 2.0), app(1, 3.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = FairShare.allocate(&c);
+        assert!(alloc.granted(AppId(0)).approx_eq(Bw::gib_per_sec(2.0)));
+        assert!(alloc.granted(AppId(1)).approx_eq(Bw::gib_per_sec(3.0)));
+    }
+
+    #[test]
+    fn empty_pending_grants_nothing() {
+        let pending: [iosched_core::policy::AppState; 0] = [];
+        let c = ctx(10.0, &pending);
+        assert!(FairShare.allocate(&c).grants.is_empty());
+    }
+
+    #[test]
+    fn everyone_gets_something_under_congestion() {
+        let pending: Vec<_> = (0..7).map(|i| app(i, 10.0)).collect();
+        let c = ctx(10.0, &pending);
+        let alloc = FairShare.allocate(&c);
+        alloc.validate(&c).unwrap();
+        for i in 0..7 {
+            assert!(alloc.granted(AppId(i)).get() > 0.0, "app {i} starved");
+        }
+        assert!(alloc.total().approx_eq(c.total_bw));
+    }
+}

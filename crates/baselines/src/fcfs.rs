@@ -1,0 +1,64 @@
+//! Strict first-come-first-served: the oldest outstanding I/O request owns
+//! the PFS (leftover card capacity cascades to the next-oldest, as in the
+//! shared greedy grant loop). §1 cites this as the simplest policy used by
+//! server-side HPC I/O schedulers.
+
+use iosched_core::policy::{order_by_key_asc, OnlinePolicy, SchedContext};
+
+/// Oldest-request-first baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl OnlinePolicy for Fcfs {
+    fn name(&self) -> String {
+        "fcfs".into()
+    }
+
+    fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
+        order_by_key_asc(ctx, |a| a.io_requested_at.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_core::policy::test_support::{app, ctx};
+    use iosched_model::{AppId, Time};
+
+    #[test]
+    fn oldest_request_owns_the_disk() {
+        let mut a0 = app(0, 10.0);
+        a0.io_requested_at = Time::secs(20.0);
+        let mut a1 = app(1, 10.0);
+        a1.io_requested_at = Time::secs(5.0);
+        let pending = [a0, a1];
+        let c = ctx(10.0, &pending);
+        let alloc = Fcfs.allocate(&c);
+        assert!(alloc.granted(AppId(1)).approx_eq(c.total_bw));
+        assert!(alloc.granted(AppId(0)).is_zero());
+    }
+
+    #[test]
+    fn leftover_cascades_to_next_oldest() {
+        let mut a0 = app(0, 4.0);
+        a0.io_requested_at = Time::secs(1.0);
+        let mut a1 = app(1, 4.0);
+        a1.io_requested_at = Time::secs(2.0);
+        let mut a2 = app(2, 4.0);
+        a2.io_requested_at = Time::secs(3.0);
+        let pending = [a0, a1, a2];
+        let c = ctx(10.0, &pending);
+        let alloc = Fcfs.allocate(&c);
+        assert!(alloc.granted(AppId(0)).approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
+        assert!(alloc.granted(AppId(1)).approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
+        assert!(alloc.granted(AppId(2)).approx_eq(iosched_model::Bw::gib_per_sec(2.0)));
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let pending = [app(1, 10.0), app(0, 10.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = Fcfs.allocate(&c);
+        assert!(alloc.granted(AppId(0)).approx_eq(c.total_bw));
+    }
+}

@@ -1,0 +1,24 @@
+//! # iosched-baselines
+//!
+//! Baseline schedulers the paper compares against:
+//!
+//! * [`FairShare`] — uncoordinated concurrent access with max–min fair
+//!   bandwidth sharing. Combined with the platform's disk-locality
+//!   [`iosched_model::Interference`] penalty this models what Intrepid,
+//!   Mira and Vesta deliver when every application simply hits the PFS
+//!   (the congested executions of Figs. 1, 8–13, 15).
+//! * [`Fcfs`] — strict first-come-first-served: the whole PFS goes to the
+//!   application whose current request is oldest (the "simple
+//!   first-come first-served strategies for each storage server" of §1).
+//! * [`native`] — convenience constructors for the "Intrepid scheduler",
+//!   "Mira scheduler" and "Vesta scheduler" baselines: FairShare +
+//!   interference + burst buffers, exactly how the paper describes the
+//!   production systems it measures against.
+
+pub mod fair_share;
+pub mod fcfs;
+pub mod native;
+
+pub use fair_share::FairShare;
+pub use fcfs::Fcfs;
+pub use native::{native_platform, run_native, NativeConfig};

@@ -1,0 +1,28 @@
+//! Criterion bench: end-to-end figure regeneration at reduced sample
+//! counts — tracks the cost of the full experiment pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iosched_bench::experiments::{fig01, fig05, fig06, tables};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig01_40_apps", |b| {
+        b.iter(|| black_box(fig01::run(40)));
+    });
+    group.bench_function("fig05_2k_jobs", |b| {
+        b.iter(|| black_box(fig05::run(2_000, 1)));
+    });
+    group.bench_function("fig06_2_mixes", |b| {
+        b.iter(|| black_box(fig06::run(2)));
+    });
+    group.bench_function("table1_2_cases", |b| {
+        b.iter(|| black_box(tables::run(tables::Machine::Intrepid, 2)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

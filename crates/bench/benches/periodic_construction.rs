@@ -1,0 +1,48 @@
+//! Criterion bench: periodic-schedule construction (one period fill) and
+//! the full `(1+ε)` period search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iosched_core::periodic::{
+    build_schedule, InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
+};
+use iosched_model::{Platform, Time};
+use iosched_workload::congestion::congested_moment;
+use std::hint::black_box;
+
+fn apps(platform: &Platform, seed: u64) -> Vec<PeriodicAppSpec> {
+    congested_moment(platform, seed)
+        .iter()
+        .map(|a| PeriodicAppSpec::from_app(a).unwrap())
+        .collect()
+}
+
+fn bench_periodic(c: &mut Criterion) {
+    let platform = Platform::intrepid();
+    let periodic = apps(&platform, 9);
+    let t0: Time = periodic
+        .iter()
+        .map(|a| a.span(&platform))
+        .fold(Time::ZERO, Time::max);
+
+    let mut group = c.benchmark_group("periodic");
+    group.sample_size(20);
+    for heuristic in [InsertionHeuristic::Throughput, InsertionHeuristic::Congestion] {
+        group.bench_with_input(
+            BenchmarkId::new("fill_one_period", heuristic.name()),
+            &heuristic,
+            |b, &h| {
+                b.iter(|| black_box(build_schedule(&platform, black_box(&periodic), t0 * 4.0, h)));
+            },
+        );
+    }
+    group.bench_function("period_search_eps_0.1", |b| {
+        let search = PeriodSearch::new(PeriodicObjective::Dilation)
+            .with_epsilon(0.1)
+            .with_max_factor(4.0);
+        b.iter(|| black_box(search.run(&platform, &periodic, InsertionHeuristic::Congestion)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_periodic);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: per-event decision latency of every online policy —
+//! the cost the scheduler thread pays at each I/O event (§5.1 overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iosched_core::heuristics::PolicyKind;
+use iosched_core::policy::{AppState, SchedContext};
+use iosched_model::{AppId, Bw, Time};
+use std::hint::black_box;
+
+fn pending(n: usize) -> Vec<AppState> {
+    (0..n)
+        .map(|i| AppState {
+            id: AppId(i),
+            procs: 64 + (i as u64 * 37) % 4_000,
+            dilation_ratio: (i as f64 * 0.6180339887).fract(),
+            syseff_key: ((i as f64 * 2.414).fract()) * 4_000.0,
+            last_io_end: Time::secs((i as f64 * 13.7) % 500.0),
+            io_requested_at: Time::secs((i as f64 * 7.3) % 500.0),
+            started_io: i % 3 == 0,
+            max_bw: Bw::gib_per_sec(1.0 + (i % 32) as f64),
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_allocate");
+    for &n in &[8usize, 64, 512] {
+        let apps = pending(n);
+        let ctx = SchedContext {
+            now: Time::secs(1_000.0),
+            total_bw: Bw::gib_per_sec(64.0),
+            pending: &apps,
+        };
+        for kind in PolicyKind::fig6_roster() {
+            let mut policy = kind.build();
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &ctx, |b, ctx| {
+                b.iter(|| black_box(policy.allocate(black_box(ctx))))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: fluid-simulator event throughput on a congested
+//! moment (events/second of simulator work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iosched_baselines::FairShare;
+use iosched_core::heuristics::{MaxSysEff, MinDilation};
+use iosched_model::Platform;
+use iosched_sim::{simulate, SimConfig};
+use iosched_workload::congestion::congested_moment;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let platform = Platform::intrepid();
+    let apps = congested_moment(&platform, 5);
+    let mut group = c.benchmark_group("sim_congested_moment");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("maxsyseff", apps.len()), |b| {
+        b.iter(|| {
+            let out = simulate(
+                &platform,
+                black_box(&apps),
+                &mut MaxSysEff,
+                &SimConfig::default(),
+            )
+            .unwrap();
+            black_box(out.events)
+        });
+    });
+    group.bench_function(BenchmarkId::new("mindilation", apps.len()), |b| {
+        b.iter(|| {
+            let out = simulate(
+                &platform,
+                black_box(&apps),
+                &mut MinDilation,
+                &SimConfig::default(),
+            )
+            .unwrap();
+            black_box(out.events)
+        });
+    });
+    group.bench_function(BenchmarkId::new("fairshare", apps.len()), |b| {
+        b.iter(|| {
+            let out = simulate(
+                &platform,
+                black_box(&apps),
+                &mut FairShare,
+                &SimConfig::default(),
+            )
+            .unwrap();
+            black_box(out.events)
+        });
+    });
+    group.bench_function(BenchmarkId::new("fairshare+bb", apps.len()), |b| {
+        let bb = platform.clone().with_default_burst_buffer();
+        b.iter(|| {
+            let out = simulate(
+                &bb,
+                black_box(&apps),
+                &mut FairShare,
+                &SimConfig::with_burst_buffer(),
+            )
+            .unwrap();
+            black_box(out.events)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

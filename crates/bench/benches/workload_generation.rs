@@ -1,0 +1,36 @@
+//! Criterion bench: workload generation throughput (mixes, congested
+//! moments, Darshan synthesis) — these run 200+ times per figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iosched_model::Platform;
+use iosched_workload::congestion::congested_moment;
+use iosched_workload::{DarshanLog, MixConfig};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let platform = Platform::intrepid();
+    let mut group = c.benchmark_group("workload");
+
+    group.bench_function("mix_fig6b", |b| {
+        let cfg = MixConfig::fig6b();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(cfg.generate(&platform, seed))
+        });
+    });
+    group.bench_function("congested_moment", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(congested_moment(&platform, seed))
+        });
+    });
+    group.bench_function("darshan_synthesize_1k_jobs", |b| {
+        b.iter(|| black_box(DarshanLog::synthesize_year(&platform, 7, 1_000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablation: burst-buffer capacity sweep for the native scheduler — how
+//! much buffer would Intrepid need to match the global heuristics?
+
+use iosched_bench::experiments::ablations::bb_capacity_sweep;
+use iosched_bench::report::{pct, Table};
+
+fn main() {
+    let cases = iosched_bench::runs_from_env(8);
+    let capacities = [1.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0];
+    let rows = bb_capacity_sweep(&capacities, cases);
+    let mut t = Table::new(["BB capacity (s of B)", "native SysEfficiency %"]);
+    for r in &rows {
+        t.row([format!("{:.0}", r.capacity_secs), pct(r.sys_efficiency)]);
+    }
+    t.print(&format!(
+        "Ablation — native scheduler vs burst-buffer capacity ({cases} Intrepid cases)"
+    ));
+}

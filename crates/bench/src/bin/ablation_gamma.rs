@@ -1,0 +1,21 @@
+//! Ablation: fine-grained MinMax-γ sweep (extends Figs. 9/12).
+
+use iosched_bench::experiments::ablations::gamma_sweep;
+use iosched_bench::report::{dil, pct, Table};
+
+fn main() {
+    let cases = iosched_bench::runs_from_env(12);
+    let rows = gamma_sweep(11, cases);
+    let mut t = Table::new(["gamma", "SysEfficiency %", "Dilation"]);
+    for r in &rows {
+        t.row([
+            format!("{:.1}", r.gamma),
+            pct(r.sys_efficiency),
+            dil(r.dilation),
+        ]);
+    }
+    t.print(&format!(
+        "Ablation — MinMax-γ sweep over {cases} Intrepid congested cases \
+         (γ=0 ≡ MaxSysEff, γ=1 ≡ MinDilation)"
+    ));
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Fig. 1**: per-application I/O throughput decrease under
+//! congestion on Intrepid (400 applications).
+//!
+//! Usage: `cargo run --release -p iosched-bench --bin fig01_throughput_decrease [apps]`
+
+use iosched_bench::experiments::fig01;
+use iosched_bench::report::Table;
+use iosched_model::stats::Histogram;
+
+fn main() {
+    let apps = iosched_bench::runs_from_env(400);
+    let result = fig01::run(apps);
+
+    let mut hist = Histogram::new(0.0, 1.0, 10);
+    for &d in &result.decreases {
+        hist.add(d);
+    }
+    let mut t = Table::new(["decrease bin", "applications"]);
+    for (center, count) in hist.centers() {
+        t.row([
+            format!("{:>4.0}-{:>3.0}%", (center - 0.05) * 100.0, (center + 0.05) * 100.0),
+            count.to_string(),
+        ]);
+    }
+    t.print(&format!(
+        "Fig. 1 — I/O throughput decrease over {apps} applications (paper: up to ~70 %)"
+    ));
+    println!(
+        "max decrease: {:.1}%   median: {:.1}%",
+        result.max() * 100.0,
+        result.median() * 100.0
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Fig. 2**: the platform model constants (Intrepid, Mira,
+//! Vesta) and the derived PFS saturation point.
+
+use iosched_bench::experiments::fig02;
+use iosched_bench::report::Table;
+
+fn main() {
+    let rows = fig02::run();
+    let mut t = Table::new(["platform", "nodes N", "b (GiB/s)", "B (GiB/s)", "saturation nodes"]);
+    for r in rows {
+        t.row([
+            r.name,
+            r.procs.to_string(),
+            format!("{:.3}", r.proc_bw_gib),
+            format!("{:.1}", r.total_bw_gib),
+            r.saturation_nodes.to_string(),
+        ]);
+    }
+    t.print("Fig. 2 — model instantiation (paper: Intrepid architecture diagram)");
+}

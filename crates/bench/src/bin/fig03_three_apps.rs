@@ -1,0 +1,27 @@
+//! Regenerates **Fig. 3**: the bandwidth-sharing timeline of three
+//! applications competing for the PFS.
+
+use iosched_bench::experiments::fig03;
+use iosched_bench::report::Table;
+
+fn main() {
+    let result = fig03::run();
+    let mut t = Table::new(["t start (s)", "t end (s)", "allocation (app@GiB/s)"]);
+    for seg in &result.segments {
+        let grants = seg
+            .grants
+            .iter()
+            .map(|(id, bw)| format!("{}@{:.1}", id.0, bw.as_gib_per_sec()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        t.row([
+            format!("{:.2}", seg.start.as_secs()),
+            format!("{:.2}", seg.end.as_secs()),
+            if grants.is_empty() { "-".into() } else { grants },
+        ]);
+    }
+    t.print(&format!(
+        "Fig. 3 — three applications sharing B = {:.0} GiB/s",
+        result.total_bw_gib
+    ));
+}

@@ -1,0 +1,22 @@
+//! Regenerates **Fig. 5**: Intrepid-2013-shaped workload characteristics
+//! from the synthetic Darshan year.
+
+use iosched_bench::experiments::fig05;
+use iosched_bench::report::{pct, Table};
+
+fn main() {
+    let jobs = iosched_bench::runs_from_env(20_000);
+    let rows = fig05::run(jobs, 2013);
+    let mut t = Table::new(["category", "jobs", "usage share %", "mean I/O time %"]);
+    for r in rows {
+        t.row([
+            format!("{:?}", r.category),
+            r.jobs.to_string(),
+            pct(r.usage_share),
+            pct(r.mean_io_fraction),
+        ]);
+    }
+    t.print(&format!(
+        "Fig. 5 — synthetic year of {jobs} jobs (paper: usage/day and %I/O per type)"
+    ));
+}

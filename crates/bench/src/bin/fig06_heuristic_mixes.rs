@@ -1,0 +1,27 @@
+//! Regenerates **Fig. 6**: SysEfficiency and Dilation of the eight online
+//! policies over the three application mixes (mean of N random mixes;
+//! the paper uses 200).
+
+use iosched_bench::experiments::fig06;
+use iosched_bench::report::{dil, pct, Table};
+
+fn main() {
+    let runs = iosched_bench::runs_from_env(200);
+    let rows = fig06::run(runs);
+    for (label, desc) in [
+        ("a", "10 large applications, I/O ratio 20 %"),
+        ("b", "50 small + 5 large, I/O ratio 20 %"),
+        ("c", "50 small + 5 large, I/O ratio 35 %"),
+    ] {
+        let mut t = Table::new(["policy", "SysEfficiency %", "Dilation", "upper limit %"]);
+        for r in rows.iter().filter(|r| r.mix == label) {
+            t.row([
+                r.policy.clone(),
+                pct(r.sys_efficiency),
+                dil(r.dilation),
+                pct(r.upper_limit),
+            ]);
+        }
+        t.print(&format!("Fig. 6({label}) — {desc} ({runs} mixes)"));
+    }
+}

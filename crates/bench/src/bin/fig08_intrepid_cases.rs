@@ -1,0 +1,27 @@
+//! Regenerates **Fig. 8**: Priority-MaxSysEff and Priority-MinDilation vs
+//! the Intrepid scheduler and the upper limit, per congested case.
+
+use iosched_bench::experiments::tables::{run, Machine};
+use iosched_bench::report::{dil, pct, Table};
+
+fn main() {
+    let limit = iosched_bench::runs_from_env(56);
+    let result = run(Machine::Intrepid, limit);
+    let series = ["priority-maxsyseff", "priority-mindilation", "intrepid", "upper-limit"];
+    let mut t = Table::new(["case", "scheduler", "SysEfficiency %", "Dilation"]);
+    for c in result
+        .cases
+        .iter()
+        .filter(|c| series.contains(&c.scheduler.as_str()))
+    {
+        t.row([
+            c.case.to_string(),
+            c.scheduler.clone(),
+            pct(c.sys_efficiency),
+            dil(c.dilation),
+        ]);
+    }
+    t.print(&format!(
+        "Fig. 8 — Priority heuristics vs Intrepid over {limit} congested cases"
+    ));
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Fig. 11**: Priority heuristics vs the Mira scheduler and
+//! the upper limit over the Mira congested cases.
+
+use iosched_bench::experiments::tables::{run, Machine};
+use iosched_bench::report::{dil, pct, Table};
+
+fn main() {
+    let limit = iosched_bench::runs_from_env(11);
+    let result = run(Machine::Mira, limit);
+    let series = ["priority-maxsyseff", "priority-mindilation", "mira", "upper-limit"];
+    let mut t = Table::new(["case", "scheduler", "SysEfficiency %", "Dilation"]);
+    for c in result
+        .cases
+        .iter()
+        .filter(|c| series.contains(&c.scheduler.as_str()))
+    {
+        t.row([
+            c.case.to_string(),
+            c.scheduler.clone(),
+            pct(c.sys_efficiency),
+            dil(c.dilation),
+        ]);
+    }
+    t.print(&format!(
+        "Fig. 11 — Priority heuristics vs Mira over {limit} congested cases"
+    ));
+}

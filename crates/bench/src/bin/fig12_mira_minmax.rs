@@ -1,0 +1,33 @@
+//! Regenerates **Fig. 12**: the Priority MinMax-γ family on the Mira
+//! congested cases.
+
+use iosched_bench::experiments::tables::{run, Machine};
+use iosched_bench::report::{dil, pct, Table};
+
+fn main() {
+    let limit = iosched_bench::runs_from_env(11);
+    let result = run(Machine::Mira, limit);
+    let series = [
+        "priority-maxsyseff",
+        "priority-minmax-0.25",
+        "priority-minmax-0.50",
+        "priority-minmax-0.75",
+        "priority-mindilation",
+    ];
+    let mut t = Table::new(["case", "scheduler", "SysEfficiency %", "Dilation"]);
+    for c in result
+        .cases
+        .iter()
+        .filter(|c| series.contains(&c.scheduler.as_str()))
+    {
+        t.row([
+            c.case.to_string(),
+            c.scheduler.clone(),
+            pct(c.sys_efficiency),
+            dil(c.dilation),
+        ]);
+    }
+    t.print(&format!(
+        "Fig. 12 — Priority MinMax-γ sweep over {limit} Mira congested cases"
+    ));
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Fig. 15**: SysEfficiency and Dilation on Vesta for every
+//! scenario × {IOR, MaxSysEff, MinDilation} × {no BB, BB}, using the
+//! real-thread IOR harness.
+
+use iosched_bench::experiments::fig15;
+use iosched_bench::report::{dil, pct, Table};
+
+fn main() {
+    let rows = fig15::run(1_000.0);
+    let mut t = Table::new(["scenario", "variant", "SysEfficiency %", "Dilation"]);
+    for r in &rows {
+        t.row([
+            r.scenario.clone(),
+            r.variant.clone(),
+            pct(r.sys_efficiency),
+            dil(r.dilation),
+        ]);
+    }
+    t.print(
+        "Fig. 15 — Vesta scenarios (paper: with ≥3 apps the heuristics without BB \
+         match or beat the native scheduler with BB)",
+    );
+}

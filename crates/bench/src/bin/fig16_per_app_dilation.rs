@@ -1,0 +1,20 @@
+//! Regenerates **Fig. 16**: per-application dilations in the
+//! 512/256/256/32 scenario under MaxSysEff and MinDilation (and the
+//! congested IOR baseline).
+
+use iosched_bench::experiments::fig16;
+use iosched_bench::report::{dil, Table};
+
+fn main() {
+    let rows = fig16::run(1_000.0, 42);
+    let mut t = Table::new(["policy", "app0 (512)", "app1 (256)", "app2 (256)", "app3 (32)"]);
+    for r in &rows {
+        let mut cells = vec![r.policy.clone()];
+        cells.extend(r.dilations.iter().map(|&d| dil(d)));
+        t.row(cells);
+    }
+    t.print(
+        "Fig. 16 — per-application dilation, 512/256/256/32 \
+         (paper: MaxSysEff favors big apps; MinDilation lowers all nearly uniformly)",
+    );
+}

@@ -1,0 +1,158 @@
+//! Ablations beyond the paper (DESIGN.md §6): fine-grained γ sweep,
+//! burst-buffer capacity sweep for the native baseline, and the
+//! period-search ε sensitivity.
+
+use iosched_baselines::{native_platform, run_native, NativeConfig};
+use iosched_core::heuristics::MinMax;
+use iosched_core::periodic::{
+    InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
+};
+use iosched_model::{stats, BurstBufferSpec, Platform, Time};
+use iosched_sim::{simulate, SimConfig};
+use iosched_workload::congestion::congested_moment;
+
+/// γ sweep: how MinMax-γ trades Dilation for SysEfficiency (extends
+/// Figures 9/12 from three γ values to a full curve).
+#[derive(Debug, Clone)]
+pub struct GammaRow {
+    /// Threshold γ.
+    pub gamma: f64,
+    /// Mean SysEfficiency over the cases.
+    pub sys_efficiency: f64,
+    /// Mean Dilation.
+    pub dilation: f64,
+}
+
+/// Sweep γ over `steps` points on `cases` Intrepid congested moments.
+#[must_use]
+pub fn gamma_sweep(steps: usize, cases: usize) -> Vec<GammaRow> {
+    assert!(steps >= 2, "need at least the two endpoint gammas");
+    let platform = native_platform(Platform::intrepid());
+    (0..steps)
+        .map(|i| {
+            let gamma = i as f64 / (steps - 1) as f64;
+            let mut effs = Vec::with_capacity(cases);
+            let mut dils = Vec::with_capacity(cases);
+            for seed in 0..cases as u64 {
+                let apps = congested_moment(&platform, seed);
+                let mut policy = MinMax::new(gamma);
+                let out = simulate(&platform, &apps, &mut policy, &SimConfig::default())
+                    .expect("valid scenario");
+                effs.push(out.report.sys_efficiency);
+                dils.push(out.report.dilation);
+            }
+            GammaRow {
+                gamma,
+                sys_efficiency: stats::mean(&effs),
+                dilation: stats::mean(&dils),
+            }
+        })
+        .collect()
+}
+
+/// Burst-buffer capacity sweep: how much buffer the *native* scheduler
+/// needs before it matches the global heuristics.
+#[derive(Debug, Clone)]
+pub struct BbCapacityRow {
+    /// Buffer capacity in seconds of full-PFS absorption.
+    pub capacity_secs: f64,
+    /// Mean native SysEfficiency over the cases.
+    pub sys_efficiency: f64,
+}
+
+/// Sweep capacities (in seconds of `B`) on Intrepid congested moments.
+#[must_use]
+pub fn bb_capacity_sweep(capacities_secs: &[f64], cases: usize) -> Vec<BbCapacityRow> {
+    let base = native_platform(Platform::intrepid());
+    capacities_secs
+        .iter()
+        .map(|&secs| {
+            let platform = base.clone().with_burst_buffer(BurstBufferSpec {
+                capacity: base.total_bw * Time::secs(secs),
+                absorb_bw: base.total_bw * 4.0,
+            });
+            let mut effs = Vec::with_capacity(cases);
+            for seed in 0..cases as u64 {
+                let apps = congested_moment(&platform, seed);
+                let out = run_native(&platform, &apps, NativeConfig::default())
+                    .expect("valid scenario");
+                effs.push(out.report.sys_efficiency);
+            }
+            BbCapacityRow {
+                capacity_secs: secs,
+                sys_efficiency: stats::mean(&effs),
+            }
+        })
+        .collect()
+}
+
+/// ε sweep: period-search granularity vs periodic schedule quality.
+#[derive(Debug, Clone)]
+pub struct EpsilonRow {
+    /// Search step ε.
+    pub epsilon: f64,
+    /// Candidate periods evaluated.
+    pub candidates: usize,
+    /// Best steady-state dilation found.
+    pub dilation: f64,
+}
+
+/// Sweep ε on a fixed periodic application set.
+#[must_use]
+pub fn epsilon_sweep(epsilons: &[f64]) -> Vec<EpsilonRow> {
+    let platform = Platform::intrepid();
+    let apps: Vec<PeriodicAppSpec> = congested_moment(&platform, 17)
+        .iter()
+        .map(|a| PeriodicAppSpec::from_app(a).expect("generator emits periodic apps"))
+        .collect();
+    epsilons
+        .iter()
+        .map(|&epsilon| {
+            let result = PeriodSearch::new(PeriodicObjective::Dilation)
+                .with_epsilon(epsilon)
+                .run(&platform, &apps, InsertionHeuristic::Congestion)
+                .expect("non-empty set");
+            EpsilonRow {
+                epsilon,
+                candidates: result.candidates_tried,
+                dilation: result.report.dilation,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_endpoints_recover_the_named_heuristics() {
+        let rows = gamma_sweep(3, 3);
+        assert_eq!(rows.len(), 3);
+        // γ=0 (MaxSysEff end) should not lose SysEfficiency to γ=1
+        // (MinDilation end), and vice versa for Dilation.
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        assert!(first.sys_efficiency >= last.sys_efficiency - 0.02);
+        assert!(last.dilation <= first.dilation + 0.1);
+    }
+
+    #[test]
+    fn more_bb_capacity_never_hurts_much() {
+        let rows = bb_capacity_sweep(&[0.5, 60.0, 600.0], 2);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows[2].sys_efficiency >= rows[0].sys_efficiency - 0.02,
+            "600 s of buffer ({:.3}) should beat 0.5 s ({:.3})",
+            rows[2].sys_efficiency,
+            rows[0].sys_efficiency
+        );
+    }
+
+    #[test]
+    fn finer_epsilon_tries_more_candidates_and_is_no_worse() {
+        let rows = epsilon_sweep(&[0.5, 0.05]);
+        assert!(rows[1].candidates > rows[0].candidates);
+        assert!(rows[1].dilation <= rows[0].dilation + 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! **Fig. 6** — "Objectives for different mixes of applications and I/O
+//! computation ratios": SysEfficiency and Dilation of the eight policies
+//! (RoundRobin / MinDilation / MaxSysEff / MinMax-0.5, each ± Priority)
+//! over (a) 10 large @ 20 %, (b) 50 small + 5 large @ 20 %, and (c) 50
+//! small + 5 large @ 35 %. "Simulations were run 200 times on different
+//! application mixes and only the mean values are reported."
+
+use iosched_core::heuristics::PolicyKind;
+use iosched_model::{stats, Platform};
+use iosched_sim::{simulate, SimConfig};
+use iosched_workload::MixConfig;
+
+/// Mean objectives of one policy on one mix.
+#[derive(Debug, Clone)]
+pub struct Fig06Row {
+    /// Mix label ("a", "b", "c").
+    pub mix: &'static str,
+    /// Policy name.
+    pub policy: String,
+    /// Mean SysEfficiency (fraction).
+    pub sys_efficiency: f64,
+    /// Mean Dilation.
+    pub dilation: f64,
+    /// Mean congestion-free upper limit (fraction).
+    pub upper_limit: f64,
+}
+
+/// The three Fig. 6 mixes.
+#[must_use]
+pub fn mixes() -> Vec<(&'static str, MixConfig)> {
+    vec![
+        ("a", MixConfig::fig6a()),
+        ("b", MixConfig::fig6b()),
+        ("c", MixConfig::fig6c()),
+    ]
+}
+
+/// Run `runs` random mixes per configuration per policy.
+#[must_use]
+pub fn run(runs: usize) -> Vec<Fig06Row> {
+    let platform = Platform::intrepid();
+    let kinds = PolicyKind::fig6_roster();
+    let mut rows = Vec::new();
+    for (label, mix) in mixes() {
+        for kind in &kinds {
+            let mut effs = Vec::with_capacity(runs);
+            let mut dils = Vec::with_capacity(runs);
+            let mut uppers = Vec::with_capacity(runs);
+            for seed in 0..runs as u64 {
+                let apps = mix.generate(&platform, seed);
+                let mut policy = kind.build();
+                let out = simulate(&platform, &apps, &mut policy, &SimConfig::default())
+                    .expect("generated mixes are valid");
+                effs.push(out.report.sys_efficiency);
+                dils.push(out.report.dilation);
+                uppers.push(out.report.upper_limit);
+            }
+            rows.push(Fig06Row {
+                mix: label,
+                policy: kind.name(),
+                sys_efficiency: stats::mean(&effs),
+                dilation: stats::mean(&dils),
+                upper_limit: stats::mean(&uppers),
+            });
+        }
+    }
+    rows
+}
+
+/// Look up a row by mix and policy name.
+#[must_use]
+pub fn find<'a>(rows: &'a [Fig06Row], mix: &str, policy: &str) -> Option<&'a Fig06Row> {
+    rows.iter().find(|r| r.mix == mix && r.policy == policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_claims_hold_on_a_small_sample() {
+        let rows = run(8);
+        assert_eq!(rows.len(), 3 * 8);
+        for mix in ["a", "b", "c"] {
+            let md = find(&rows, mix, "mindilation").unwrap();
+            let ms = find(&rows, mix, "maxsyseff").unwrap();
+            // "MinDilation has better results than MaxSysEff for the
+            // Dilation objective, but worse for SysEfficiency."
+            assert!(
+                md.dilation <= ms.dilation + 0.05,
+                "mix {mix}: MinDilation dilation {} vs MaxSysEff {}",
+                md.dilation,
+                ms.dilation
+            );
+            assert!(
+                ms.sys_efficiency >= md.sys_efficiency - 0.01,
+                "mix {mix}: MaxSysEff syseff {} vs MinDilation {}",
+                ms.sys_efficiency,
+                md.sys_efficiency
+            );
+            // MinMax-0.5 sits between the two extremes on both axes
+            // (within sampling noise).
+            let mm = find(&rows, mix, "minmax-0.50").unwrap();
+            assert!(mm.dilation <= ms.dilation + 0.25);
+            assert!(mm.sys_efficiency >= md.sys_efficiency - 0.05);
+        }
+    }
+
+    #[test]
+    fn priority_variants_are_slightly_worse() {
+        let rows = run(8);
+        // "the Priority variants are, most of the time, less efficient
+        // than the original versions" — check the aggregate over mixes.
+        let mut plain_eff = 0.0;
+        let mut prio_eff = 0.0;
+        for mix in ["a", "b", "c"] {
+            for base in ["mindilation", "maxsyseff", "minmax-0.50", "roundrobin"] {
+                plain_eff += find(&rows, mix, base).unwrap().sys_efficiency;
+                prio_eff += find(&rows, mix, &format!("priority-{base}"))
+                    .unwrap()
+                    .sys_efficiency;
+            }
+        }
+        assert!(
+            prio_eff <= plain_eff + 0.05,
+            "priority aggregate {prio_eff} should not beat plain {plain_eff}"
+        );
+    }
+}

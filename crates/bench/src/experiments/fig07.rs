@@ -1,0 +1,98 @@
+//! **Fig. 7** — "Impact of the sensibility of the computations over
+//! SysEfficiency and Dilation of all heuristics".
+//!
+//! §4.3: applications are made non-periodic by drawing each instance's
+//! work from `U[w, w(1+x)]` for x = 0…30 %; the paper finds "this
+//! parameter has almost no impact on the results" because the online
+//! heuristics only use information available at each event.
+
+use iosched_core::heuristics::{BasePolicy, PolicyKind};
+use iosched_model::{stats, Platform};
+use iosched_sim::{simulate, SimConfig};
+use iosched_workload::{sensibility, MixConfig};
+
+/// Mean objectives at one sensibility level for one policy.
+#[derive(Debug, Clone)]
+pub struct Fig07Row {
+    /// Sensibility percentage (0–30).
+    pub sensibility_pct: u32,
+    /// Policy name.
+    pub policy: String,
+    /// Mean SysEfficiency.
+    pub sys_efficiency: f64,
+    /// Mean Dilation.
+    pub dilation: f64,
+}
+
+/// The paper's x-axis.
+#[must_use]
+pub fn sensibility_levels() -> Vec<u32> {
+    vec![0, 5, 10, 15, 20, 25, 30]
+}
+
+/// The three heuristics of the figure (no Priority).
+#[must_use]
+pub fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::plain(BasePolicy::MinDilation),
+        PolicyKind::plain(BasePolicy::MaxSysEff),
+        PolicyKind::plain(BasePolicy::MinMax(0.5)),
+    ]
+}
+
+/// Run `runs` mixes per sensibility level per policy.
+#[must_use]
+pub fn run(runs: usize) -> Vec<Fig07Row> {
+    let platform = Platform::intrepid();
+    let mix = MixConfig::fig6b();
+    let mut rows = Vec::new();
+    for &pct in &sensibility_levels() {
+        let x = f64::from(pct) / 100.0;
+        for kind in &policies() {
+            let mut effs = Vec::with_capacity(runs);
+            let mut dils = Vec::with_capacity(runs);
+            for seed in 0..runs as u64 {
+                let periodic = mix.generate(&platform, seed);
+                let apps = sensibility::perturb(&periodic, x, x, seed ^ 0xABCD);
+                let mut policy = kind.build();
+                let out = simulate(&platform, &apps, &mut policy, &SimConfig::default())
+                    .expect("perturbed mixes are valid");
+                effs.push(out.report.sys_efficiency);
+                dils.push(out.report.dilation);
+            }
+            rows.push(Fig07Row {
+                sensibility_pct: pct,
+                policy: kind.name(),
+                sys_efficiency: stats::mean(&effs),
+                dilation: stats::mean(&dils),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensibility_has_almost_no_impact() {
+        let rows = run(5);
+        for kind in policies() {
+            let name = kind.name();
+            let series: Vec<&Fig07Row> =
+                rows.iter().filter(|r| r.policy == name).collect();
+            assert_eq!(series.len(), sensibility_levels().len());
+            let base = series[0];
+            for r in &series {
+                assert!(
+                    (r.sys_efficiency - base.sys_efficiency).abs() < 0.06,
+                    "{name}: syseff at {}% drifted from {} to {}",
+                    r.sensibility_pct,
+                    base.sys_efficiency,
+                    r.sys_efficiency
+                );
+            }
+        }
+    }
+}

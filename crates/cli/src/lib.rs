@@ -1,0 +1,413 @@
+//! # iosched-cli
+//!
+//! Command-line front end for the workspace: generate scenario files, run
+//! any scheduler over them in the fluid simulator, and build periodic
+//! schedules — the workflow a system administrator would use to evaluate
+//! the paper's heuristics on their own machine description.
+//!
+//! ```text
+//! iosched platforms
+//! iosched generate --kind congested --platform intrepid --seed 7 -o scenario.json
+//! iosched generate --kind mix-b     --platform intrepid --seed 3 -o mix.json
+//! iosched simulate scenario.json --policy priority-maxsyseff [--burst-buffer]
+//! iosched simulate scenario.json --policy all
+//! iosched periodic scenario.json --objective dilation --epsilon 0.05
+//! ```
+//!
+//! Scenario files are plain JSON (`serde`) holding the platform and the
+//! application list, so they can be authored by hand or produced by any
+//! external tool.
+
+use iosched_baselines::{FairShare, Fcfs};
+use iosched_core::heuristics::{BasePolicy, PolicyKind};
+use iosched_core::periodic::{
+    InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
+};
+use iosched_core::policy::OnlinePolicy;
+use iosched_model::{app::validate_scenario, AppSpec, Platform};
+use iosched_sim::{simulate, SimConfig};
+use iosched_workload::congestion::congested_moment;
+use iosched_workload::MixConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A scenario file: one platform plus its applications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioFile {
+    /// The machine description.
+    pub platform: Platform,
+    /// The §2.1 applications.
+    pub apps: Vec<AppSpec>,
+}
+
+impl ScenarioFile {
+    /// Validate platform, applications and processor budget.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_scenario(&self.platform, &self.apps).map_err(|e| e.to_string())
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parse from JSON and validate.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let file: Self = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        file.validate()?;
+        Ok(file)
+    }
+}
+
+/// Resolve a platform preset by name.
+pub fn platform_by_name(name: &str) -> Result<Platform, String> {
+    match name {
+        "intrepid" => Ok(Platform::intrepid()),
+        "mira" => Ok(Platform::mira()),
+        "vesta" => Ok(Platform::vesta()),
+        other => Err(format!(
+            "unknown platform '{other}' (expected intrepid, mira or vesta)"
+        )),
+    }
+}
+
+/// Resolve a policy by the names used throughout the reports. `all` is
+/// handled by the caller.
+pub fn policy_by_name(name: &str) -> Result<Box<dyn OnlinePolicy>, String> {
+    let build_kind = |base: BasePolicy, prio: bool| -> Box<dyn OnlinePolicy> {
+        if prio {
+            PolicyKind::with_priority(base).build()
+        } else {
+            PolicyKind::plain(base).build()
+        }
+    };
+    let (prio, bare) = match name.strip_prefix("priority-") {
+        Some(rest) => (true, rest),
+        None => (false, name),
+    };
+    match bare {
+        "roundrobin" => Ok(build_kind(BasePolicy::RoundRobin, prio)),
+        "mindilation" => Ok(build_kind(BasePolicy::MinDilation, prio)),
+        "maxsyseff" => Ok(build_kind(BasePolicy::MaxSysEff, prio)),
+        "fairshare" if !prio => Ok(Box::new(FairShare)),
+        "fcfs" if !prio => Ok(Box::new(Fcfs)),
+        other => match other.strip_prefix("minmax-") {
+            Some(gamma) => {
+                let g: f64 = gamma
+                    .parse()
+                    .map_err(|_| format!("bad MinMax threshold '{gamma}'"))?;
+                if !(0.0..=1.0).contains(&g) {
+                    return Err(format!("MinMax threshold {g} outside [0, 1]"));
+                }
+                Ok(build_kind(BasePolicy::MinMax(g), prio))
+            }
+            None => Err(format!(
+                "unknown policy '{name}' (try roundrobin, mindilation, maxsyseff, \
+                 minmax-<γ>, fairshare, fcfs, or a priority- prefix)"
+            )),
+        },
+    }
+}
+
+/// Scenario kinds `generate` can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerateKind {
+    /// A seeded congested moment (Tables 1–2 style).
+    Congested,
+    /// Fig. 6(a): 10 large applications at 20 % I/O.
+    MixA,
+    /// Fig. 6(b): 50 small + 5 large at 20 % I/O.
+    MixB,
+    /// Fig. 6(c): 50 small + 5 large at 35 % I/O.
+    MixC,
+}
+
+impl GenerateKind {
+    /// Parse a `--kind` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "congested" => Ok(Self::Congested),
+            "mix-a" => Ok(Self::MixA),
+            "mix-b" => Ok(Self::MixB),
+            "mix-c" => Ok(Self::MixC),
+            other => Err(format!(
+                "unknown kind '{other}' (expected congested, mix-a, mix-b or mix-c)"
+            )),
+        }
+    }
+}
+
+/// `iosched platforms`: list the presets.
+#[must_use]
+pub fn cmd_platforms() -> String {
+    let mut out = String::from("platform   nodes      b (GiB/s)  B (GiB/s)  saturation\n");
+    for p in [Platform::intrepid(), Platform::mira(), Platform::vesta()] {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:<10.3} {:<10.1} {} nodes",
+            p.name,
+            p.procs,
+            p.proc_bw.as_gib_per_sec(),
+            p.total_bw.as_gib_per_sec(),
+            p.saturation_procs(),
+        );
+    }
+    out
+}
+
+/// `iosched generate`: build a scenario.
+pub fn cmd_generate(kind: GenerateKind, platform: &str, seed: u64) -> Result<ScenarioFile, String> {
+    let platform = platform_by_name(platform)?;
+    let apps = match kind {
+        GenerateKind::Congested => congested_moment(&platform, seed),
+        GenerateKind::MixA => MixConfig::fig6a().generate(&platform, seed),
+        GenerateKind::MixB => MixConfig::fig6b().generate(&platform, seed),
+        GenerateKind::MixC => MixConfig::fig6c().generate(&platform, seed),
+    };
+    let file = ScenarioFile { platform, apps };
+    file.validate()?;
+    Ok(file)
+}
+
+/// `iosched simulate`: run one policy (or every standard one) over a
+/// scenario; returns the rendered report.
+pub fn cmd_simulate(
+    scenario: &ScenarioFile,
+    policy_name: &str,
+    burst_buffer: bool,
+) -> Result<String, String> {
+    scenario.validate()?;
+    let config = SimConfig {
+        use_burst_buffer: burst_buffer,
+        ..SimConfig::default()
+    };
+    let names: Vec<String> = if policy_name == "all" {
+        let mut v: Vec<String> = PolicyKind::fig6_roster()
+            .iter()
+            .map(PolicyKind::name)
+            .collect();
+        v.push("fairshare".into());
+        v.push("fcfs".into());
+        v
+    } else {
+        vec![policy_name.to_string()]
+    };
+    let mut out = format!(
+        "{} applications on {} (B = {:.1} GiB/s{})\n\n",
+        scenario.apps.len(),
+        scenario.platform.name,
+        scenario.platform.total_bw.as_gib_per_sec(),
+        if burst_buffer { ", burst buffer on" } else { "" },
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>10} {:>12}",
+        "policy", "SysEfficiency", "Dilation", "makespan"
+    );
+    for name in names {
+        let mut policy = policy_by_name(&name)?;
+        let result = simulate(&scenario.platform, &scenario.apps, policy.as_mut(), &config)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "{:<22} {:>13.2}% {:>10.2} {:>11.0}s",
+            name,
+            result.report.sys_efficiency * 100.0,
+            result.report.dilation,
+            result.report.makespan().as_secs(),
+        );
+    }
+    let mut first = policy_by_name("roundrobin")?;
+    let upper = simulate(&scenario.platform, &scenario.apps, first.as_mut(), &config)
+        .map_err(|e| e.to_string())?
+        .report
+        .upper_limit;
+    let _ = writeln!(out, "{:<22} {:>13.2}%", "upper limit", upper * 100.0);
+    Ok(out)
+}
+
+/// `iosched periodic`: run the §3.2 period search over a scenario of
+/// periodic applications.
+pub fn cmd_periodic(
+    scenario: &ScenarioFile,
+    objective: &str,
+    epsilon: f64,
+) -> Result<String, String> {
+    scenario.validate()?;
+    let (objective, heuristic) = match objective {
+        "dilation" => (PeriodicObjective::Dilation, InsertionHeuristic::Congestion),
+        "syseff" | "sysefficiency" => (
+            PeriodicObjective::SysEfficiency,
+            InsertionHeuristic::Throughput,
+        ),
+        other => return Err(format!("unknown objective '{other}' (dilation | syseff)")),
+    };
+    if epsilon <= 0.0 {
+        return Err("epsilon must be positive".into());
+    }
+    let apps: Result<Vec<PeriodicAppSpec>, _> = scenario
+        .apps
+        .iter()
+        .map(PeriodicAppSpec::from_app)
+        .collect();
+    let apps = apps.map_err(|e| e.to_string())?;
+    let search = PeriodSearch::new(objective).with_epsilon(epsilon);
+    let result = search
+        .run(&scenario.platform, &apps, heuristic)
+        .ok_or("empty application set")?;
+    result
+        .schedule
+        .validate(&scenario.platform)
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "best period T = {:.2}s  ({} candidates, {})\n\
+         SysEfficiency {:.2}%   Dilation {}\n\nper application:\n",
+        result.schedule.period.as_secs(),
+        result.candidates_tried,
+        heuristic.name(),
+        result.report.sys_efficiency * 100.0,
+        if result.report.dilation.is_finite() {
+            format!("{:.2}", result.report.dilation)
+        } else {
+            "inf".into()
+        },
+    );
+    for o in &result.report.per_app {
+        let _ = writeln!(
+            out,
+            "  {:<8} n_per = {:<4} rho_tilde = {:.3}  dilation = {:.2}",
+            o.app.to_string(),
+            o.n_per,
+            o.rho_tilde,
+            o.dilation(),
+        );
+    }
+    Ok(out)
+}
+
+/// The usage string printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+iosched — global HPC I/O scheduling (IPDPS'15 reproduction)
+
+USAGE:
+  iosched platforms
+  iosched generate --kind <congested|mix-a|mix-b|mix-c>
+                   --platform <intrepid|mira|vesta> [--seed N] [-o FILE]
+  iosched simulate <scenario.json> --policy <name|all> [--burst-buffer]
+  iosched periodic <scenario.json> [--objective <dilation|syseff>] [--epsilon E]
+
+POLICIES:
+  roundrobin, mindilation, maxsyseff, minmax-<gamma>, fairshare, fcfs,
+  and priority-<name> variants (e.g. priority-maxsyseff).
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> ScenarioFile {
+        cmd_generate(GenerateKind::Congested, "vesta", 3).unwrap()
+    }
+
+    #[test]
+    fn platform_lookup() {
+        assert!(platform_by_name("intrepid").is_ok());
+        assert!(platform_by_name("mira").is_ok());
+        assert!(platform_by_name("vesta").is_ok());
+        assert!(platform_by_name("summit").is_err());
+    }
+
+    #[test]
+    fn policy_lookup_covers_the_roster() {
+        for name in [
+            "roundrobin",
+            "mindilation",
+            "maxsyseff",
+            "minmax-0.5",
+            "priority-minmax-0.25",
+            "priority-maxsyseff",
+            "fairshare",
+            "fcfs",
+        ] {
+            let p = policy_by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!p.name().is_empty());
+        }
+        assert!(policy_by_name("lottery").is_err());
+        assert!(policy_by_name("minmax-1.5").is_err());
+        assert!(policy_by_name("priority-fairshare").is_err());
+    }
+
+    #[test]
+    fn generate_kinds_parse() {
+        assert_eq!(GenerateKind::parse("congested").unwrap(), GenerateKind::Congested);
+        assert_eq!(GenerateKind::parse("mix-b").unwrap(), GenerateKind::MixB);
+        assert!(GenerateKind::parse("chaos").is_err());
+    }
+
+    #[test]
+    fn scenario_json_roundtrip() {
+        let s = scenario();
+        let json = s.to_json().unwrap();
+        let back = ScenarioFile::from_json(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_scenarios() {
+        let mut s = scenario();
+        // Blow the processor budget.
+        let app = iosched_model::AppSpec::periodic(
+            s.apps.len(),
+            iosched_model::Time::ZERO,
+            s.platform.procs, // the whole machine again
+            iosched_model::Time::secs(1.0),
+            iosched_model::Bytes::gib(1.0),
+            1,
+        );
+        s.apps.push(app);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(ScenarioFile::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn simulate_single_policy_renders_a_report() {
+        let s = scenario();
+        let out = cmd_simulate(&s, "maxsyseff", false).unwrap();
+        assert!(out.contains("maxsyseff"));
+        assert!(out.contains("upper limit"));
+    }
+
+    #[test]
+    fn simulate_all_runs_the_full_roster() {
+        let s = scenario();
+        let out = cmd_simulate(&s, "all", false).unwrap();
+        for name in ["roundrobin", "priority-maxsyseff", "fairshare", "fcfs"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn simulate_with_burst_buffer_requires_spec() {
+        let mut s = scenario();
+        s.platform.burst_buffer = None;
+        assert!(cmd_simulate(&s, "fairshare", true).is_err());
+        s.platform = s.platform.with_default_burst_buffer();
+        assert!(cmd_simulate(&s, "fairshare", true).is_ok());
+    }
+
+    #[test]
+    fn periodic_command_reports_a_valid_schedule() {
+        let s = scenario();
+        let out = cmd_periodic(&s, "dilation", 0.1).unwrap();
+        assert!(out.contains("best period"));
+        assert!(out.contains("n_per"));
+        assert!(cmd_periodic(&s, "bogus", 0.1).is_err());
+        assert!(cmd_periodic(&s, "dilation", -1.0).is_err());
+    }
+
+    #[test]
+    fn platforms_listing_mentions_all_three() {
+        let out = cmd_platforms();
+        assert!(out.contains("intrepid") && out.contains("mira") && out.contains("vesta"));
+    }
+}

@@ -1,0 +1,91 @@
+//! `iosched` binary: thin argument parsing over [`iosched_cli`].
+
+use iosched_cli::{
+    cmd_generate, cmd_periodic, cmd_platforms, cmd_simulate, GenerateKind, ScenarioFile, USAGE,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull the value following a `--flag` out of `args`.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("platforms") => Ok(cmd_platforms()),
+        Some("generate") => {
+            let kind = GenerateKind::parse(
+                &flag_value(args, "--kind").ok_or("generate needs --kind")?,
+            )?;
+            let platform =
+                flag_value(args, "--platform").ok_or("generate needs --platform")?;
+            let seed: u64 = flag_value(args, "--seed")
+                .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
+                .transpose()?
+                .unwrap_or(0);
+            let file = cmd_generate(kind, &platform, seed)?;
+            let json = file.to_json()?;
+            match flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+                Some(path) => {
+                    std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
+                    Ok(format!(
+                        "wrote {} applications on {} to {path}\n",
+                        file.apps.len(),
+                        file.platform.name
+                    ))
+                }
+                None => Ok(json),
+            }
+        }
+        Some("simulate") => {
+            let path = args.get(1).ok_or("simulate needs a scenario file")?;
+            if path.starts_with("--") {
+                return Err("simulate needs a scenario file as its first argument".into());
+            }
+            let scenario = load(path)?;
+            let policy = flag_value(args, "--policy").ok_or("simulate needs --policy")?;
+            cmd_simulate(&scenario, &policy, has_flag(args, "--burst-buffer"))
+        }
+        Some("periodic") => {
+            let path = args.get(1).ok_or("periodic needs a scenario file")?;
+            if path.starts_with("--") {
+                return Err("periodic needs a scenario file as its first argument".into());
+            }
+            let scenario = load(path)?;
+            let objective = flag_value(args, "--objective").unwrap_or_else(|| "dilation".into());
+            let epsilon: f64 = flag_value(args, "--epsilon")
+                .map(|s| s.parse().map_err(|_| format!("bad epsilon '{s}'")))
+                .transpose()?
+                .unwrap_or(0.05);
+            cmd_periodic(&scenario, &objective, epsilon)
+        }
+        Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn load(path: &str) -> Result<ScenarioFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ScenarioFile::from_json(&text)
+}

@@ -1,0 +1,154 @@
+//! Policy construction by name — the experiment runners sweep over the
+//! same fixed roster of heuristics the paper evaluates (Fig. 6: RoundRobin,
+//! MinDilation, MaxSysEff, MinMax-γ, each with and without Priority).
+
+use super::{MaxSysEff, MinDilation, MinMax, Priority, RoundRobin};
+use crate::policy::OnlinePolicy;
+use serde::{Deserialize, Serialize};
+
+/// Base strategy (without the Priority constraint).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BasePolicy {
+    /// FCFS + fairness baseline.
+    RoundRobin,
+    /// Dilation-oriented heuristic.
+    MinDilation,
+    /// SysEfficiency-oriented heuristic.
+    MaxSysEff,
+    /// Threshold trade-off with parameter γ.
+    MinMax(f64),
+}
+
+/// Enumerable description of a policy (serializable — used as experiment
+/// configuration and report keys).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyKind {
+    /// The underlying strategy.
+    pub base: BasePolicy,
+    /// Whether the disk-locality Priority constraint wraps it.
+    pub priority: bool,
+}
+
+impl PolicyKind {
+    /// Plain (non-Priority) policy.
+    #[must_use]
+    pub fn plain(base: BasePolicy) -> Self {
+        Self {
+            base,
+            priority: false,
+        }
+    }
+
+    /// Priority variant.
+    #[must_use]
+    pub fn with_priority(base: BasePolicy) -> Self {
+        Self {
+            base,
+            priority: true,
+        }
+    }
+
+    /// All eight policies of Fig. 6 with the paper's γ = 0.5.
+    #[must_use]
+    pub fn fig6_roster() -> Vec<PolicyKind> {
+        let bases = [
+            BasePolicy::RoundRobin,
+            BasePolicy::MinDilation,
+            BasePolicy::MaxSysEff,
+            BasePolicy::MinMax(0.5),
+        ];
+        bases
+            .iter()
+            .flat_map(|&b| [Self::plain(b), Self::with_priority(b)])
+            .collect()
+    }
+
+    /// The Tables 1–2 roster: MaxSysEff, MinMax-{0.25, 0.5, 0.75},
+    /// MinDilation — plain and Priority variants (10 policies).
+    #[must_use]
+    pub fn tables_roster() -> Vec<PolicyKind> {
+        let bases = [
+            BasePolicy::MaxSysEff,
+            BasePolicy::MinMax(0.25),
+            BasePolicy::MinMax(0.5),
+            BasePolicy::MinMax(0.75),
+            BasePolicy::MinDilation,
+        ];
+        bases
+            .iter()
+            .flat_map(|&b| [Self::plain(b), Self::with_priority(b)])
+            .collect()
+    }
+
+    /// Instantiate the policy.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn OnlinePolicy> {
+        match (self.priority, self.base) {
+            (false, BasePolicy::RoundRobin) => Box::new(RoundRobin),
+            (false, BasePolicy::MinDilation) => Box::new(MinDilation),
+            (false, BasePolicy::MaxSysEff) => Box::new(MaxSysEff),
+            (false, BasePolicy::MinMax(g)) => Box::new(MinMax::new(g)),
+            (true, BasePolicy::RoundRobin) => Box::new(Priority::new(RoundRobin)),
+            (true, BasePolicy::MinDilation) => Box::new(Priority::new(MinDilation)),
+            (true, BasePolicy::MaxSysEff) => Box::new(Priority::new(MaxSysEff)),
+            (true, BasePolicy::MinMax(g)) => Box::new(Priority::new(MinMax::new(g))),
+        }
+    }
+
+    /// The report name of the built policy (same as `build().name()`).
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.build().name()
+    }
+}
+
+/// The paper's standard roster, instantiated (order of Fig. 6's legend).
+#[must_use]
+pub fn standard_policies() -> Vec<Box<dyn OnlinePolicy>> {
+    PolicyKind::fig6_roster()
+        .iter()
+        .map(PolicyKind::build)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_eight_distinctly_named_policies() {
+        let names: Vec<String> = standard_policies().iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 8);
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "duplicate policy names: {names:?}");
+        assert!(names.contains(&"roundrobin".to_string()));
+        assert!(names.contains(&"priority-minmax-0.50".to_string()));
+    }
+
+    #[test]
+    fn tables_roster_matches_tables_1_and_2() {
+        let kinds = PolicyKind::tables_roster();
+        assert_eq!(kinds.len(), 10);
+        let names: Vec<String> = kinds.iter().map(PolicyKind::name).collect();
+        assert!(names.contains(&"maxsyseff".to_string()));
+        assert!(names.contains(&"priority-minmax-0.75".to_string()));
+        assert!(names.contains(&"priority-mindilation".to_string()));
+    }
+
+    #[test]
+    fn build_matches_kind_name() {
+        for kind in PolicyKind::fig6_roster() {
+            assert_eq!(kind.name(), kind.build().name());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = PolicyKind::with_priority(BasePolicy::MinMax(0.25));
+        let j = serde_json::to_string(&k).unwrap();
+        let back: PolicyKind = serde_json::from_str(&j).unwrap();
+        assert_eq!(k, back);
+    }
+}

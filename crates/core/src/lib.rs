@@ -1,0 +1,31 @@
+//! # iosched-core
+//!
+//! The scheduling contribution of *"Scheduling the I/O of HPC applications
+//! under congestion"* (IPDPS 2015):
+//!
+//! * the **online scheduler** abstraction of §3.1 ([`policy::OnlinePolicy`])
+//!   and the paper's four event-driven heuristics — [`heuristics::RoundRobin`],
+//!   [`heuristics::MinDilation`], [`heuristics::MaxSysEff`],
+//!   [`heuristics::MinMax`] — plus the [`heuristics::Priority`] wrapper that
+//!   never interrupts an application that already started its I/O (disk
+//!   locality, §3.1);
+//! * the **periodic scheduler** of §3.2: bandwidth profiles over one period
+//!   ([`periodic::BandwidthProfile`]), greedy contiguous insertion
+//!   ([`periodic::ScheduleBuilder`]), the two insertion heuristics
+//!   Insert-In-Schedule-Throu / Insert-In-Schedule-Cong
+//!   ([`periodic::InsertionHeuristic`]) and the `(1+ε)` period search
+//!   ([`periodic::PeriodSearch`]);
+//! * the **NP-completeness machinery** of Theorem 1: an executable
+//!   3-Partition reduction with a brute-force reference solver
+//!   ([`three_partition`]).
+
+pub mod heuristics;
+pub mod periodic;
+pub mod policy;
+pub mod three_partition;
+
+pub use heuristics::{
+    standard_policies, BasePolicy, MaxSysEff, MinDilation, MinMax, PolicyKind, Priority,
+    RoundRobin,
+};
+pub use policy::{Allocation, AppState, OnlinePolicy, SchedContext};

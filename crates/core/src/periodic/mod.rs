@@ -1,0 +1,25 @@
+//! The periodic scheduler of §3.2.
+//!
+//! A periodic schedule of period `T` repeats the same bandwidth assignments
+//! every `T` units of time; the first and last periods (initialization and
+//! clean-up) differ but have negligible impact when many periods run, so
+//! the steady-state application efficiency is `ρ̃(k) = n_per(k)·w(k)/T`
+//! (equation (1) of the paper).
+//!
+//! Computing an optimal periodic schedule is NP-complete for both
+//! objectives (Theorem 1, see [`crate::three_partition`]); the paper
+//! therefore searches over periods `T₀·(1+ε)^i` and fills each candidate
+//! period greedily ([`ScheduleBuilder`]) under one of two orders
+//! ([`InsertionHeuristic`]).
+
+mod builder;
+mod heuristics;
+mod profile;
+mod schedule;
+mod search;
+
+pub use builder::{PeriodicAppSpec, ScheduleBuilder};
+pub use heuristics::{build_schedule, InsertionHeuristic};
+pub use profile::BandwidthProfile;
+pub use schedule::{AppPlan, PeriodicAppOutcome, PeriodicSchedule, PlannedInstance, SteadyStateReport};
+pub use search::{PeriodSearch, PeriodicObjective, SearchResult};

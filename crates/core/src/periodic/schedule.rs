@@ -1,0 +1,422 @@
+//! The periodic schedule representation of §3.2.1 and its validator.
+//!
+//! One *regular period* `[0, T)` fully describes steady state. Within the
+//! period each application `App(k)` runs `n_per(k)` instances; instance `i`
+//! computes on `[initW_i, endW_i)` (`endW_i = initW_i + w`) and transfers its
+//! `vol_io` during `[endW_i, initW_{i+1})` — in this implementation at a
+//! single constant bandwidth on a contiguous sub-interval (the shape the
+//! greedy insertion of §3.2.3 produces).
+//!
+//! Simplification vs the paper's fully general definition: instances do not
+//! wrap around the period boundary (the paper allows the last compute chunk
+//! to overlap into the next period). The `(1+ε)` period search compensates
+//! by trying many periods; the wrapped form is only needed for the
+//! NP-hardness construction, which [`crate::three_partition`] checks with
+//! its own purpose-built verifier.
+
+use iosched_model::{AppId, Bw, Bytes, ModelError, Platform, Time};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled instance within the period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedInstance {
+    /// Instance index within the period (`0 ≤ index < n_per`).
+    pub index: usize,
+    /// `initW_i`: compute start.
+    pub compute_start: Time,
+    /// `endW_i = initW_i + w`: compute end.
+    pub compute_end: Time,
+    /// `initIO_i`: first instant with non-zero bandwidth.
+    pub io_start: Time,
+    /// I/O completion instant.
+    pub io_end: Time,
+    /// Constant application-aggregate bandwidth `β·γ` during the transfer.
+    pub io_bw: Bw,
+}
+
+/// All instances of one application within the period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppPlan {
+    /// Which application.
+    pub app: AppId,
+    /// `β(k)`.
+    pub procs: u64,
+    /// `w(k)` (periodic applications only).
+    pub work: Time,
+    /// `vol_io(k)`.
+    pub vol: Bytes,
+    /// Scheduled instances, ordered by `compute_start`.
+    pub instances: Vec<PlannedInstance>,
+}
+
+impl AppPlan {
+    /// `n_per(k)`: instances scheduled per period.
+    #[must_use]
+    pub fn n_per(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+/// A complete periodic schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicSchedule {
+    /// The period `T`.
+    pub period: Time,
+    /// One plan per application (possibly with zero instances).
+    pub plans: Vec<AppPlan>,
+}
+
+/// Steady-state outcome of one application under a periodic schedule.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PeriodicAppOutcome {
+    /// Which application.
+    pub app: AppId,
+    /// `β(k)`.
+    pub procs: u64,
+    /// `n_per(k)`.
+    pub n_per: usize,
+    /// `ρ(k) = w/(w + time_io)`.
+    pub rho: f64,
+    /// `ρ̃(k) = n_per·w/T` (equation (1)).
+    pub rho_tilde: f64,
+}
+
+impl PeriodicAppOutcome {
+    /// `ρ/ρ̃` (∞ when the application is never scheduled).
+    #[must_use]
+    pub fn dilation(&self) -> f64 {
+        if self.rho_tilde <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.rho / self.rho_tilde).max(1.0)
+        }
+    }
+}
+
+/// Steady-state objectives of a periodic schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SteadyStateReport {
+    /// `(1/N) Σ β·ρ̃` with `N = Σ β`.
+    pub sys_efficiency: f64,
+    /// `(1/N) Σ β·ρ`.
+    pub upper_limit: f64,
+    /// `max_k ρ/ρ̃`.
+    pub dilation: f64,
+    /// Per-application detail.
+    pub per_app: Vec<PeriodicAppOutcome>,
+}
+
+impl PeriodicSchedule {
+    /// `n_per` of one application (0 if unknown id).
+    #[must_use]
+    pub fn n_per(&self, app: AppId) -> usize {
+        self.plans
+            .iter()
+            .find(|p| p.app == app)
+            .map_or(0, AppPlan::n_per)
+    }
+
+    /// Steady-state efficiency/dilation via equation (1):
+    /// `ρ̃(k) = n_per(k)·w(k)/T`.
+    ///
+    /// # Panics
+    /// Panics if the schedule has no plans.
+    #[must_use]
+    pub fn steady_state(&self, platform: &Platform) -> SteadyStateReport {
+        assert!(!self.plans.is_empty(), "steady state of empty schedule");
+        let per_app: Vec<PeriodicAppOutcome> = self
+            .plans
+            .iter()
+            .map(|p| {
+                let tio = platform.dedicated_io_time(p.procs, p.vol);
+                let span = p.work + tio;
+                let rho = if span.get() <= 0.0 {
+                    1.0
+                } else {
+                    p.work / span
+                };
+                let rho_tilde = p.n_per() as f64 * (p.work / self.period);
+                PeriodicAppOutcome {
+                    app: p.app,
+                    procs: p.procs,
+                    n_per: p.n_per(),
+                    rho,
+                    rho_tilde: rho_tilde.min(rho), // ρ̃ ≤ ρ by construction; clamp f64 noise
+                }
+            })
+            .collect();
+        let n: f64 = per_app.iter().map(|o| o.procs as f64).sum();
+        SteadyStateReport {
+            sys_efficiency: per_app
+                .iter()
+                .map(|o| o.procs as f64 * o.rho_tilde)
+                .sum::<f64>()
+                / n,
+            upper_limit: per_app.iter().map(|o| o.procs as f64 * o.rho).sum::<f64>() / n,
+            dilation: per_app
+                .iter()
+                .map(PeriodicAppOutcome::dilation)
+                .fold(1.0_f64, f64::max),
+            per_app,
+        }
+    }
+
+    /// Check every §3.2.1 constraint:
+    ///
+    /// 1. per-instance geometry: `compute_end = compute_start + w`,
+    ///    `compute_end ≤ io_start`, `io_start < io_end ≤ T`;
+    /// 2. volume: `io_bw · (io_end − io_start) = vol_io` (within EPS·B);
+    /// 3. per-application bandwidth cap: `io_bw ≤ min(β·b, B)`;
+    /// 4. chaining: instance `i+1` computes only after instance `i`'s I/O
+    ///    completed; the wrap to the next period is implied by
+    ///    `io_end ≤ T` and `compute_start ≥ 0`;
+    /// 5. aggregate capacity: at every instant `Σ_k β(k)γ(k)(t) ≤ B`.
+    pub fn validate(&self, platform: &Platform) -> Result<(), ModelError> {
+        let t_end = self.period;
+        let mut events: Vec<(Time, f64)> = Vec::new();
+        for plan in &self.plans {
+            let cap = platform.app_max_bw(plan.procs);
+            let mut prev_io_end: Option<Time> = None;
+            for (i, inst) in plan.instances.iter().enumerate() {
+                let err = |msg: String| {
+                    Err(ModelError::InvalidSchedule(format!(
+                        "{} instance {i}: {msg}",
+                        plan.app
+                    )))
+                };
+                if inst.index != i {
+                    return err(format!("index {} out of order", inst.index));
+                }
+                if !inst.compute_end.approx_eq(inst.compute_start + plan.work) {
+                    return err(format!(
+                        "compute [{}, {}) is not w = {}",
+                        inst.compute_start, inst.compute_end, plan.work
+                    ));
+                }
+                if inst.compute_start.approx_lt(Time::ZERO) || inst.io_end.approx_gt(t_end) {
+                    return err("instance leaves the period".into());
+                }
+                if inst.io_start.approx_lt(inst.compute_end) {
+                    return err("I/O starts before compute ends".into());
+                }
+                if plan.vol.get() > 0.0 {
+                    if inst.io_end.approx_le(inst.io_start) {
+                        return err("empty I/O window with non-zero volume".into());
+                    }
+                    if inst.io_bw.approx_gt(cap) {
+                        return err(format!("bandwidth {} above cap {cap}", inst.io_bw));
+                    }
+                    let moved = inst.io_bw * (inst.io_end - inst.io_start);
+                    if !moved.approx_eq(plan.vol)
+                        && (moved - plan.vol).get().abs() > 1e-6 * plan.vol.get().max(1.0)
+                    {
+                        return err(format!("transfers {moved} instead of {}", plan.vol));
+                    }
+                    events.push((inst.io_start, inst.io_bw.get()));
+                    events.push((inst.io_end, -inst.io_bw.get()));
+                }
+                if let Some(pe) = prev_io_end {
+                    if inst.compute_start.approx_lt(pe) {
+                        return err("compute overlaps previous instance's I/O".into());
+                    }
+                }
+                prev_io_end = Some(inst.io_end);
+            }
+        }
+        // Aggregate capacity sweep.
+        events.sort_by(|a, b| a.0.get().total_cmp(&b.0.get()));
+        let mut load = 0.0;
+        let cap = platform.total_bw.get();
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            // Apply all simultaneous events (ends before starts don't
+            // matter for a ≤ check as long as both apply at once).
+            while i < events.len() && events[i].0.approx_eq(t) {
+                load += events[i].1;
+                i += 1;
+            }
+            if load > cap * (1.0 + 1e-9) + iosched_model::EPS {
+                return Err(ModelError::InvalidSchedule(format!(
+                    "aggregate bandwidth {load} exceeds B = {cap} at t = {t}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total I/O volume moved per period (for reports).
+    #[must_use]
+    pub fn vol_per_period(&self) -> Bytes {
+        self.plans
+            .iter()
+            .map(|p| Bytes::new(p.vol.get() * p.n_per() as f64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::Bw;
+
+    fn platform() -> Platform {
+        Platform::new("test", 1_000, Bw::gib_per_sec(0.1), Bw::gib_per_sec(10.0))
+    }
+
+    /// One app, one instance: compute [0, 8), I/O [8, 10) at 10 GiB/s,
+    /// vol = 20 GiB, T = 10 → dilation 1, ρ̃ = ρ = 0.8.
+    fn perfect_schedule() -> PeriodicSchedule {
+        PeriodicSchedule {
+            period: Time::secs(10.0),
+            plans: vec![AppPlan {
+                app: AppId(0),
+                procs: 100,
+                work: Time::secs(8.0),
+                vol: Bytes::gib(20.0),
+                instances: vec![PlannedInstance {
+                    index: 0,
+                    compute_start: Time::ZERO,
+                    compute_end: Time::secs(8.0),
+                    io_start: Time::secs(8.0),
+                    io_end: Time::secs(10.0),
+                    io_bw: Bw::gib_per_sec(10.0),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn perfect_schedule_validates_with_unit_dilation() {
+        let p = platform();
+        let s = perfect_schedule();
+        s.validate(&p).unwrap();
+        let report = s.steady_state(&p);
+        assert!((report.dilation - 1.0).abs() < 1e-9);
+        assert!((report.sys_efficiency - 0.8).abs() < 1e-9);
+        assert!((report.upper_limit - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_period_dilates() {
+        let p = platform();
+        let mut s = perfect_schedule();
+        s.period = Time::secs(20.0);
+        s.validate(&p).unwrap();
+        let report = s.steady_state(&p);
+        // ρ̃ = 8/20 = 0.4, ρ = 0.8 → dilation 2.
+        assert!((report.dilation - 2.0).abs() < 1e-9);
+        assert!((report.sys_efficiency - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unscheduled_app_has_infinite_dilation() {
+        let p = platform();
+        let mut s = perfect_schedule();
+        s.plans.push(AppPlan {
+            app: AppId(1),
+            procs: 50,
+            work: Time::secs(5.0),
+            vol: Bytes::gib(1.0),
+            instances: vec![],
+        });
+        s.validate(&p).unwrap();
+        let report = s.steady_state(&p);
+        assert!(report.dilation.is_infinite());
+    }
+
+    #[test]
+    fn validation_rejects_wrong_volume() {
+        let p = platform();
+        let mut s = perfect_schedule();
+        s.plans[0].instances[0].io_end = Time::secs(9.0); // moves only 10 GiB
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bandwidth_above_cap() {
+        let p = platform();
+        let mut s = perfect_schedule();
+        // 100 procs × 0.1 = 10 GiB/s cap; claim 20.
+        s.plans[0].instances[0].io_bw = Bw::gib_per_sec(20.0);
+        s.plans[0].instances[0].io_end = Time::secs(9.0);
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_io_before_compute_end() {
+        let p = platform();
+        let mut s = perfect_schedule();
+        s.plans[0].instances[0].io_start = Time::secs(7.0);
+        s.plans[0].instances[0].io_end = Time::secs(9.0);
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_aggregate_overcommit() {
+        let p = platform();
+        let mut s = perfect_schedule();
+        // Second app whose I/O overlaps the first at 10 GiB/s: 20 > B = 10.
+        s.plans.push(AppPlan {
+            app: AppId(1),
+            procs: 100,
+            work: Time::secs(8.0),
+            vol: Bytes::gib(20.0),
+            instances: vec![PlannedInstance {
+                index: 0,
+                compute_start: Time::ZERO,
+                compute_end: Time::secs(8.0),
+                io_start: Time::secs(8.0),
+                io_end: Time::secs(10.0),
+                io_bw: Bw::gib_per_sec(10.0),
+            }],
+        });
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn back_to_back_transfers_do_not_overcommit() {
+        let p = platform();
+        let mut s = perfect_schedule();
+        s.period = Time::secs(20.0);
+        // App 1 I/O on [10, 12) — starts exactly when app 0's ends.
+        s.plans.push(AppPlan {
+            app: AppId(1),
+            procs: 100,
+            work: Time::secs(8.0),
+            vol: Bytes::gib(20.0),
+            instances: vec![PlannedInstance {
+                index: 0,
+                compute_start: Time::secs(2.0),
+                compute_end: Time::secs(10.0),
+                io_start: Time::secs(10.0),
+                io_end: Time::secs(12.0),
+                io_bw: Bw::gib_per_sec(10.0),
+            }],
+        });
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_instances_of_same_app() {
+        let p = platform();
+        let mut s = perfect_schedule();
+        s.period = Time::secs(40.0);
+        let first = s.plans[0].instances[0];
+        s.plans[0].instances.push(PlannedInstance {
+            index: 1,
+            compute_start: first.io_end - Time::secs(1.0), // overlaps I/O
+            compute_end: first.io_end + Time::secs(7.0),
+            io_start: first.io_end + Time::secs(7.0),
+            io_end: first.io_end + Time::secs(9.0),
+            io_bw: Bw::gib_per_sec(10.0),
+        });
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn vol_per_period_sums_instances() {
+        let s = perfect_schedule();
+        assert!(s.vol_per_period().approx_eq(Bytes::gib(20.0)));
+    }
+}

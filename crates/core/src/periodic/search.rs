@@ -1,0 +1,239 @@
+//! The `(1+ε)` period search of §3.2.3.
+//!
+//! "The first decision is to choose the length T of the period. We start
+//! from `T = max_k (w(k) + time_io(k))`; while T is smaller than Tmax, the
+//! period is incremented by a factor (1+ε), and a solution is re-computed.
+//! We take the best solution over all the periods."
+
+use super::builder::PeriodicAppSpec;
+use super::heuristics::{build_schedule, InsertionHeuristic};
+use super::schedule::{PeriodicSchedule, SteadyStateReport};
+use iosched_model::{Platform, Time};
+use serde::{Deserialize, Serialize};
+
+/// Which steady-state objective the search optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeriodicObjective {
+    /// Maximize `(1/N) Σ β·ρ̃`.
+    SysEfficiency,
+    /// Minimize `max_k ρ/ρ̃`.
+    Dilation,
+}
+
+/// Search configuration. "Both ε and Tmax are parameters whose definitions
+/// have an impact on the quality of the results and on the number of
+/// increments: the larger Tmax and the smaller ε, the better the results,
+/// but the longer the execution time."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodSearch {
+    /// Multiplicative step between candidate periods.
+    pub epsilon: f64,
+    /// `Tmax = max_factor · T₀`.
+    pub max_factor: f64,
+    /// Objective guiding the choice among candidate periods.
+    pub objective: PeriodicObjective,
+}
+
+impl PeriodSearch {
+    /// Paper-flavoured defaults: ε = 0.05, Tmax = 10·T₀.
+    #[must_use]
+    pub fn new(objective: PeriodicObjective) -> Self {
+        Self {
+            epsilon: 0.05,
+            max_factor: 10.0,
+            objective,
+        }
+    }
+
+    /// Override ε.
+    ///
+    /// # Panics
+    /// Panics unless `ε > 0`.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Override `Tmax/T₀`.
+    ///
+    /// # Panics
+    /// Panics unless `max_factor ≥ 1`.
+    #[must_use]
+    pub fn with_max_factor(mut self, max_factor: f64) -> Self {
+        assert!(max_factor >= 1.0, "max_factor must be at least 1");
+        self.max_factor = max_factor;
+        self
+    }
+
+    /// Run the search with `heuristic` filling each candidate period.
+    ///
+    /// Returns `None` only for an empty application set.
+    #[must_use]
+    pub fn run(
+        &self,
+        platform: &Platform,
+        apps: &[PeriodicAppSpec],
+        heuristic: InsertionHeuristic,
+    ) -> Option<SearchResult> {
+        if apps.is_empty() {
+            return None;
+        }
+        // T₀ = max_k (w + time_io): "it makes sense to consider only
+        // periods large enough so that one instance of each application
+        // can take place if there were no contention".
+        let t0 = apps
+            .iter()
+            .map(|a| a.span(platform))
+            .fold(Time::ZERO, Time::max);
+        debug_assert!(t0.get() > 0.0, "validated apps have positive span");
+        let t_max = t0 * self.max_factor;
+
+        let mut best: Option<SearchResult> = None;
+        let mut period = t0;
+        let mut candidates = 0_usize;
+        while period.approx_le(t_max) {
+            let schedule = build_schedule(platform, apps, period, heuristic);
+            let report = schedule.steady_state(platform);
+            candidates += 1;
+            let better = match &best {
+                None => true,
+                Some(b) => match self.objective {
+                    PeriodicObjective::SysEfficiency => {
+                        report.sys_efficiency > b.report.sys_efficiency
+                    }
+                    PeriodicObjective::Dilation => report.dilation < b.report.dilation,
+                },
+            };
+            if better {
+                best = Some(SearchResult {
+                    schedule,
+                    report,
+                    candidates_tried: candidates,
+                });
+            }
+            period = period * (1.0 + self.epsilon);
+        }
+        if let Some(b) = &mut best {
+            b.candidates_tried = candidates;
+        }
+        best
+    }
+}
+
+/// Outcome of a period search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best schedule found.
+    pub schedule: PeriodicSchedule,
+    /// Its steady-state objectives.
+    pub report: SteadyStateReport,
+    /// How many candidate periods were evaluated.
+    pub candidates_tried: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::{Bw, Bytes};
+
+    fn platform() -> Platform {
+        Platform::new("test", 1_000, Bw::gib_per_sec(0.1), Bw::gib_per_sec(10.0))
+    }
+
+    #[test]
+    fn single_app_search_reaches_unit_dilation() {
+        let p = platform();
+        let apps = [PeriodicAppSpec::new(
+            0,
+            100,
+            Time::secs(8.0),
+            Bytes::gib(20.0),
+        )];
+        let result = PeriodSearch::new(PeriodicObjective::Dilation)
+            .run(&p, &apps, InsertionHeuristic::Congestion)
+            .unwrap();
+        // T₀ = 10 s fits exactly one instance back-to-back: dilation 1.
+        assert!(
+            (result.report.dilation - 1.0).abs() < 1e-6,
+            "dilation {}",
+            result.report.dilation
+        );
+        result.schedule.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn search_tries_multiple_candidates() {
+        let p = platform();
+        let apps = [
+            PeriodicAppSpec::new(0, 100, Time::secs(8.0), Bytes::gib(20.0)),
+            PeriodicAppSpec::new(1, 200, Time::secs(15.0), Bytes::gib(40.0)),
+        ];
+        let result = PeriodSearch::new(PeriodicObjective::SysEfficiency)
+            .with_epsilon(0.25)
+            .with_max_factor(4.0)
+            .run(&p, &apps, InsertionHeuristic::Throughput)
+            .unwrap();
+        assert!(result.candidates_tried >= 5);
+        result.schedule.validate(&p).unwrap();
+        assert!(result.report.sys_efficiency > 0.0);
+    }
+
+    #[test]
+    fn two_identical_apps_share_fairly_under_dilation_search() {
+        let p = platform();
+        let apps = [
+            PeriodicAppSpec::new(0, 100, Time::secs(8.0), Bytes::gib(20.0)),
+            PeriodicAppSpec::new(1, 100, Time::secs(8.0), Bytes::gib(20.0)),
+        ];
+        let result = PeriodSearch::new(PeriodicObjective::Dilation)
+            .run(&p, &apps, InsertionHeuristic::Congestion)
+            .unwrap();
+        result.schedule.validate(&p).unwrap();
+        // Both apps can interleave I/O perfectly within T = 2·span? No —
+        // with B = 10 only one can transfer at full rate at a time, but
+        // computes overlap, so near-1 dilation is reachable; accept ≤ 1.5.
+        assert!(
+            result.report.dilation < 1.5,
+            "dilation {}",
+            result.report.dilation
+        );
+        let n0 = result.schedule.n_per(iosched_model::AppId(0));
+        let n1 = result.schedule.n_per(iosched_model::AppId(1));
+        assert!((n0 as i64 - n1 as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn empty_app_set_returns_none() {
+        let p = platform();
+        let r = PeriodSearch::new(PeriodicObjective::Dilation).run(
+            &p,
+            &[],
+            InsertionHeuristic::Congestion,
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn objective_choice_selects_the_matching_optimum() {
+        let p = platform();
+        // A compute-heavy big app and an I/O-heavy small app compete.
+        let apps = [
+            PeriodicAppSpec::new(0, 500, Time::secs(50.0), Bytes::gib(20.0)),
+            PeriodicAppSpec::new(1, 20, Time::secs(2.0), Bytes::gib(30.0)),
+        ];
+        // With the *same* insertion heuristic, picking the best period for
+        // each objective must dominate the other search on that objective.
+        for h in [InsertionHeuristic::Throughput, InsertionHeuristic::Congestion] {
+            let eff = PeriodSearch::new(PeriodicObjective::SysEfficiency)
+                .run(&p, &apps, h)
+                .unwrap();
+            let dil = PeriodSearch::new(PeriodicObjective::Dilation)
+                .run(&p, &apps, h)
+                .unwrap();
+            assert!(eff.report.sys_efficiency >= dil.report.sys_efficiency - 1e-9);
+            assert!(dil.report.dilation <= eff.report.dilation + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The online scheduling abstraction of §3.1.
+//!
+//! The global scheduler "monitors the stream of I/O calls and decides on the
+//! fly which applications are allowed to perform I/O". An *event* is the
+//! start or end of an I/O transfer (plus, in our simulator, releases and
+//! burst-buffer level crossings). At each event the scheduler inspects the
+//! current state — application efficiencies and the amount of I/O performed
+//! — and, following its strategy, *favors* a subset of applications:
+//! a favored application receives bandwidth `min(β·b, bw_avail)` where
+//! `bw_avail` is what remains of `B` when its turn comes; the others are
+//! stalled until the next event.
+//!
+//! Policies are pure ordering strategies over [`AppState`] snapshots plus
+//! the shared greedy grant loop [`greedy_allocate`]; this keeps every
+//! heuristic of the paper a ~30-line module and guarantees they all enforce
+//! the two §2.1 capacity rules identically.
+
+use iosched_model::{AppId, Bw, Time};
+use serde::{Deserialize, Serialize};
+
+/// Scheduler-visible snapshot of one application that currently wants to
+/// perform I/O (it is either stalled waiting for a grant or mid-transfer).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AppState {
+    /// Which application.
+    pub id: AppId,
+    /// `β(k)`: dedicated processors.
+    pub procs: u64,
+    /// Current dilation ratio `ρ̃(k)(t)/ρ(k)(t) ∈ [0, 1]` (1 = on schedule).
+    pub dilation_ratio: f64,
+    /// Current MaxSysEff key `β(k)·ρ̃(k)(t)`.
+    pub syseff_key: f64,
+    /// When this application last completed an instance's I/O transfer
+    /// (its release time if it never has). RoundRobin's FCFS key.
+    pub last_io_end: Time,
+    /// When the current I/O request was issued (= when the compute chunk
+    /// of the current instance ended). Strict-FCFS baselines order by this.
+    pub io_requested_at: Time,
+    /// True when the current transfer has already started (some bytes of
+    /// the current instance were transferred). The Priority wrapper serves
+    /// these applications first to preserve disk locality.
+    pub started_io: bool,
+    /// Maximum bandwidth this application can absorb: `min(β·b, B)`.
+    pub max_bw: Bw,
+}
+
+/// Everything a policy may look at when re-allocating bandwidth.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedContext<'a> {
+    /// Current time.
+    pub now: Time,
+    /// Total PFS bandwidth `B`.
+    pub total_bw: Bw,
+    /// Applications that want to perform I/O right now, in `AppId` order.
+    pub pending: &'a [AppState],
+}
+
+/// Bandwidth grants decided at one event: application-level bandwidths
+/// `β(k)·γ(k)`. Applications absent from `grants` are stalled (`γ = 0`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// `(app, application-aggregate bandwidth)` pairs; at most one per app.
+    pub grants: Vec<(AppId, Bw)>,
+}
+
+impl Allocation {
+    /// An allocation granting nothing.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Granted bandwidth for `id` (zero if stalled).
+    #[must_use]
+    pub fn granted(&self, id: AppId) -> Bw {
+        self.grants
+            .iter()
+            .find(|(a, _)| *a == id)
+            .map_or(Bw::ZERO, |(_, bw)| *bw)
+    }
+
+    /// Total granted bandwidth.
+    #[must_use]
+    pub fn total(&self) -> Bw {
+        self.grants.iter().map(|(_, bw)| *bw).sum()
+    }
+
+    /// Check the §2.1 capacity rules against a context: per-application
+    /// `grant ≤ min(β·b, B)` and aggregate `Σ grants ≤ B`. Returns the
+    /// first violation as a human-readable string.
+    pub fn validate(&self, ctx: &SchedContext<'_>) -> Result<(), String> {
+        let mut seen = Vec::with_capacity(self.grants.len());
+        for &(id, bw) in &self.grants {
+            if seen.contains(&id) {
+                return Err(format!("duplicate grant for {id}"));
+            }
+            seen.push(id);
+            let Some(app) = ctx.pending.iter().find(|a| a.id == id) else {
+                return Err(format!("grant for non-pending {id}"));
+            };
+            if !bw.is_finite() || bw.get() < 0.0 {
+                return Err(format!("non-finite or negative grant for {id}: {bw}"));
+            }
+            if bw.approx_gt(app.max_bw) {
+                return Err(format!(
+                    "{id} granted {bw} above its cap {}",
+                    app.max_bw
+                ));
+            }
+        }
+        if self.total().approx_gt(ctx.total_bw) {
+            return Err(format!(
+                "aggregate grant {} exceeds B = {}",
+                self.total(),
+                ctx.total_bw
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// An online scheduling strategy (§3.1).
+///
+/// A strategy is fundamentally a *preference order* over the pending
+/// applications; the grant loop ([`greedy_allocate`]) is shared by all of
+/// them, which guarantees that every heuristic enforces the §2.1 capacity
+/// rules identically. Implementations must be deterministic functions of
+/// the context (ties broken by `AppId`), so simulations are reproducible.
+pub trait OnlinePolicy: Send {
+    /// Human-readable name used in reports ("maxsyseff", "priority-mindilation", …).
+    fn name(&self) -> String;
+
+    /// Preference order: indices into `ctx.pending`, most-favored first.
+    /// Must be a permutation of `0..ctx.pending.len()`.
+    fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize>;
+
+    /// Decide bandwidth grants for the pending applications by running the
+    /// shared greedy grant loop over [`OnlinePolicy::order`].
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
+        let order = self.order(ctx);
+        greedy_allocate(ctx, &order)
+    }
+
+    /// Next instant (strictly after `now`) at which this policy wants to
+    /// re-allocate even though no application event occurred. Event-driven
+    /// policies (all of §3.1) never do — the default `None`. Timetable
+    /// policies (periodic schedules replayed in the simulator) use this to
+    /// wake the engine at reservation boundaries; a policy returning
+    /// wakeups is also permitted to stall every pending application, since
+    /// it is guaranteed to be consulted again.
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        let _ = now;
+        None
+    }
+}
+
+impl<P: OnlinePolicy + ?Sized> OnlinePolicy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
+        (**self).order(ctx)
+    }
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
+        (**self).allocate(ctx)
+    }
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        (**self).next_wakeup(now)
+    }
+}
+
+/// The shared grant loop: walk `order` (application indices into
+/// `ctx.pending`, most-favored first) and give each application
+/// `min(max_bw, bw_avail)` until the PFS is saturated.
+///
+/// This is exactly the paper's "favoring application App(k) means that
+/// App(k) is executed as fast as possible, with bandwidth
+/// `min(b·β(k), bw_avail)`".
+#[must_use]
+pub fn greedy_allocate(ctx: &SchedContext<'_>, order: &[usize]) -> Allocation {
+    let mut remaining = ctx.total_bw;
+    let mut grants = Vec::with_capacity(order.len());
+    for &idx in order {
+        if remaining.get() <= 0.0 || remaining.is_zero() {
+            break;
+        }
+        let app = &ctx.pending[idx];
+        let bw = app.max_bw.min(remaining);
+        if bw.get() > 0.0 {
+            grants.push((app.id, bw));
+            remaining -= bw;
+            remaining = remaining.snap_zero();
+        }
+    }
+    Allocation { grants }
+}
+
+/// Sort helper: returns pending-app indices ordered by `key` ascending,
+/// ties broken by `AppId` so every policy is deterministic.
+#[must_use]
+pub fn order_by_key_asc<F: FnMut(&AppState) -> f64>(
+    ctx: &SchedContext<'_>,
+    mut key: F,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..ctx.pending.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (ka, kb) = (key(&ctx.pending[a]), key(&ctx.pending[b]));
+        ka.total_cmp(&kb)
+            .then_with(|| ctx.pending[a].id.cmp(&ctx.pending[b].id))
+    });
+    idx
+}
+
+/// Tiny fixtures for policy unit tests (used by this crate and by the
+/// baseline/bench crates' test suites; not part of the stable API).
+#[doc(hidden)]
+pub mod test_support {
+    use super::*;
+
+    /// Build a pending-app snapshot with sensible defaults for tests.
+    #[must_use]
+    pub fn app(id: usize, max_bw_gib: f64) -> AppState {
+        AppState {
+            id: AppId(id),
+            procs: 100,
+            dilation_ratio: 1.0,
+            syseff_key: 100.0,
+            last_io_end: Time::ZERO,
+            io_requested_at: Time::ZERO,
+            started_io: false,
+            max_bw: Bw::gib_per_sec(max_bw_gib),
+        }
+    }
+
+    /// Build a context over `pending` with total bandwidth `total_gib`.
+    #[must_use]
+    pub fn ctx(total_gib: f64, pending: &[AppState]) -> SchedContext<'_> {
+        SchedContext {
+            now: Time::secs(100.0),
+            total_bw: Bw::gib_per_sec(total_gib),
+            pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{app, ctx};
+    use super::*;
+
+    #[test]
+    fn greedy_grants_in_order_until_saturation() {
+        let pending = [app(0, 6.0), app(1, 6.0), app(2, 6.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = greedy_allocate(&c, &[0, 1, 2]);
+        assert!(alloc.granted(AppId(0)).approx_eq(Bw::gib_per_sec(6.0)));
+        assert!(alloc.granted(AppId(1)).approx_eq(Bw::gib_per_sec(4.0)));
+        assert!(alloc.granted(AppId(2)).is_zero());
+        alloc.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn greedy_respects_order_argument() {
+        let pending = [app(0, 10.0), app(1, 10.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = greedy_allocate(&c, &[1, 0]);
+        assert!(alloc.granted(AppId(1)).approx_eq(Bw::gib_per_sec(10.0)));
+        assert!(alloc.granted(AppId(0)).is_zero());
+    }
+
+    #[test]
+    fn greedy_with_no_pending_grants_nothing() {
+        let pending: [AppState; 0] = [];
+        let c = ctx(10.0, &pending);
+        let alloc = greedy_allocate(&c, &[]);
+        assert!(alloc.grants.is_empty());
+        assert!(alloc.total().is_zero());
+    }
+
+    #[test]
+    fn allocation_lookup_and_total() {
+        let alloc = Allocation {
+            grants: vec![
+                (AppId(0), Bw::gib_per_sec(2.0)),
+                (AppId(3), Bw::gib_per_sec(1.0)),
+            ],
+        };
+        assert!(alloc.granted(AppId(0)).approx_eq(Bw::gib_per_sec(2.0)));
+        assert!(alloc.granted(AppId(1)).is_zero());
+        assert!(alloc.total().approx_eq(Bw::gib_per_sec(3.0)));
+    }
+
+    #[test]
+    fn validate_catches_overcommit() {
+        let pending = [app(0, 6.0), app(1, 6.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = Allocation {
+            grants: vec![
+                (AppId(0), Bw::gib_per_sec(6.0)),
+                (AppId(1), Bw::gib_per_sec(6.0)),
+            ],
+        };
+        assert!(alloc.validate(&c).is_err());
+    }
+
+    #[test]
+    fn validate_catches_per_app_cap() {
+        let pending = [app(0, 2.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = Allocation {
+            grants: vec![(AppId(0), Bw::gib_per_sec(3.0))],
+        };
+        assert!(alloc.validate(&c).is_err());
+    }
+
+    #[test]
+    fn validate_catches_duplicates_and_strangers() {
+        let pending = [app(0, 2.0)];
+        let c = ctx(10.0, &pending);
+        let dup = Allocation {
+            grants: vec![
+                (AppId(0), Bw::gib_per_sec(1.0)),
+                (AppId(0), Bw::gib_per_sec(1.0)),
+            ],
+        };
+        assert!(dup.validate(&c).is_err());
+        let stranger = Allocation {
+            grants: vec![(AppId(7), Bw::gib_per_sec(1.0))],
+        };
+        assert!(stranger.validate(&c).is_err());
+    }
+
+    #[test]
+    fn order_by_key_breaks_ties_by_id() {
+        let pending = [app(2, 1.0), app(0, 1.0), app(1, 1.0)];
+        let c = ctx(10.0, &pending);
+        let order = order_by_key_asc(&c, |_| 0.0);
+        let ids: Vec<usize> = order.iter().map(|&i| pending[i].id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

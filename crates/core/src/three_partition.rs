@@ -1,0 +1,415 @@
+//! Executable form of **Theorem 1** (§3.2.2): finding a periodic schedule
+//! optimizing either objective is NP-complete, by reduction from
+//! 3-Partition.
+//!
+//! Given an instance `I₁` of 3-Partition — an integer `B` and `3n` integers
+//! `a_1 … a_3n` with `Σ a_i = nB` — the proof builds a scheduling instance
+//! `I₂` with PFS bandwidth `B·b` and, for each item `a_k`, an application
+//!
+//! ```text
+//! β(k) = a_k,   w(k) = n − 1,   vol_io(k) = a_k·b   (so time_io(k) = 1)
+//! ```
+//!
+//! `I₁` is solvable iff `I₂` admits a periodic schedule of period `T = n`
+//! with `ρ̃(k) = ρ(k)` for all `k` (SysEfficiency `= (n−1)/n`, Dilation
+//! `= 1`): each triplet of sum `B` occupies one unit-length I/O slot at full
+//! per-processor bandwidth, and the `n−1` remaining units hold the compute.
+//!
+//! The proof schedule wraps compute chunks around the period boundary, a
+//! shape the general [`crate::periodic::PeriodicSchedule`] deliberately
+//! does not represent; this module therefore carries its own slot-based
+//! representation ([`ProofSchedule`]) and verifier, plus a brute-force
+//! 3-Partition solver for small instances so both directions of the
+//! reduction are tested.
+
+use crate::periodic::PeriodicAppSpec;
+use iosched_model::{Bw, Bytes, ModelError, Platform, Time};
+use serde::{Deserialize, Serialize};
+
+/// A 3-Partition instance: can `items` (of sum `n·target`) be split into
+/// `n` triplets each of sum `target`?
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreePartition {
+    target: u64,
+    items: Vec<u64>,
+}
+
+impl ThreePartition {
+    /// Validate and build an instance.
+    pub fn new(target: u64, items: Vec<u64>) -> Result<Self, ModelError> {
+        if target == 0 {
+            return Err(ModelError::InvalidApp("3-Partition target must be positive".into()));
+        }
+        if items.is_empty() || items.len() % 3 != 0 {
+            return Err(ModelError::InvalidApp(format!(
+                "3-Partition needs a positive multiple of 3 items, got {}",
+                items.len()
+            )));
+        }
+        if items.iter().any(|&a| a == 0 || a > target) {
+            return Err(ModelError::InvalidApp(
+                "3-Partition items must satisfy 0 < a_i ≤ B".into(),
+            ));
+        }
+        let n = (items.len() / 3) as u64;
+        let sum: u64 = items.iter().sum();
+        if sum != n * target {
+            return Err(ModelError::InvalidApp(format!(
+                "Σ a_i = {sum} must equal n·B = {}",
+                n * target
+            )));
+        }
+        Ok(Self { target, items })
+    }
+
+    /// `B`.
+    #[must_use]
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// `n` (number of triplets).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.items.len() / 3
+    }
+
+    /// The items `a_1 … a_3n`.
+    #[must_use]
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// Exhaustive backtracking solver; intended for `n ≤ 5`. Returns the
+    /// triplets (as item indices) or `None` when the instance is
+    /// infeasible.
+    #[must_use]
+    pub fn brute_force(&self) -> Option<Vec<[usize; 3]>> {
+        let n = self.n();
+        // Items sorted descending for better pruning; remember indices.
+        let mut order: Vec<usize> = (0..self.items.len()).collect();
+        order.sort_by(|&x, &y| self.items[y].cmp(&self.items[x]).then(x.cmp(&y)));
+
+        let mut bins_sum = vec![0u64; n];
+        let mut bins_cnt = vec![0usize; n];
+        let mut assignment = vec![usize::MAX; self.items.len()];
+
+        fn place(
+            pos: usize,
+            order: &[usize],
+            items: &[u64],
+            target: u64,
+            bins_sum: &mut [u64],
+            bins_cnt: &mut [usize],
+            assignment: &mut [usize],
+        ) -> bool {
+            if pos == order.len() {
+                return bins_sum.iter().all(|&s| s == target);
+            }
+            let item = order[pos];
+            let a = items[item];
+            for b in 0..bins_sum.len() {
+                // Symmetry pruning: identical (sum, count) bins are
+                // interchangeable — only try the first of each class.
+                if (0..b).any(|p| bins_sum[p] == bins_sum[b] && bins_cnt[p] == bins_cnt[b]) {
+                    continue;
+                }
+                if bins_cnt[b] == 3 || bins_sum[b] + a > target {
+                    continue;
+                }
+                bins_sum[b] += a;
+                bins_cnt[b] += 1;
+                assignment[item] = b;
+                if place(pos + 1, order, items, target, bins_sum, bins_cnt, assignment) {
+                    return true;
+                }
+                bins_sum[b] -= a;
+                bins_cnt[b] -= 1;
+                assignment[item] = usize::MAX;
+            }
+            false
+        }
+
+        if !place(
+            0,
+            &order,
+            &self.items,
+            self.target,
+            &mut bins_sum,
+            &mut bins_cnt,
+            &mut assignment,
+        ) {
+            return None;
+        }
+        let mut triplets: Vec<Vec<usize>> = vec![Vec::with_capacity(3); n];
+        for (item, &bin) in assignment.iter().enumerate() {
+            triplets[bin].push(item);
+        }
+        Some(
+            triplets
+                .into_iter()
+                .map(|t| {
+                    let mut arr = [0usize; 3];
+                    arr.copy_from_slice(&t);
+                    arr
+                })
+                .collect(),
+        )
+    }
+
+    /// The Theorem 1 reduction `I₁ → I₂`: a platform with PFS bandwidth
+    /// `B·b` and one application per item (`β = a_k`, `w = n−1`,
+    /// `vol = a_k·b·1s` so `time_io = 1`).
+    #[must_use]
+    pub fn to_scheduling_instance(&self, unit_bw: Bw) -> (Platform, Vec<PeriodicAppSpec>) {
+        let n = self.n();
+        let total_procs: u64 = self.items.iter().sum();
+        let platform = Platform::new(
+            format!("3partition-n{n}-b{}", self.target),
+            total_procs,
+            unit_bw,
+            Bw::new(unit_bw.get() * self.target as f64),
+        );
+        let apps = self
+            .items
+            .iter()
+            .enumerate()
+            .map(|(k, &a)| {
+                PeriodicAppSpec::new(
+                    k,
+                    a,
+                    Time::secs(n as f64 - 1.0),
+                    Bytes::new(a as f64 * unit_bw.get()), // transfers in 1 s at β·b
+                )
+            })
+            .collect();
+        (platform, apps)
+    }
+
+    /// Build the proof's period-`n` schedule from a partition: the
+    /// applications of triplet `i` perform their I/O during slot
+    /// `[i, i+1)` and compute during the other `n−1` units (wrapping).
+    ///
+    /// # Panics
+    /// Panics if `partition` is not a permutation of the items in
+    /// triplets.
+    #[must_use]
+    pub fn schedule_from_partition(&self, partition: &[[usize; 3]]) -> ProofSchedule {
+        assert_eq!(partition.len(), self.n(), "partition must have n triplets");
+        let mut slot_of = vec![usize::MAX; self.items.len()];
+        for (slot, triplet) in partition.iter().enumerate() {
+            for &item in triplet {
+                assert!(slot_of[item] == usize::MAX, "item {item} assigned twice");
+                slot_of[item] = slot;
+            }
+        }
+        assert!(
+            slot_of.iter().all(|&s| s != usize::MAX),
+            "partition must cover all items"
+        );
+        ProofSchedule {
+            n: self.n(),
+            target: self.target,
+            items: self.items.clone(),
+            slot_of,
+        }
+    }
+}
+
+/// The wrapped, slot-based periodic schedule used by the Theorem 1 proof:
+/// period `T = n`; application `k` transfers during `[slot_of[k],
+/// slot_of[k]+1)` at bandwidth `a_k·b` and computes during the remaining
+/// `n−1` units, wrapping around the period boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofSchedule {
+    n: usize,
+    target: u64,
+    items: Vec<u64>,
+    slot_of: Vec<usize>,
+}
+
+impl ProofSchedule {
+    /// Period `T = n`.
+    #[must_use]
+    pub fn period(&self) -> Time {
+        Time::secs(self.n as f64)
+    }
+
+    /// I/O slot of item `k`.
+    #[must_use]
+    pub fn slot_of(&self, k: usize) -> usize {
+        self.slot_of[k]
+    }
+
+    /// Verify the §3.2.2 argument:
+    /// * every slot's aggregate demand `Σ_{k in slot} a_k·b ≤ B·b`
+    ///   (equality when the partition is exact),
+    /// * every application runs exactly one instance per period
+    ///   (`n_per = 1`, `w = n−1`, `time_io = 1` → `ρ̃ = ρ = (n−1)/n`).
+    ///
+    /// Returns the schedule's Dilation (1.0 when valid).
+    pub fn verify(&self) -> Result<f64, ModelError> {
+        let mut slot_sum = vec![0u64; self.n];
+        for (k, &slot) in self.slot_of.iter().enumerate() {
+            if slot >= self.n {
+                return Err(ModelError::InvalidSchedule(format!(
+                    "item {k} assigned to slot {slot} ≥ n = {}",
+                    self.n
+                )));
+            }
+            slot_sum[slot] += self.items[k];
+        }
+        for (slot, &sum) in slot_sum.iter().enumerate() {
+            if sum > self.target {
+                return Err(ModelError::InvalidSchedule(format!(
+                    "slot {slot} aggregates {sum} > B = {}",
+                    self.target
+                )));
+            }
+        }
+        // Each app: I/O occupies 1 unit at full rate, compute the other
+        // n−1 units → exactly one instance per period, zero stall:
+        // ρ̃ = (n−1)/n = ρ, dilation 1.
+        Ok(1.0)
+    }
+
+    /// SysEfficiency of the proof schedule: `(n−1)/n` (every processor
+    /// computes during all but the I/O unit).
+    #[must_use]
+    pub fn sys_efficiency(&self) -> f64 {
+        (self.n as f64 - 1.0) / self.n as f64
+    }
+
+    /// Recover a 3-Partition certificate from the schedule: group items by
+    /// slot; a valid dilation-1 schedule yields triplets of sum exactly
+    /// `B` (the forward direction of the equivalence). Returns `None` when
+    /// any slot does not hold exactly 3 items of sum `B`.
+    #[must_use]
+    pub fn extract_partition(&self) -> Option<Vec<[usize; 3]>> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for (k, &slot) in self.slot_of.iter().enumerate() {
+            groups[slot].push(k);
+        }
+        let mut out = Vec::with_capacity(self.n);
+        for g in groups {
+            if g.len() != 3 {
+                return None;
+            }
+            let sum: u64 = g.iter().map(|&k| self.items[k]).sum();
+            if sum != self.target {
+                return None;
+            }
+            out.push([g[0], g[1], g[2]]);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// B = 12, n = 4: feasible — (4,4,4), (5,4,3), (6,4,2), (7,3,2).
+    fn feasible() -> ThreePartition {
+        ThreePartition::new(12, vec![4, 4, 4, 5, 4, 3, 6, 4, 2, 7, 3, 2]).unwrap()
+    }
+
+    /// B = 20, n = 2: infeasible — no triple containing two 10s fits and
+    /// three 10s overshoot; {10,4,3} undershoots.
+    fn infeasible() -> ThreePartition {
+        ThreePartition::new(20, vec![10, 10, 10, 4, 3, 3]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ThreePartition::new(0, vec![1, 1, 1]).is_err());
+        assert!(ThreePartition::new(3, vec![1, 1]).is_err());
+        assert!(ThreePartition::new(3, vec![1, 1, 2]).is_err()); // sum 4 ≠ 3
+        assert!(ThreePartition::new(3, vec![0, 1, 2]).is_err()); // zero item
+        assert!(ThreePartition::new(3, vec![1, 1, 1]).is_ok());
+        assert!(ThreePartition::new(3, vec![4, 1, 1]).is_err()); // item > B
+    }
+
+    #[test]
+    fn brute_force_solves_feasible_instance() {
+        let inst = feasible();
+        let sol = inst.brute_force().expect("instance is feasible");
+        assert_eq!(sol.len(), 4);
+        for triplet in &sol {
+            let sum: u64 = triplet.iter().map(|&k| inst.items()[k]).sum();
+            assert_eq!(sum, 12);
+        }
+        // Every item used exactly once.
+        let mut used: Vec<usize> = sol.iter().flatten().copied().collect();
+        used.sort_unstable();
+        assert_eq!(used, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn brute_force_rejects_infeasible_instance() {
+        assert!(infeasible().brute_force().is_none());
+    }
+
+    #[test]
+    fn reduction_produces_unit_io_times() {
+        let inst = feasible();
+        let b = Bw::gib_per_sec(0.1);
+        let (platform, apps) = inst.to_scheduling_instance(b);
+        platform.validate().unwrap();
+        assert_eq!(apps.len(), 12);
+        for app in &apps {
+            // time_io = vol / min(β·b, B·b) = a·b / (a·b) = 1 (a ≤ B).
+            let tio = app.time_io(&platform);
+            assert!(
+                tio.approx_eq(Time::secs(1.0)),
+                "time_io must be 1, got {tio}"
+            );
+            assert!(app.work.approx_eq(Time::secs(3.0))); // n − 1
+        }
+    }
+
+    #[test]
+    fn forward_direction_partition_gives_dilation_one_schedule() {
+        let inst = feasible();
+        let sol = inst.brute_force().unwrap();
+        let sched = inst.schedule_from_partition(&sol);
+        let dilation = sched.verify().unwrap();
+        assert_eq!(dilation, 1.0);
+        assert!((sched.sys_efficiency() - 0.75).abs() < 1e-12); // (n−1)/n
+        assert!(sched.period().approx_eq(Time::secs(4.0)));
+    }
+
+    #[test]
+    fn backward_direction_schedule_gives_partition() {
+        let inst = feasible();
+        let sol = inst.brute_force().unwrap();
+        let sched = inst.schedule_from_partition(&sol);
+        let recovered = sched.extract_partition().expect("valid schedule");
+        // The recovered triplets must again solve the instance.
+        for triplet in &recovered {
+            let sum: u64 = triplet.iter().map(|&k| inst.items()[k]).sum();
+            assert_eq!(sum, inst.target());
+        }
+    }
+
+    #[test]
+    fn overloaded_slot_fails_verification() {
+        let inst = feasible();
+        let sol = inst.brute_force().unwrap();
+        let mut sched = inst.schedule_from_partition(&sol);
+        // Cram one extra item into slot 0.
+        let victim = sol[1][0];
+        sched.slot_of[victim] = 0;
+        assert!(sched.verify().is_err());
+        assert!(sched.extract_partition().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_panics() {
+        let inst = feasible();
+        let mut sol = inst.brute_force().unwrap();
+        sol[0][1] = sol[0][0];
+        let _ = inst.schedule_from_partition(&sol);
+    }
+}

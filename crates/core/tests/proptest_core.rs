@@ -1,0 +1,176 @@
+//! Property tests for the scheduling core: every policy's allocation
+//! always satisfies the §2.1 capacity rules, the Priority wrapper is a
+//! stable partition of its inner order, the bandwidth profile never
+//! overcommits, and random 3-Partition instances round-trip.
+
+use iosched_core::heuristics::PolicyKind;
+use iosched_core::periodic::BandwidthProfile;
+use iosched_core::policy::{AppState, OnlinePolicy, SchedContext};
+use iosched_core::three_partition::ThreePartition;
+use iosched_model::{AppId, Bw, Time};
+use proptest::prelude::*;
+
+fn arb_app_state(id: usize) -> impl Strategy<Value = AppState> {
+    (
+        1u64..5_000,
+        0.0f64..1.0,
+        0.0f64..5_000.0,
+        0.0f64..1_000.0,
+        0.0f64..1_000.0,
+        any::<bool>(),
+        0.1f64..64.0,
+    )
+        .prop_map(
+            move |(procs, ratio, key, last, req, started, max_bw)| AppState {
+                id: AppId(id),
+                procs,
+                dilation_ratio: ratio,
+                syseff_key: key,
+                last_io_end: Time::secs(last),
+                io_requested_at: Time::secs(req),
+                started_io: started,
+                max_bw: Bw::gib_per_sec(max_bw),
+            },
+        )
+}
+
+fn arb_pending() -> impl Strategy<Value = Vec<AppState>> {
+    (1usize..20).prop_flat_map(|n| {
+        (0..n).map(arb_app_state).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    /// Every roster policy produces a valid allocation on any context and
+    /// saturates the PFS whenever demand allows (work conservation).
+    #[test]
+    fn policies_allocate_validly_and_work_conserving(
+        pending in arb_pending(),
+        total in 1.0f64..256.0,
+    ) {
+        let ctx = SchedContext {
+            now: Time::secs(1_000.0),
+            total_bw: Bw::gib_per_sec(total),
+            pending: &pending,
+        };
+        let demand: f64 = pending.iter().map(|a| a.max_bw.as_gib_per_sec()).sum();
+        for kind in PolicyKind::fig6_roster() {
+            let mut policy = kind.build();
+            let alloc = policy.allocate(&ctx);
+            alloc.validate(&ctx).map_err(TestCaseError::fail)?;
+            // Work conservation: granted total = min(demand, B).
+            let granted = alloc.total().as_gib_per_sec();
+            let expected = demand.min(total);
+            prop_assert!(
+                (granted - expected).abs() <= 1e-6 * expected.max(1.0),
+                "{}: granted {granted} vs min(demand, B) = {expected}",
+                kind.name()
+            );
+        }
+    }
+
+    /// `order` is always a permutation of the pending indices.
+    #[test]
+    fn orders_are_permutations(pending in arb_pending()) {
+        let ctx = SchedContext {
+            now: Time::secs(10.0),
+            total_bw: Bw::gib_per_sec(10.0),
+            pending: &pending,
+        };
+        for kind in PolicyKind::fig6_roster() {
+            let mut policy = kind.build();
+            let mut order = policy.order(&ctx);
+            order.sort_unstable();
+            let expected: Vec<usize> = (0..pending.len()).collect();
+            prop_assert_eq!(order, expected, "{} broke the permutation", kind.name());
+        }
+    }
+
+    /// Priority is a stable partition: started apps keep the inner
+    /// relative order, and all of them precede all fresh apps.
+    #[test]
+    fn priority_is_a_stable_partition(pending in arb_pending()) {
+        use iosched_core::heuristics::{MinDilation, Priority};
+        let ctx = SchedContext {
+            now: Time::secs(10.0),
+            total_bw: Bw::gib_per_sec(10.0),
+            pending: &pending,
+        };
+        let inner_order = MinDilation.order(&ctx);
+        let prio_order = Priority::new(MinDilation).order(&ctx);
+        // Partition point: all started first.
+        let first_fresh = prio_order
+            .iter()
+            .position(|&i| !pending[i].started_io)
+            .unwrap_or(prio_order.len());
+        prop_assert!(prio_order[first_fresh..].iter().all(|&i| !pending[i].started_io));
+        // Stability: relative inner order preserved within each group.
+        let rank = |i: usize| inner_order.iter().position(|&x| x == i).unwrap();
+        for grp in [&prio_order[..first_fresh], &prio_order[first_fresh..]] {
+            for w in grp.windows(2) {
+                prop_assert!(rank(w[0]) < rank(w[1]));
+            }
+        }
+    }
+
+    /// The bandwidth profile never admits an overcommitting reservation
+    /// and `first_fit` results are always actually feasible.
+    #[test]
+    fn profile_first_fit_is_sound(
+        reservations in prop::collection::vec(
+            (0.0f64..90.0, 0.1f64..30.0, 0.1f64..6.0), 0..12),
+        query in (0.0f64..100.0, 0.1f64..40.0, 0.1f64..10.0),
+    ) {
+        let mut profile = BandwidthProfile::new(Time::secs(100.0), Bw::gib_per_sec(10.0));
+        for (start, dur, bw) in reservations {
+            let end = (start + dur).min(100.0);
+            if end > start {
+                // Reservation may legitimately fail; never panic.
+                let _ = profile.reserve(
+                    Time::secs(start),
+                    Time::secs(end),
+                    Bw::gib_per_sec(bw),
+                );
+            }
+        }
+        let (from, dur, bw) = query;
+        if let Some(s) = profile.first_fit(
+            Time::secs(from),
+            Time::secs(dur),
+            Bw::gib_per_sec(bw),
+        ) {
+            prop_assert!(s.approx_ge(Time::secs(from)));
+            prop_assert!((s + Time::secs(dur)).approx_le(Time::secs(100.0)));
+            let min = profile.min_available(s, s + Time::secs(dur));
+            prop_assert!(
+                min.approx_ge(Bw::gib_per_sec(bw)),
+                "window at {s} has only {min}"
+            );
+        }
+    }
+
+    /// Random feasible 3-Partition instances (built from a known
+    /// partition) are solved by brute force, and the proof schedule
+    /// round-trips to a valid certificate.
+    #[test]
+    fn three_partition_roundtrip(
+        triples in prop::collection::vec((1u64..30, 1u64..30), 2..5),
+    ) {
+        // Build n triplets with a common sum: (a, b, B−a−b) for B chosen
+        // larger than every a+b.
+        let target = triples.iter().map(|&(a, b)| a + b).max().unwrap() + 5;
+        let mut items = Vec::new();
+        for &(a, b) in &triples {
+            items.extend([a, b, target - a - b]);
+        }
+        let instance = ThreePartition::new(target, items).unwrap();
+        let solution = instance.brute_force().expect("constructed feasible");
+        let schedule = instance.schedule_from_partition(&solution);
+        prop_assert_eq!(schedule.verify().unwrap(), 1.0);
+        let recovered = schedule.extract_partition().expect("valid schedule");
+        for t in &recovered {
+            let sum: u64 = t.iter().map(|&k| instance.items()[k]).sum();
+            prop_assert_eq!(sum, instance.target());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Scaled monotonic clock: maps wall time to simulated seconds.
+
+use iosched_model::Time;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock running `speedup` simulated seconds per real second.
+#[derive(Debug, Clone, Copy)]
+pub struct SimClock {
+    origin: Instant,
+    speedup: f64,
+}
+
+impl SimClock {
+    /// Start the clock now.
+    ///
+    /// # Panics
+    /// Panics unless `speedup > 0`.
+    #[must_use]
+    pub fn start(speedup: f64) -> Self {
+        assert!(speedup > 0.0 && speedup.is_finite(), "speedup must be positive");
+        Self {
+            origin: Instant::now(),
+            speedup,
+        }
+    }
+
+    /// Simulated seconds per real second.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        Time::secs(self.origin.elapsed().as_secs_f64() * self.speedup)
+    }
+
+    /// Real duration corresponding to a simulated duration.
+    #[must_use]
+    pub fn to_real(&self, sim: Time) -> Duration {
+        Duration::from_secs_f64((sim.as_secs() / self.speedup).max(0.0))
+    }
+
+    /// Sleep the current thread for a simulated duration.
+    pub fn sleep_sim(&self, sim: Time) {
+        let d = self.to_real(sim);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_speedup() {
+        let clock = SimClock::start(1_000.0);
+        std::thread::sleep(Duration::from_millis(10));
+        let t = clock.now();
+        // 10 ms real × 1000 = 10 sim seconds (generous tolerance for CI).
+        assert!(t.as_secs() >= 9.0, "clock too slow: {t}");
+        assert!(t.as_secs() < 200.0, "clock absurdly fast: {t}");
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        let clock = SimClock::start(500.0);
+        let d = clock.to_real(Time::secs(5.0));
+        assert!((d.as_secs_f64() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_sim_sleeps_scaled() {
+        let clock = SimClock::start(10_000.0);
+        let before = Instant::now();
+        clock.sleep_sim(Time::secs(50.0)); // 5 ms real
+        let elapsed = before.elapsed();
+        assert!(elapsed >= Duration::from_millis(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup must be positive")]
+    fn zero_speedup_panics() {
+        let _ = SimClock::start(0.0);
+    }
+}

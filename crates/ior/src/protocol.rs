@@ -1,0 +1,51 @@
+//! Messages between the application groups and the scheduler thread —
+//! the request/grant protocol of §5.1.
+
+use iosched_model::{AppId, Bytes, Time};
+
+/// Application → scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ToScheduler {
+    /// "I finished my compute phase and need to write `vol` bytes."
+    Request {
+        /// Requesting application.
+        app: AppId,
+        /// Volume of the I/O phase.
+        vol: Bytes,
+        /// Simulated time at which the request was issued.
+        at: Time,
+    },
+    /// "All my instances are done" (after the last `Complete`).
+    Finished {
+        /// Terminating application.
+        app: AppId,
+    },
+}
+
+/// Scheduler → application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ToApp {
+    /// The requested transfer has fully completed; resume computing.
+    Complete {
+        /// Simulated completion time, as observed by the scheduler.
+        at: Time,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_plain_data() {
+        let m = ToScheduler::Request {
+            app: AppId(3),
+            vol: Bytes::gib(1.0),
+            at: Time::secs(2.0),
+        };
+        let copy = m;
+        assert_eq!(m, copy);
+        let c = ToApp::Complete { at: Time::secs(9.0) };
+        assert_eq!(c, ToApp::Complete { at: Time::secs(9.0) });
+    }
+}

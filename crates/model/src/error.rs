@@ -1,0 +1,54 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Validation and construction errors for model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The platform description is internally inconsistent (e.g. zero
+    /// processors, non-positive bandwidth, NaN anywhere).
+    InvalidPlatform(String),
+    /// An application description is invalid (zero processors, no
+    /// instances, negative work or volume, …).
+    InvalidApp(String),
+    /// A set of applications does not fit the platform (e.g. `Σ β(k) > N`:
+    /// the paper assumes dedicated computational resources).
+    InfeasibleAssignment(String),
+    /// A schedule violates a model constraint; the payload says which.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidPlatform(msg) => write!(f, "invalid platform: {msg}"),
+            Self::InvalidApp(msg) => write!(f, "invalid application: {msg}"),
+            Self::InfeasibleAssignment(msg) => {
+                write!(f, "infeasible processor assignment: {msg}")
+            }
+            Self::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_payload() {
+        let e = ModelError::InvalidPlatform("zero processors".into());
+        assert!(e.to_string().contains("zero processors"));
+        let e = ModelError::InfeasibleAssignment("sum beta 10 > N 4".into());
+        assert!(e.to_string().contains("sum beta"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn Error) {}
+        takes_err(&ModelError::InvalidApp("x".into()));
+    }
+}

@@ -1,0 +1,213 @@
+//! The two optimization objectives of §2.2.
+//!
+//! * **SysEfficiency** (maximize): `(1/N) Σ_k β(k)·ρ̃(k)(d_k)` where
+//!   `N = Σ_k β(k)` — the amount of CPU operations per time unit squeezed
+//!   out of the platform's aggregated computational power.
+//! * **Dilation** (minimize): `max_k ρ(k)(d_k) / ρ̃(k)(d_k)` — the largest
+//!   slowdown imposed on any application (the classical *stretch*).
+//!
+//! The **upper limit** of SysEfficiency, `(1/N) Σ_k β(k)·ρ(k)(d_k)`, is what
+//! a congestion-free oracle would achieve; Figures 8–13 plot it as the
+//! ceiling of every congested moment.
+
+use crate::app::AppId;
+use crate::units::Time;
+use serde::{Deserialize, Serialize};
+
+/// Final per-application outcome of a schedule/simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AppOutcome {
+    /// Which application.
+    pub id: AppId,
+    /// `β(k)`.
+    pub procs: u64,
+    /// `r_k`.
+    pub release: Time,
+    /// `d_k`: completion time of the last instance.
+    pub finish: Time,
+    /// `ρ(k)(d_k)`: congestion-free efficiency.
+    pub rho: f64,
+    /// `ρ̃(k)(d_k)`: achieved efficiency.
+    pub rho_tilde: f64,
+}
+
+impl AppOutcome {
+    /// This application's slowdown `ρ/ρ̃ ≥ 1`.
+    #[must_use]
+    pub fn dilation(&self) -> f64 {
+        if self.rho_tilde <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.rho / self.rho_tilde).max(1.0)
+        }
+    }
+
+    /// Relative I/O throughput decrease vs dedicated mode, in `[0, 1]`.
+    ///
+    /// In the fluid model an application's end-to-end slowdown comes
+    /// entirely from its I/O phases: compute time is fixed at `Σw`, so the
+    /// extra time `(d−r) − Σ(w+tio)` is I/O wait. The effective I/O
+    /// throughput is `vol / (io_time + wait)`; the decrease relative to the
+    /// dedicated throughput `vol / io_time` is `1 − ρ̃·(1/ρ)·…` — computed
+    /// here directly from the efficiency ratio restricted to the I/O part.
+    /// Used to regenerate Fig. 1.
+    #[must_use]
+    pub fn io_throughput_decrease(&self) -> f64 {
+        // elapsed = Σw / ρ̃ ; ideal = Σw / ρ  (for apps that completed work)
+        // io_ideal   = ideal   − Σw = Σw (1/ρ − 1)
+        // io_actual  = elapsed − Σw = Σw (1/ρ̃ − 1)
+        // decrease   = 1 − io_ideal / io_actual.
+        if self.rho_tilde <= 0.0 || self.rho <= 0.0 {
+            return 0.0;
+        }
+        let ideal_io = 1.0 / self.rho - 1.0;
+        let actual_io = 1.0 / self.rho_tilde - 1.0;
+        if actual_io <= 0.0 || ideal_io <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - ideal_io / actual_io).clamp(0.0, 1.0)
+    }
+}
+
+/// Aggregated objective values for one scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectiveReport {
+    /// `(1/N) Σ β ρ̃(d)` with `N = Σ β`, in `[0, 1]`.
+    pub sys_efficiency: f64,
+    /// `(1/N) Σ β ρ(d)`: the congestion-free ceiling, in `[0, 1]`.
+    pub upper_limit: f64,
+    /// `max_k ρ/ρ̃ ≥ 1`.
+    pub dilation: f64,
+    /// Per-application detail.
+    pub per_app: Vec<AppOutcome>,
+}
+
+impl ObjectiveReport {
+    /// Aggregate outcomes into the paper's two objectives.
+    ///
+    /// # Panics
+    /// Panics on an empty outcome list: objectives are undefined.
+    #[must_use]
+    pub fn from_outcomes(per_app: Vec<AppOutcome>) -> Self {
+        assert!(!per_app.is_empty(), "objectives need at least one application");
+        let n: f64 = per_app.iter().map(|o| o.procs as f64).sum();
+        let sys_efficiency =
+            per_app.iter().map(|o| o.procs as f64 * o.rho_tilde).sum::<f64>() / n;
+        let upper_limit = per_app.iter().map(|o| o.procs as f64 * o.rho).sum::<f64>() / n;
+        let dilation = per_app
+            .iter()
+            .map(AppOutcome::dilation)
+            .fold(1.0_f64, f64::max);
+        Self {
+            sys_efficiency,
+            upper_limit,
+            dilation,
+            per_app,
+        }
+    }
+
+    /// SysEfficiency as a percentage (the unit of Tables 1–2).
+    #[must_use]
+    pub fn sys_efficiency_pct(&self) -> f64 {
+        self.sys_efficiency * 100.0
+    }
+
+    /// Upper limit as a percentage.
+    #[must_use]
+    pub fn upper_limit_pct(&self) -> f64 {
+        self.upper_limit * 100.0
+    }
+
+    /// Scenario makespan `max_k d_k`.
+    #[must_use]
+    pub fn makespan(&self) -> Time {
+        self.per_app
+            .iter()
+            .map(|o| o.finish)
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// Outcome of one application by id.
+    #[must_use]
+    pub fn app(&self, id: AppId) -> Option<&AppOutcome> {
+        self.per_app.iter().find(|o| o.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: usize, procs: u64, rho: f64, rho_tilde: f64) -> AppOutcome {
+        AppOutcome {
+            id: AppId(id),
+            procs,
+            release: Time::ZERO,
+            finish: Time::secs(100.0),
+            rho,
+            rho_tilde,
+        }
+    }
+
+    #[test]
+    fn report_matches_hand_computation() {
+        let r = ObjectiveReport::from_outcomes(vec![
+            outcome(0, 100, 0.8, 0.4), // dilation 2
+            outcome(1, 300, 0.9, 0.9), // dilation 1
+        ]);
+        // SysEff = (100·0.4 + 300·0.9) / 400 = 310/400 = 0.775.
+        assert!((r.sys_efficiency - 0.775).abs() < 1e-12);
+        // Upper = (100·0.8 + 300·0.9) / 400 = 350/400 = 0.875.
+        assert!((r.upper_limit - 0.875).abs() < 1e-12);
+        assert!((r.dilation - 2.0).abs() < 1e-12);
+        assert!((r.sys_efficiency_pct() - 77.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dilation_never_below_one() {
+        // Numerical noise can put rho_tilde a hair above rho.
+        let o = outcome(0, 1, 0.8, 0.8000001);
+        assert_eq!(o.dilation(), 1.0);
+    }
+
+    #[test]
+    fn zero_progress_app_dominates_dilation() {
+        let r = ObjectiveReport::from_outcomes(vec![
+            outcome(0, 1, 0.8, 0.8),
+            outcome(1, 1, 0.8, 0.0),
+        ]);
+        assert!(r.dilation.is_infinite());
+    }
+
+    #[test]
+    fn io_throughput_decrease_examples() {
+        // Dedicated execution: no decrease.
+        let o = outcome(0, 1, 0.8, 0.8);
+        assert!(o.io_throughput_decrease().abs() < 1e-12);
+        // Congested: ρ = 0.8 (io = 0.25 of compute), ρ̃ = 0.5 (io+wait = 1.0
+        // of compute) → I/O effectively 4× slower → 75 % decrease.
+        let o = outcome(0, 1, 0.8, 0.5);
+        assert!((o.io_throughput_decrease() - 0.75).abs() < 1e-12);
+        // Pure-compute app: no I/O, no decrease.
+        let o = outcome(0, 1, 1.0, 1.0);
+        assert_eq!(o.io_throughput_decrease(), 0.0);
+    }
+
+    #[test]
+    fn makespan_and_lookup() {
+        let mut a = outcome(0, 1, 0.8, 0.8);
+        a.finish = Time::secs(50.0);
+        let mut b = outcome(1, 1, 0.8, 0.8);
+        b.finish = Time::secs(70.0);
+        let r = ObjectiveReport::from_outcomes(vec![a, b]);
+        assert!(r.makespan().approx_eq(Time::secs(70.0)));
+        assert!(r.app(AppId(1)).is_some());
+        assert!(r.app(AppId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_report_panics() {
+        let _ = ObjectiveReport::from_outcomes(vec![]);
+    }
+}

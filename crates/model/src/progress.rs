@@ -1,0 +1,325 @@
+//! Per-application progress accounting: the application efficiency
+//! `ρ̃(k)(t)` and its congestion-free optimum `ρ(k)(t)` from §2.2.
+//!
+//! ```text
+//! ρ̃(k)(t) = Σ_{i ≤ n(k)(t)} w(k,i) / (t − r_k)
+//! ρ(k)(t)  = Σ_{i ≤ n(k)(t)} w(k,i) / Σ_{i ≤ n(k)(t)} (w(k,i) + time_io(k,i))
+//! ```
+//!
+//! where `n(k)(t)` is the number of **completed** instances at time `t`.
+//! Because `t − r_k ≥ Σ (w + time_io)` always holds, `ρ̃ ≤ ρ` and the
+//! dilation ratio `ρ̃/ρ ∈ [0, 1]` (1 = perfect progress). The online
+//! heuristics of §3.1 order applications by `ρ̃/ρ` (MinDilation) or
+//! `β·ρ̃` (MaxSysEff); both keys are provided here so every scheduler and
+//! simulator in the workspace shares one definition.
+
+use crate::app::{AppId, AppSpec};
+use crate::platform::Platform;
+use crate::units::{Time, EPS};
+use serde::{Deserialize, Serialize};
+
+/// Running progress state for one application.
+///
+/// The owner (simulator or live scheduler) calls
+/// [`AppProgress::complete_instance`] each time an instance's I/O transfer
+/// finishes, and [`AppProgress::finish`] when the last instance completes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppProgress {
+    id: AppId,
+    procs: u64,
+    release: Time,
+    /// `work_prefix[i]` = Σ_{j < i} w(k,j); length `n_tot + 1`.
+    work_prefix: Vec<Time>,
+    /// `span_prefix[i]` = Σ_{j < i} (w(k,j) + time_io(k,j)); length `n_tot + 1`.
+    span_prefix: Vec<Time>,
+    completed: usize,
+    finish: Option<Time>,
+}
+
+impl AppProgress {
+    /// Build the prefix tables for `spec` against `platform`.
+    #[must_use]
+    pub fn new(spec: &AppSpec, platform: &Platform) -> Self {
+        let n = spec.instance_count();
+        let mut work_prefix = Vec::with_capacity(n + 1);
+        let mut span_prefix = Vec::with_capacity(n + 1);
+        work_prefix.push(Time::ZERO);
+        span_prefix.push(Time::ZERO);
+        let mut work_acc = Time::ZERO;
+        let mut span_acc = Time::ZERO;
+        for inst in spec.pattern().iter() {
+            let tio = platform.dedicated_io_time(spec.procs(), inst.vol);
+            work_acc += inst.work;
+            span_acc += inst.work + tio;
+            work_prefix.push(work_acc);
+            span_prefix.push(span_acc);
+        }
+        Self {
+            id: spec.id(),
+            procs: spec.procs(),
+            release: spec.release(),
+            work_prefix,
+            span_prefix,
+            completed: 0,
+            finish: None,
+        }
+    }
+
+    /// Application id.
+    #[must_use]
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// `β(k)`.
+    #[must_use]
+    pub fn procs(&self) -> u64 {
+        self.procs
+    }
+
+    /// `r_k`.
+    #[must_use]
+    pub fn release(&self) -> Time {
+        self.release
+    }
+
+    /// Number of completed instances `n(k)(t)`.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Total number of instances `n_tot(k)`.
+    #[must_use]
+    pub fn total_instances(&self) -> usize {
+        self.work_prefix.len() - 1
+    }
+
+    /// `d_k` if the application has finished.
+    #[must_use]
+    pub fn finish_time(&self) -> Option<Time> {
+        self.finish
+    }
+
+    /// Work completed so far: `Σ_{i ≤ n(t)} w(k,i)`.
+    #[must_use]
+    pub fn work_done(&self) -> Time {
+        self.work_prefix[self.completed]
+    }
+
+    /// Congestion-free span of the completed instances:
+    /// `Σ_{i ≤ n(t)} (w + time_io)`.
+    #[must_use]
+    pub fn ideal_span_done(&self) -> Time {
+        self.span_prefix[self.completed]
+    }
+
+    /// Record the completion of the next instance (I/O transfer finished).
+    ///
+    /// # Panics
+    /// Panics if all instances were already completed.
+    pub fn complete_instance(&mut self) {
+        assert!(
+            self.completed < self.total_instances(),
+            "{}: instance completion beyond n_tot",
+            self.id
+        );
+        self.completed += 1;
+    }
+
+    /// Mark the application finished at `t` (= `d_k`).
+    ///
+    /// # Panics
+    /// Panics unless all instances completed.
+    pub fn finish(&mut self, t: Time) {
+        assert_eq!(
+            self.completed,
+            self.total_instances(),
+            "{}: finished before completing all instances",
+            self.id
+        );
+        self.finish = Some(t);
+    }
+
+    /// True once [`AppProgress::finish`] has been called.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finish.is_some()
+    }
+
+    /// The application efficiency `ρ̃(k)(t)`.
+    ///
+    /// Conventions at the boundary:
+    /// * before (or at) release, or at `t == r_k`: no time has elapsed and
+    ///   no progress was expected — defined as the current `ρ(k)(t)` so the
+    ///   dilation ratio starts at 1;
+    /// * after release with no completed instance: 0.
+    #[must_use]
+    pub fn rho_tilde(&self, t: Time) -> f64 {
+        let elapsed = t - self.release;
+        if elapsed.get() <= EPS {
+            return self.rho(t);
+        }
+        let done = self.work_done();
+        done / elapsed
+    }
+
+    /// The optimal (congestion-free) efficiency `ρ(k)(t)` over the
+    /// completed instances. With no completed instance yet, the first
+    /// instance's dedicated ratio is used (for periodic applications this
+    /// equals the steady-state value).
+    #[must_use]
+    pub fn rho(&self, _t: Time) -> f64 {
+        let upto = if self.completed == 0 {
+            1 // expectation over the first instance
+        } else {
+            self.completed
+        };
+        let work = self.work_prefix[upto];
+        let span = self.span_prefix[upto];
+        if span.get() <= 0.0 {
+            1.0
+        } else {
+            work / span
+        }
+    }
+
+    /// The dilation ratio `ρ̃(k)(t) / ρ(k)(t) ∈ [0, 1]` (1 = on schedule).
+    /// This is the MinDilation ordering key (§3.1: "favors applications
+    /// with low values of ρ̃/ρ").
+    #[must_use]
+    pub fn dilation_ratio(&self, t: Time) -> f64 {
+        let rho = self.rho(t);
+        if rho <= 0.0 {
+            return 1.0;
+        }
+        (self.rho_tilde(t) / rho).min(1.0)
+    }
+
+    /// The MaxSysEff ordering key `β(k)·ρ̃(k)(t)` (§3.1: "favors
+    /// applications with low values of β(k)ρ̃(k)(t)").
+    #[must_use]
+    pub fn syseff_key(&self, t: Time) -> f64 {
+        self.procs as f64 * self.rho_tilde(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Bw, Bytes};
+
+    fn platform() -> Platform {
+        Platform::new("test", 1_000, Bw::gib_per_sec(0.1), Bw::gib_per_sec(10.0))
+    }
+
+    /// App on 100 procs (bw 10 GiB/s): w = 8 s, vol = 20 GiB → tio = 2 s,
+    /// ρ = 0.8, three instances.
+    fn app() -> AppSpec {
+        AppSpec::periodic(0, Time::ZERO, 100, Time::secs(8.0), Bytes::gib(20.0), 3)
+    }
+
+    #[test]
+    fn prefixes_accumulate() {
+        let p = AppProgress::new(&app(), &platform());
+        assert_eq!(p.total_instances(), 3);
+        assert!(p.work_done().is_zero());
+        assert!(p.ideal_span_done().is_zero());
+    }
+
+    #[test]
+    fn rho_tilde_tracks_dedicated_execution() {
+        let mut p = AppProgress::new(&app(), &platform());
+        // At release: ratio defined as 1.
+        assert!((p.dilation_ratio(Time::ZERO) - 1.0).abs() < 1e-12);
+        // Mid-first-instance, nothing completed.
+        assert_eq!(p.rho_tilde(Time::secs(5.0)), 0.0);
+        // First instance completes at t = 10 s in dedicated mode.
+        p.complete_instance();
+        let rt = p.rho_tilde(Time::secs(10.0));
+        assert!((rt - 0.8).abs() < 1e-12, "rho_tilde {rt}");
+        assert!((p.dilation_ratio(Time::secs(10.0)) - 1.0).abs() < 1e-12);
+        // If the same completion had happened at t = 20 s (congestion),
+        // ρ̃ halves and the ratio drops to 0.5.
+        assert!((p.rho_tilde(Time::secs(20.0)) - 0.4).abs() < 1e-12);
+        assert!((p.dilation_ratio(Time::secs(20.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_is_constant_for_periodic_apps() {
+        let mut p = AppProgress::new(&app(), &platform());
+        assert!((p.rho(Time::ZERO) - 0.8).abs() < 1e-12);
+        p.complete_instance();
+        assert!((p.rho(Time::secs(10.0)) - 0.8).abs() < 1e-12);
+        p.complete_instance();
+        assert!((p.rho(Time::secs(100.0)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_varies_for_heterogeneous_apps() {
+        use crate::app::{Instance, InstancePattern};
+        let spec = AppSpec::new(
+            0,
+            Time::ZERO,
+            100,
+            InstancePattern::Explicit(vec![
+                // ρ over first instance: 8 / 10 = 0.8
+                Instance::new(Time::secs(8.0), Bytes::gib(20.0)),
+                // ρ over both: 16 / (10 + 2 + 8... ) → w=8,tio=... vol 80 GiB → 8 s
+                Instance::new(Time::secs(8.0), Bytes::gib(80.0)),
+            ]),
+        );
+        let mut p = AppProgress::new(&spec, &platform());
+        p.complete_instance();
+        assert!((p.rho(Time::ZERO) - 0.8).abs() < 1e-12);
+        p.complete_instance();
+        // Σw = 16, Σ(w+tio) = 10 + 16 = 26.
+        assert!((p.rho(Time::ZERO) - 16.0 / 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn syseff_key_scales_with_procs() {
+        let mut p = AppProgress::new(&app(), &platform());
+        p.complete_instance();
+        let key = p.syseff_key(Time::secs(10.0));
+        assert!((key - 100.0 * 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_lifecycle() {
+        let mut p = AppProgress::new(&app(), &platform());
+        assert!(!p.is_finished());
+        for _ in 0..3 {
+            p.complete_instance();
+        }
+        p.finish(Time::secs(30.0));
+        assert!(p.is_finished());
+        assert_eq!(p.finish_time(), Some(Time::secs(30.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond n_tot")]
+    fn over_completion_panics() {
+        let mut p = AppProgress::new(&app(), &platform());
+        for _ in 0..4 {
+            p.complete_instance();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before completing")]
+    fn premature_finish_panics() {
+        let mut p = AppProgress::new(&app(), &platform());
+        p.finish(Time::secs(1.0));
+    }
+
+    #[test]
+    fn dilation_ratio_clamped_to_one() {
+        // Completing "too fast" (numerically) must not produce ratios > 1.
+        let mut p = AppProgress::new(&app(), &platform());
+        p.complete_instance();
+        // Completion recorded at t slightly *before* the ideal 10 s.
+        let r = p.dilation_ratio(Time::secs(9.9999));
+        assert!(r <= 1.0);
+    }
+}

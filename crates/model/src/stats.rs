@@ -1,0 +1,220 @@
+//! Descriptive statistics used by every experiment runner.
+//!
+//! The paper reports means over 200 random application mixes (Fig. 6),
+//! averages over 56/11 congested moments (Tables 1–2), and distributions of
+//! per-application throughput decrease (Fig. 1). This module provides the
+//! small, allocation-conscious summary machinery those reports need.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty slice.
+    #[must_use]
+    pub fn from_slice(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        })
+    }
+}
+
+/// `p`-th percentile (0–100) of a **sorted** sample, linear interpolation
+/// between closest ranks.
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 100]`.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// `p`-th percentile of an unsorted sample (copies + sorts).
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, p)
+}
+
+/// Arithmetic mean; 0 for an empty slice (convenient for report rows).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of strictly positive values; 0 if any value ≤ 0 or the
+/// slice is empty. Used for cross-case slowdown aggregation.
+#[must_use]
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Histogram with uniform bins over `[lo, hi)`; values outside are clamped
+/// into the terminal bins. Used for the Fig. 1 distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower bound of the first bin.
+    pub lo: f64,
+    /// Exclusive upper bound of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` uniform bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Insert one observation.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterator of `(bin_center, count)` pairs.
+    pub fn centers(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample std of 1..4 is sqrt(5/3).
+        assert!((s.std - (5.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::from_slice(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = Summary::from_slice(&[7.0]).unwrap();
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_of_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert_eq!(geo_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(geo_mean(&[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.add(0.05); // bin 0
+        h.add(0.95); // bin 9
+        h.add(-5.0); // clamped to bin 0
+        h.add(5.0); // clamped to bin 9
+        h.add(1.0); // exactly hi → clamped to bin 9
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[9], 3);
+        assert_eq!(h.total(), 5);
+        let centers: Vec<f64> = h.centers().map(|(c, _)| c).collect();
+        assert!((centers[0] - 0.05).abs() < 1e-12);
+        assert!((centers[9] - 0.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,471 @@
+//! Strongly-typed scalar units: [`Time`] (seconds), [`Bytes`] and [`Bw`]
+//! (bytes per second).
+//!
+//! The fluid simulation manipulates real-valued times, volumes and
+//! bandwidths; all three are `f64` newtypes so that dimensional errors
+//! (adding a bandwidth to a volume, say) are compile errors. Cross-unit
+//! arithmetic implements the only physically meaningful combinations:
+//!
+//! * `Bytes / Bw   = Time`  — how long a transfer takes,
+//! * `Bw    * Time = Bytes` — how much is transferred,
+//! * `Bytes / Time = Bw`    — average throughput.
+//!
+//! Floating-point comparisons throughout the workspace go through the
+//! `approx_*` helpers with a single global tolerance [`EPS`]; the simulator
+//! additionally clamps residual volumes below `EPS` to zero so that rounding
+//! never creates phantom events.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Global relative tolerance for unit comparisons.
+///
+/// Comparisons use a mixed absolute/relative tolerance
+/// `EPS · max(1, |a|, |b|)`: for second-scale times this is an absolute
+/// nano-tolerance, while for byte-scale volumes (1 GiB ≈ 2³⁰) it scales
+/// with the magnitude so accumulated f64 rounding (≲ 2⁻⁵² relative per
+/// operation) can never flip a comparison.
+pub const EPS: f64 = 1e-9;
+
+/// Mixed tolerance for a comparison of `a` and `b`.
+#[inline]
+#[must_use]
+fn tol(a: f64, b: f64) -> f64 {
+    EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+/// `a ≈ b` within the mixed tolerance.
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= tol(a, b)
+}
+
+/// `a < b` strictly, beyond the mixed tolerance.
+#[inline]
+#[must_use]
+pub fn approx_lt(a: f64, b: f64) -> bool {
+    a < b - tol(a, b)
+}
+
+/// `a ≤ b` within the mixed tolerance.
+#[inline]
+#[must_use]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + tol(a, b)
+}
+
+/// `a > b` strictly, beyond the mixed tolerance.
+#[inline]
+#[must_use]
+pub fn approx_gt(a: f64, b: f64) -> bool {
+    a > b + tol(a, b)
+}
+
+/// `a ≥ b` within the mixed tolerance.
+#[inline]
+#[must_use]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b - tol(a, b)
+}
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $unit_label:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Positive infinity (used as "no deadline" / "unbounded").
+            pub const INFINITY: Self = Self(f64::INFINITY);
+
+            /// Wrap a raw `f64`. Callers are responsible for the unit
+            /// convention documented on the type.
+            #[inline]
+            #[must_use]
+            pub const fn new(v: f64) -> Self {
+                Self(v)
+            }
+
+            /// Raw value accessor.
+            #[inline]
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// True when the value is finite (not NaN and not infinite).
+            #[inline]
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// True when the value is within [`EPS`] of zero.
+            #[inline]
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                approx_eq(self.0, 0.0)
+            }
+
+            /// Approximate equality within [`EPS`].
+            #[inline]
+            #[must_use]
+            pub fn approx_eq(self, other: Self) -> bool {
+                approx_eq(self.0, other.0)
+            }
+
+            /// Strict less-than beyond [`EPS`].
+            #[inline]
+            #[must_use]
+            pub fn approx_lt(self, other: Self) -> bool {
+                approx_lt(self.0, other.0)
+            }
+
+            /// Less-or-equal within [`EPS`].
+            #[inline]
+            #[must_use]
+            pub fn approx_le(self, other: Self) -> bool {
+                approx_le(self.0, other.0)
+            }
+
+            /// Strict greater-than beyond [`EPS`].
+            #[inline]
+            #[must_use]
+            pub fn approx_gt(self, other: Self) -> bool {
+                approx_gt(self.0, other.0)
+            }
+
+            /// Greater-or-equal within [`EPS`].
+            #[inline]
+            #[must_use]
+            pub fn approx_ge(self, other: Self) -> bool {
+                approx_ge(self.0, other.0)
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamp approximately-zero values (within the mixed tolerance,
+            /// i.e. the absolute [`EPS`] at magnitudes ≤ 1) to exactly
+            /// zero, so rounding residue never schedules a phantom event.
+            #[inline]
+            #[must_use]
+            pub fn snap_zero(self) -> Self {
+                if approx_eq(self.0, 0.0) {
+                    Self(0.0)
+                } else {
+                    self
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            #[inline]
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            #[inline]
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.6}{}", self.0, $unit_label)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// A point in (or duration of) simulated time, in **seconds**.
+    Time,
+    "s"
+);
+unit_newtype!(
+    /// A data volume, in **bytes** (convenience constructors use binary
+    /// gigabytes, the unit the paper reasons in).
+    Bytes,
+    "B"
+);
+unit_newtype!(
+    /// A bandwidth, in **bytes per second**.
+    Bw,
+    "B/s"
+);
+
+impl Time {
+    /// A duration expressed in seconds.
+    #[inline]
+    #[must_use]
+    pub const fn secs(s: f64) -> Self {
+        Self::new(s)
+    }
+
+    /// Duration in seconds as a raw `f64`.
+    #[inline]
+    #[must_use]
+    pub const fn as_secs(self) -> f64 {
+        self.get()
+    }
+}
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+impl Bytes {
+    /// A volume expressed in binary gigabytes (GiB).
+    #[inline]
+    #[must_use]
+    pub fn gib(g: f64) -> Self {
+        Self::new(g * GIB)
+    }
+
+    /// Volume in binary gigabytes.
+    #[inline]
+    #[must_use]
+    pub fn as_gib(self) -> f64 {
+        self.get() / GIB
+    }
+}
+
+impl Bw {
+    /// A bandwidth expressed in binary gigabytes per second (GiB/s).
+    #[inline]
+    #[must_use]
+    pub fn gib_per_sec(g: f64) -> Self {
+        Self::new(g * GIB)
+    }
+
+    /// Bandwidth in binary gigabytes per second.
+    #[inline]
+    #[must_use]
+    pub fn as_gib_per_sec(self) -> f64 {
+        self.get() / GIB
+    }
+}
+
+impl Div<Bw> for Bytes {
+    type Output = Time;
+    /// Transfer duration: `vol / bandwidth`. Division by zero bandwidth
+    /// yields `Time::INFINITY`, which the simulator treats as "never".
+    #[inline]
+    fn div(self, rhs: Bw) -> Time {
+        if rhs.get() <= 0.0 {
+            Time::INFINITY
+        } else {
+            Time::new(self.get() / rhs.get())
+        }
+    }
+}
+
+impl Div<Time> for Bytes {
+    type Output = Bw;
+    #[inline]
+    fn div(self, rhs: Time) -> Bw {
+        if rhs.get() <= 0.0 {
+            Bw::INFINITY
+        } else {
+            Bw::new(self.get() / rhs.get())
+        }
+    }
+}
+
+impl Mul<Time> for Bw {
+    type Output = Bytes;
+    #[inline]
+    fn mul(self, rhs: Time) -> Bytes {
+        Bytes::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Bw> for Time {
+    type Output = Bytes;
+    #[inline]
+    fn mul(self, rhs: Bw) -> Bytes {
+        Bytes::new(self.get() * rhs.get())
+    }
+}
+
+/// Total order on `f64`-backed units for use in sorts and heaps.
+///
+/// NaN is considered greater than everything so that corrupted values sink
+/// to the end of ascending sorts where validation can catch them; the
+/// simulator never produces NaN in the first place (validated on input).
+#[inline]
+#[must_use]
+pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_roundtrip() {
+        let vol = Bytes::gib(10.0);
+        let bw = Bw::gib_per_sec(2.0);
+        let t = vol / bw;
+        assert!(t.approx_eq(Time::secs(5.0)));
+        assert!((bw * t).approx_eq(vol));
+    }
+
+    #[test]
+    fn zero_bandwidth_is_never() {
+        let t = Bytes::gib(1.0) / Bw::ZERO;
+        assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn snap_zero_clamps_residue() {
+        let v = Bytes::new(EPS / 2.0);
+        assert!(v.snap_zero().is_zero());
+        let v = Bytes::new(EPS * 10.0);
+        assert!(!v.snap_zero().is_zero());
+        let v = Bytes::new(-EPS / 2.0);
+        assert_eq!(v.snap_zero().get(), 0.0);
+    }
+
+    #[test]
+    fn approximate_comparisons() {
+        let a = Time::secs(1.0);
+        let b = Time::secs(1.0 + EPS / 2.0);
+        assert!(a.approx_eq(b));
+        assert!(a.approx_le(b));
+        assert!(a.approx_ge(b));
+        assert!(!a.approx_lt(b));
+        assert!(!a.approx_gt(b));
+        let c = Time::secs(2.0);
+        assert!(a.approx_lt(c));
+        assert!(c.approx_gt(a));
+    }
+
+    #[test]
+    fn arithmetic_and_sums() {
+        let xs = [Time::secs(1.0), Time::secs(2.0), Time::secs(3.0)];
+        let s: Time = xs.iter().sum();
+        assert!(s.approx_eq(Time::secs(6.0)));
+        assert!((Time::secs(4.0) - Time::secs(1.5)).approx_eq(Time::secs(2.5)));
+        assert!((Time::secs(2.0) * 3.0).approx_eq(Time::secs(6.0)));
+        assert!((3.0 * Time::secs(2.0)).approx_eq(Time::secs(6.0)));
+        assert!((Time::secs(6.0) / 3.0).approx_eq(Time::secs(2.0)));
+        let ratio: f64 = Time::secs(6.0) / Time::secs(3.0);
+        assert!((ratio - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn display_carries_unit_suffix() {
+        assert!(format!("{}", Time::secs(1.0)).ends_with('s'));
+        assert!(format!("{}", Bw::gib_per_sec(1.0)).ends_with("B/s"));
+    }
+
+    #[test]
+    fn gib_conversions_roundtrip() {
+        let v = Bytes::gib(3.5);
+        assert!((v.as_gib() - 3.5).abs() < 1e-12);
+        let bw = Bw::gib_per_sec(0.05);
+        assert!((bw.as_gib_per_sec() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let t = Time::secs(42.5);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "42.5");
+        let back: Time = serde_json::from_str(&json).unwrap();
+        assert!(back.approx_eq(t));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the model substrate: unit arithmetic, progress
+//! accounting and objective aggregation.
+
+use iosched_model::{
+    stats, AppId, AppOutcome, AppProgress, AppSpec, Bw, Bytes, ObjectiveReport, Platform, Time,
+};
+use proptest::prelude::*;
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    (100u64..10_000, 0.01f64..0.5, 1.0f64..100.0).prop_map(|(procs, b, total)| {
+        Platform::new("p", procs, Bw::gib_per_sec(b), Bw::gib_per_sec(total))
+    })
+}
+
+proptest! {
+    /// Transfer-time arithmetic: `vol / (vol / bw) == bw` and
+    /// `bw · (vol / bw) == vol` for positive quantities.
+    #[test]
+    fn unit_arithmetic_roundtrips(vol_gib in 0.001f64..1e4, bw_gib in 0.001f64..1e3) {
+        let vol = Bytes::gib(vol_gib);
+        let bw = Bw::gib_per_sec(bw_gib);
+        let t = vol / bw;
+        prop_assert!((bw * t).approx_eq(vol));
+        prop_assert!((vol / t).approx_eq(bw));
+    }
+
+    /// `app_max_bw` is monotone in β and capped by `B`.
+    #[test]
+    fn app_max_bw_monotone_and_capped(platform in arb_platform(), procs in 1u64..20_000) {
+        let a = platform.app_max_bw(procs);
+        let b = platform.app_max_bw(procs + 1);
+        prop_assert!(a.approx_le(b));
+        prop_assert!(a.approx_le(platform.total_bw));
+    }
+
+    /// Dedicated I/O time is monotone in volume and anti-monotone in β.
+    #[test]
+    fn dedicated_io_time_monotonicity(
+        platform in arb_platform(),
+        procs in 1u64..10_000,
+        vol in 0.01f64..1e3,
+    ) {
+        let t1 = platform.dedicated_io_time(procs, Bytes::gib(vol));
+        let t2 = platform.dedicated_io_time(procs, Bytes::gib(vol * 2.0));
+        prop_assert!(t1.approx_le(t2));
+        let t3 = platform.dedicated_io_time(procs * 2, Bytes::gib(vol));
+        prop_assert!(t3.approx_le(t1));
+    }
+
+    /// For any completion history, ρ̃(t) ≤ ρ(t) whenever `t − r` is at
+    /// least the ideal span of the completed instances (i.e. whenever the
+    /// history is physically possible).
+    #[test]
+    fn rho_tilde_never_exceeds_rho(
+        procs in 1u64..2_000,
+        w in 0.1f64..100.0,
+        vol in 0.01f64..100.0,
+        n in 1usize..10,
+        completed in 0usize..10,
+        slack in 0.0f64..500.0,
+    ) {
+        let completed = completed.min(n);
+        let platform = Platform::new("p", 4_000, Bw::gib_per_sec(0.05), Bw::gib_per_sec(10.0));
+        let spec = AppSpec::periodic(0, Time::ZERO, procs, Time::secs(w),
+                                     Bytes::gib(vol), n);
+        let mut progress = AppProgress::new(&spec, &platform);
+        for _ in 0..completed {
+            progress.complete_instance();
+        }
+        // Earliest physically possible time for this history.
+        let t = progress.ideal_span_done() + Time::secs(slack);
+        prop_assert!(progress.rho_tilde(t) <= progress.rho(t) + 1e-9);
+        prop_assert!(progress.dilation_ratio(t) <= 1.0);
+        prop_assert!(progress.dilation_ratio(t) >= 0.0);
+    }
+
+    /// ObjectiveReport aggregates are bounded by their per-app parts.
+    #[test]
+    fn report_bounds(
+        rhos in prop::collection::vec((0.01f64..1.0, 0.0f64..1.0, 1u64..5_000), 1..12),
+    ) {
+        let outcomes: Vec<AppOutcome> = rhos
+            .iter()
+            .enumerate()
+            .map(|(i, &(rho, frac, procs))| AppOutcome {
+                id: AppId(i),
+                procs,
+                release: Time::ZERO,
+                finish: Time::secs(100.0),
+                rho,
+                rho_tilde: rho * frac, // ρ̃ ≤ ρ by construction
+            })
+            .collect();
+        let report = ObjectiveReport::from_outcomes(outcomes.clone());
+        prop_assert!(report.sys_efficiency <= report.upper_limit + 1e-12);
+        let max_dil = outcomes.iter().map(AppOutcome::dilation).fold(1.0, f64::max);
+        prop_assert!(
+            report.dilation == max_dil
+            || (report.dilation - max_dil).abs() < 1e-12
+            || (report.dilation.is_infinite() && max_dil.is_infinite())
+        );
+    }
+
+    /// Summary statistics are internally consistent.
+    #[test]
+    fn summary_consistency(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = stats::Summary::from_slice(&xs).unwrap();
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_monotone(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = stats::percentile(&xs, lo);
+        let b = stats::percentile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    /// Histogram never loses observations.
+    #[test]
+    fn histogram_counts_everything(xs in prop::collection::vec(-2.0f64..3.0, 0..300)) {
+        let mut h = stats::Histogram::new(0.0, 1.0, 7);
+        for &x in &xs {
+            h.add(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+}

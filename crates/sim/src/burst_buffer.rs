@@ -1,0 +1,226 @@
+//! Fluid burst-buffer dynamics.
+//!
+//! §4.4: "burst buffers act as additional bandwidth to disks: when
+//! congestion occurs, as long as the burst buffers are not full, the
+//! applications can resume their execution right after they transferred
+//! their I/O volume to the burst buffer, instead of waiting for the I/O
+//! network to be available."
+//!
+//! Model: applications write into the buffer through an *absorb* pipe of
+//! bandwidth `absorb_bw ≫ B`; the buffer drains toward the PFS at `B`.
+//! The level follows `dL/dt = inflow − B` (clamped at 0 from below). When
+//! the level reaches the capacity the ingest pipe collapses to the drain
+//! bandwidth `B` (back-pressure); it re-opens once the level falls below a
+//! small hysteresis margin, which prevents Zeno chatter at the full mark.
+
+use iosched_model::{BurstBufferSpec, Bw, Bytes, Time};
+
+/// Fraction of capacity the level must drop below full before the absorb
+/// pipe re-opens.
+const HYSTERESIS: f64 = 0.01;
+
+/// Levels below one byte are physically empty. Without this clamp a
+/// residual sub-byte level paired with a huge drain bandwidth predicts a
+/// drain event ~1e-12 s away — an increment that vanishes under f64 time
+/// addition and would freeze the simulation clock.
+const SUB_BYTE: f64 = 1.0;
+
+/// Mutable burst-buffer state inside a simulation.
+#[derive(Debug, Clone)]
+pub struct BurstBufferState {
+    spec: BurstBufferSpec,
+    level: Bytes,
+    throttled: bool,
+}
+
+impl BurstBufferState {
+    /// Empty buffer.
+    #[must_use]
+    pub fn new(spec: BurstBufferSpec) -> Self {
+        Self {
+            spec,
+            level: Bytes::ZERO,
+            throttled: false,
+        }
+    }
+
+    /// Current fill level.
+    #[must_use]
+    pub fn level(&self) -> Bytes {
+        self.level
+    }
+
+    /// True while back-pressure caps ingest at the PFS drain bandwidth.
+    #[must_use]
+    pub fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// Ingest capacity currently offered to the applications.
+    #[must_use]
+    pub fn ingest_capacity(&self, pfs_bw: Bw) -> Bw {
+        if self.throttled {
+            pfs_bw
+        } else {
+            self.spec.absorb_bw
+        }
+    }
+
+    /// Level the buffer must fall below to lift the throttle.
+    fn reopen_level(&self) -> Bytes {
+        self.spec.capacity * (1.0 - HYSTERESIS)
+    }
+
+    /// Net fill rate given aggregate application inflow and PFS drain.
+    fn net_rate(&self, inflow: Bw, pfs_bw: Bw) -> Bw {
+        let net = inflow - pfs_bw;
+        if self.level.is_zero() && net.get() < 0.0 {
+            Bw::ZERO // an empty buffer cannot drain below zero
+        } else {
+            net
+        }
+    }
+
+    /// Time until the next buffer event (full / reopen threshold / empty)
+    /// under constant `inflow`, or `None` if the level is steady.
+    #[must_use]
+    pub fn next_event_in(&self, inflow: Bw, pfs_bw: Bw) -> Option<Time> {
+        let net = self.net_rate(inflow, pfs_bw);
+        if net.get() > 0.0 && !self.throttled {
+            let headroom = self.spec.capacity - self.level;
+            if headroom.get() <= 0.0 {
+                return Some(Time::ZERO);
+            }
+            return Some(headroom / net);
+        }
+        if net.get() < 0.0 {
+            let floor = if self.throttled {
+                self.reopen_level()
+            } else {
+                Bytes::ZERO
+            };
+            let drop = self.level - floor;
+            if drop.get() <= 0.0 {
+                return Some(Time::ZERO);
+            }
+            return Some(drop / (-1.0 * net));
+        }
+        None
+    }
+
+    /// Advance the level by `dt` under constant `inflow`; returns `true`
+    /// when the throttle state flipped (the engine must re-allocate).
+    pub fn advance(&mut self, dt: Time, inflow: Bw, pfs_bw: Bw) -> bool {
+        let net = self.net_rate(inflow, pfs_bw);
+        self.level = (self.level + net * dt).max(Bytes::ZERO).snap_zero();
+        if self.level.get() < SUB_BYTE {
+            self.level = Bytes::ZERO;
+        }
+        if self.level.approx_ge(self.spec.capacity) {
+            self.level = self.spec.capacity;
+            if !self.throttled {
+                self.throttled = true;
+                return true;
+            }
+        } else if self.throttled && self.level.approx_le(self.reopen_level()) {
+            self.throttled = false;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BurstBufferSpec {
+        BurstBufferSpec {
+            capacity: Bytes::gib(100.0),
+            absorb_bw: Bw::gib_per_sec(40.0),
+        }
+    }
+
+    const PFS: Bw = Bw::new(10.0 * 1024.0 * 1024.0 * 1024.0); // 10 GiB/s
+
+    #[test]
+    fn empty_buffer_passes_through_low_inflow() {
+        let bb = BurstBufferState::new(spec());
+        // inflow 5 < drain 10: level steady at 0 → no event.
+        assert!(bb.next_event_in(Bw::gib_per_sec(5.0), PFS).is_none());
+    }
+
+    #[test]
+    fn fills_under_burst_and_throttles() {
+        let mut bb = BurstBufferState::new(spec());
+        // inflow 30, drain 10 → net +20 GiB/s → full in 5 s.
+        let t = bb.next_event_in(Bw::gib_per_sec(30.0), PFS).unwrap();
+        assert!(t.approx_eq(Time::secs(5.0)));
+        let flipped = bb.advance(t, Bw::gib_per_sec(30.0), PFS);
+        assert!(flipped, "reaching capacity must flip the throttle");
+        assert!(bb.is_throttled());
+        assert!(bb.ingest_capacity(PFS).approx_eq(PFS));
+    }
+
+    #[test]
+    fn reopens_after_hysteresis_drain() {
+        let mut bb = BurstBufferState::new(spec());
+        bb.advance(Time::secs(5.0), Bw::gib_per_sec(30.0), PFS);
+        assert!(bb.is_throttled());
+        // Now inflow 2 < drain 10 → net −8; must drain 1 GiB (1 % of 100)
+        // to re-open: 0.125 s.
+        let t = bb.next_event_in(Bw::gib_per_sec(2.0), PFS).unwrap();
+        assert!(t.approx_eq(Time::secs(0.125)));
+        let flipped = bb.advance(t, Bw::gib_per_sec(2.0), PFS);
+        assert!(flipped, "crossing the reopen threshold must re-allocate");
+        assert!(!bb.is_throttled());
+        assert!(bb.ingest_capacity(PFS).approx_eq(Bw::gib_per_sec(40.0)));
+    }
+
+    #[test]
+    fn drains_to_empty_without_flipping() {
+        let mut bb = BurstBufferState::new(spec());
+        bb.advance(Time::secs(2.0), Bw::gib_per_sec(30.0), PFS); // level 40
+        assert!(!bb.is_throttled());
+        // inflow 0 → net −10 → empty in 4 s.
+        let t = bb.next_event_in(Bw::ZERO, PFS).unwrap();
+        assert!(t.approx_eq(Time::secs(4.0)));
+        let flipped = bb.advance(t, Bw::ZERO, PFS);
+        assert!(!flipped);
+        assert!(bb.level().is_zero());
+        // Steady afterwards.
+        assert!(bb.next_event_in(Bw::ZERO, PFS).is_none());
+    }
+
+    #[test]
+    fn level_never_goes_negative() {
+        let mut bb = BurstBufferState::new(spec());
+        bb.advance(Time::secs(100.0), Bw::ZERO, PFS);
+        assert!(bb.level().is_zero());
+    }
+
+    #[test]
+    fn sub_byte_residue_clamps_to_empty() {
+        let mut bb = BurstBufferState::new(spec());
+        // Fill to a hair above empty, then drain just short of it: the
+        // residual must clamp to exactly zero so no ~1e-12 s drain event
+        // can stall the simulation clock.
+        bb.advance(Time::secs(1.0), Bw::gib_per_sec(30.0), PFS); // 20 GiB
+        let level = bb.level();
+        let dt = (level - Bytes::new(0.4)) / PFS;
+        bb.advance(dt, Bw::ZERO, PFS);
+        assert!(bb.level().is_zero(), "residue {} not clamped", bb.level());
+        assert!(bb.next_event_in(Bw::ZERO, PFS).is_none());
+    }
+
+    #[test]
+    fn balanced_flow_is_steady() {
+        let mut bb = BurstBufferState::new(spec());
+        bb.advance(Time::secs(1.0), Bw::gib_per_sec(30.0), PFS); // level 20
+        // inflow exactly 10 = drain → steady.
+        assert!(bb.next_event_in(PFS, PFS).is_none());
+        let flipped = bb.advance(Time::secs(10.0), PFS, PFS);
+        assert!(!flipped);
+        assert!(bb.level().approx_eq(Bytes::gib(20.0)));
+    }
+}

@@ -1,0 +1,793 @@
+//! The fluid discrete-event engine.
+//!
+//! Between two scheduling events every transferring application receives a
+//! constant bandwidth, so remaining volumes decay linearly and the next
+//! event time is computed in closed form — no time stepping, no drift.
+//! Event kinds:
+//!
+//! * application release (`r_k`),
+//! * compute-chunk completion (deterministic: resources are dedicated),
+//! * I/O-transfer completion (depends on the granted rates),
+//! * burst-buffer throttle flips (full / re-opened).
+//!
+//! After every event the installed [`OnlinePolicy`] re-allocates bandwidth
+//! (§3.1: "at each event, the scheduler looks at the current state of the
+//! system […] then, based on a given strategy, it chooses a subset of
+//! applications and allows them to start or continue their I/O").
+//!
+//! ## Numerical discipline
+//!
+//! I/O completions are *predicted* (`remaining / rate`) while scanning for
+//! the next event and the winners' residual volumes are zeroed explicitly
+//! after the advance, so floating-point residue can never spawn phantom
+//! micro-events. Times compare through the global `EPS` of
+//! [`iosched_model::units`].
+
+use crate::burst_buffer::BurstBufferState;
+use crate::error::SimError;
+use crate::external_load::ExternalLoad;
+use crate::outcome::SimOutcome;
+use crate::state::{AppRuntime, Phase};
+use crate::trace::{BandwidthTrace, TraceSegment};
+use iosched_core::policy::{AppState, OnlinePolicy, SchedContext};
+use iosched_model::{app::validate_scenario, AppSpec, Bw, Platform, Time};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Route application I/O through the platform's burst buffer (the
+    /// platform must carry a [`iosched_model::BurstBufferSpec`]).
+    pub use_burst_buffer: bool,
+    /// Record the full piecewise-constant allocation trace.
+    pub record_trace: bool,
+    /// Hard event budget (guards against configuration bugs).
+    pub max_events: usize,
+    /// §7 extension — shared I/O/communication network: periodic
+    /// communication traffic stealing a fraction of `B`. Mutually
+    /// exclusive with `use_burst_buffer` (the communication network sits
+    /// between compute nodes and the storage tier).
+    pub external_load: Option<ExternalLoad>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            use_burst_buffer: false,
+            record_trace: false,
+            max_events: 10_000_000,
+            external_load: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default configuration with trace recording on.
+    #[must_use]
+    pub fn traced() -> Self {
+        Self {
+            record_trace: true,
+            ..Self::default()
+        }
+    }
+
+    /// Default configuration with the burst buffer enabled.
+    #[must_use]
+    pub fn with_burst_buffer() -> Self {
+        Self {
+            use_burst_buffer: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Run `policy` over `apps` on `platform` until every application
+/// completes; returns the objective report (and optional trace).
+pub fn simulate(
+    platform: &Platform,
+    apps: &[AppSpec],
+    policy: &mut dyn OnlinePolicy,
+    config: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    validate_scenario(platform, apps).map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+    if apps.is_empty() {
+        return Err(SimError::InvalidScenario(
+            "simulation needs at least one application".into(),
+        ));
+    }
+    let mut bb = if config.use_burst_buffer {
+        let spec = platform.burst_buffer.ok_or_else(|| {
+            SimError::InvalidScenario(
+                "use_burst_buffer requires a platform burst buffer".into(),
+            )
+        })?;
+        Some(BurstBufferState::new(spec))
+    } else {
+        None
+    };
+    if let Some(load) = &config.external_load {
+        load.validate()
+            .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+        if bb.is_some() {
+            return Err(SimError::InvalidScenario(
+                "external_load and use_burst_buffer are mutually exclusive".into(),
+            ));
+        }
+    }
+
+    let mut rts: Vec<AppRuntime> = apps
+        .iter()
+        .map(|a| AppRuntime::new(a.clone(), platform))
+        .collect();
+
+    let mut now = Time::ZERO;
+    let mut trace = config.record_trace.then(BandwidthTrace::default);
+    let mut seg_start = now;
+    let mut seg_grants: Vec<(iosched_model::AppId, Bw)> = Vec::new();
+    let mut seg_effective: Vec<(iosched_model::AppId, Bw)> = Vec::new();
+    let mut seg_capacity = platform.total_bw;
+
+    process_transitions(&mut rts, now);
+    let mut drain_bw = allocate(
+        platform,
+        policy,
+        &mut rts,
+        bb.as_ref(),
+        config.external_load.as_ref(),
+        now,
+    )?;
+    snapshot_segment(
+        &rts,
+        bb.as_ref(),
+        config.external_load.as_ref(),
+        now,
+        platform,
+        &mut seg_grants,
+        &mut seg_effective,
+        &mut seg_capacity,
+    );
+
+    let debug = std::env::var_os("IOSCHED_SIM_DEBUG").is_some();
+    let mut events: usize = 0;
+    while !rts.iter().all(AppRuntime::is_finished) {
+        events += 1;
+        if events > config.max_events {
+            return Err(SimError::EventLimitExceeded {
+                limit: config.max_events,
+            });
+        }
+        if debug && events % 100_000 == 0 {
+            let pending = rts.iter().filter(|r| r.wants_io()).count();
+            let done = rts.iter().filter(|r| r.is_finished()).count();
+            eprintln!(
+                "[sim] event {events}: t={:.6}s pending={pending} finished={done} bb={:?}",
+                now.as_secs(),
+                bb.as_ref().map(|b| (b.level().as_gib(), b.is_throttled()))
+            );
+        }
+
+        // --- Find the next event. ------------------------------------
+        let mut t_next = Time::INFINITY;
+        // Predicted I/O completion per app index (to zero residues exactly).
+        let mut predicted: Vec<(usize, Time)> = Vec::new();
+        for (i, rt) in rts.iter().enumerate() {
+            match rt.phase {
+                Phase::NotReleased => t_next = t_next.min(rt.spec.release()),
+                Phase::Computing { done_at } => t_next = t_next.min(done_at),
+                Phase::Io { remaining, .. } => {
+                    if rt.effective_rate.get() > 0.0 {
+                        let done = now + remaining / rt.effective_rate;
+                        predicted.push((i, done));
+                        t_next = t_next.min(done);
+                    }
+                }
+                Phase::Finished => {}
+            }
+        }
+        if let Some(b) = &bb {
+            let inflow = total_inflow(&rts);
+            if let Some(dt) = b.next_event_in(inflow, drain_bw) {
+                t_next = t_next.min(now + dt.max(Time::ZERO));
+            }
+        }
+        // Timetable-style policies re-allocate at their own boundaries.
+        if let Some(t) = policy.next_wakeup(now) {
+            if t.approx_gt(now) {
+                t_next = t_next.min(t);
+            }
+        }
+        // Communication traffic changes the available capacity at its
+        // busy/idle transitions.
+        if let Some(load) = &config.external_load {
+            if let Some(t) = load.next_boundary(now) {
+                if t.approx_gt(now) {
+                    t_next = t_next.min(t);
+                }
+            }
+        }
+        if !t_next.is_finite() {
+            // Applications remain but nothing can ever happen again.
+            return Err(SimError::PolicyStalledSystem {
+                policy: policy.name(),
+                at: now.as_secs(),
+            });
+        }
+
+        // --- Advance the fluid state to t_next. -----------------------
+        let dt = (t_next - now).max(Time::ZERO);
+        let inflow = total_inflow(&rts);
+        for rt in &mut rts {
+            if let Phase::Io { remaining, started } = rt.phase {
+                if rt.effective_rate.get() > 0.0 && dt.get() > 0.0 {
+                    let moved = rt.effective_rate * dt;
+                    let new_remaining = (remaining - moved).max(iosched_model::Bytes::ZERO);
+                    rt.bytes_transferred += moved.min(remaining);
+                    rt.phase = Phase::Io {
+                        remaining: new_remaining,
+                        started: true,
+                    };
+                } else {
+                    rt.phase = Phase::Io { remaining, started };
+                }
+            }
+        }
+        // Zero the winners' residues exactly.
+        for &(i, done) in &predicted {
+            if done.approx_le(t_next) {
+                if let Phase::Io { started, .. } = rts[i].phase {
+                    rts[i].phase = Phase::Io {
+                        remaining: iosched_model::Bytes::ZERO,
+                        started,
+                    };
+                }
+            }
+        }
+        if let Some(b) = &mut bb {
+            b.advance(dt, inflow, drain_bw);
+        }
+        now = t_next;
+
+        // --- State transitions and re-allocation. ---------------------
+        process_transitions(&mut rts, now);
+        if let Some(t) = &mut trace {
+            t.push(TraceSegment {
+                start: seg_start,
+                end: now,
+                capacity: seg_capacity,
+                grants: seg_grants.clone(),
+                effective: seg_effective.clone(),
+            });
+        }
+        drain_bw = allocate(
+            platform,
+            policy,
+            &mut rts,
+            bb.as_ref(),
+            config.external_load.as_ref(),
+            now,
+        )?;
+        seg_start = now;
+        snapshot_segment(
+            &rts,
+            bb.as_ref(),
+            config.external_load.as_ref(),
+            now,
+            platform,
+            &mut seg_grants,
+            &mut seg_effective,
+            &mut seg_capacity,
+        );
+    }
+
+    Ok(SimOutcome::collect(platform, rts, trace, events, now))
+}
+
+/// Aggregate effective inflow of all transferring applications.
+fn total_inflow(rts: &[AppRuntime]) -> Bw {
+    rts.iter()
+        .filter(|rt| rt.wants_io())
+        .map(|rt| rt.effective_rate)
+        .sum()
+}
+
+/// Fire every transition enabled at `now`, repeatedly (a compute completion
+/// may expose a zero-volume I/O that immediately completes, etc.).
+fn process_transitions(rts: &mut [AppRuntime], now: Time) {
+    loop {
+        let mut changed = false;
+        for rt in rts.iter_mut() {
+            match rt.phase {
+                Phase::NotReleased => {
+                    if rt.spec.release().approx_le(now) {
+                        rt.start_instance(rt.spec.release().max(Time::ZERO));
+                        changed = true;
+                    }
+                }
+                Phase::Computing { done_at } => {
+                    if done_at.approx_le(now) {
+                        let inst = rt.spec.instance(rt.instance);
+                        rt.io_requested_at = now;
+                        rt.phase = Phase::Io {
+                            remaining: inst.vol,
+                            started: false,
+                        };
+                        changed = true;
+                    }
+                }
+                Phase::Io { remaining, .. } => {
+                    if remaining.is_zero() {
+                        rt.progress.complete_instance();
+                        rt.last_io_end = now;
+                        rt.rate = Bw::ZERO;
+                        rt.effective_rate = Bw::ZERO;
+                        rt.instance += 1;
+                        if rt.instance == rt.spec.instance_count() {
+                            rt.progress.finish(now);
+                            rt.phase = Phase::Finished;
+                        } else {
+                            rt.start_instance(now);
+                        }
+                        changed = true;
+                    }
+                }
+                Phase::Finished => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Re-run the policy and install the granted/effective rates. Returns the
+/// effective PFS drain bandwidth for the burst buffer (equal to `B` when no
+/// buffer is in use).
+fn allocate(
+    platform: &Platform,
+    policy: &mut dyn OnlinePolicy,
+    rts: &mut [AppRuntime],
+    bb: Option<&BurstBufferState>,
+    external_load: Option<&ExternalLoad>,
+    now: Time,
+) -> Result<Bw, SimError> {
+    // Communication traffic (§7 extension) shrinks the shared pipe.
+    let load_factor = external_load.map_or(1.0, |l| l.capacity_factor(now));
+    let capacity = match bb {
+        Some(b) => b.ingest_capacity(platform.total_bw),
+        None => platform.total_bw * load_factor,
+    };
+    let pending_idx: Vec<usize> = (0..rts.len()).filter(|&i| rts[i].wants_io()).collect();
+    for rt in rts.iter_mut() {
+        rt.rate = Bw::ZERO;
+        rt.effective_rate = Bw::ZERO;
+    }
+    if pending_idx.is_empty() {
+        return Ok(platform.total_bw);
+    }
+    let states: Vec<AppState> = pending_idx
+        .iter()
+        .map(|&i| {
+            let rt = &rts[i];
+            let started = matches!(rt.phase, Phase::Io { started: true, .. });
+            AppState {
+                id: rt.spec.id(),
+                procs: rt.spec.procs(),
+                dilation_ratio: rt.progress.dilation_ratio(now),
+                syseff_key: rt.progress.syseff_key(now),
+                last_io_end: rt.last_io_end,
+                io_requested_at: rt.io_requested_at,
+                started_io: started,
+                max_bw: (platform.proc_bw * rt.spec.procs() as f64).min(capacity),
+            }
+        })
+        .collect();
+    let ctx = SchedContext {
+        now,
+        total_bw: capacity,
+        pending: &states,
+    };
+    let alloc = policy.allocate(&ctx);
+    alloc.validate(&ctx).map_err(|detail| SimError::InvalidAllocation {
+        policy: policy.name(),
+        detail,
+    })?;
+    // A policy that schedules its own wakeups (a timetable) may stall
+    // everyone between reservation windows; an event-driven policy that
+    // grants nothing would livelock the system.
+    if alloc.total().is_zero() && capacity.get() > 0.0 && policy.next_wakeup(now).is_none() {
+        return Err(SimError::PolicyStalledSystem {
+            policy: policy.name(),
+            at: now.as_secs(),
+        });
+    }
+    let active = alloc.grants.iter().filter(|(_, b)| b.get() > 0.0).count();
+    // Disk-locality interference: `n` uncoordinated streams degrade the
+    // disk-backed tier's delivered bandwidth (Fig. 1). Without a burst
+    // buffer the penalty hits the application rates directly. With one,
+    // the SSD absorb tier itself is penalty-free (§3.1: "solid-state
+    // drives do not present the problem"), but the buffered data of `n`
+    // applications interleaves, so the PFS *drain* — and, under
+    // back-pressure once the buffer is full, the ingest too — runs at
+    // `B·factor(n)`. This is why "burst buffers cannot prevent congestion
+    // at all times" (§1): the penalty merely hides until the buffer fills.
+    let contended = platform.interference.factor(active);
+    let ingest_factor = match bb {
+        Some(b) if !b.is_throttled() => 1.0,
+        _ => contended,
+    };
+    for &i in &pending_idx {
+        let granted = alloc.granted(rts[i].spec.id());
+        rts[i].rate = granted;
+        rts[i].effective_rate = granted * ingest_factor;
+    }
+    let drain_bw = if bb.is_some() {
+        platform.total_bw * contended
+    } else {
+        platform.total_bw
+    };
+    Ok(drain_bw)
+}
+
+/// Capture the current allocation for the trace segment being built.
+fn snapshot_segment(
+    rts: &[AppRuntime],
+    bb: Option<&BurstBufferState>,
+    external_load: Option<&ExternalLoad>,
+    now: Time,
+    platform: &Platform,
+    grants: &mut Vec<(iosched_model::AppId, Bw)>,
+    effective: &mut Vec<(iosched_model::AppId, Bw)>,
+    capacity: &mut Bw,
+) {
+    grants.clear();
+    effective.clear();
+    let load_factor = external_load.map_or(1.0, |l| l.capacity_factor(now));
+    *capacity = match bb {
+        Some(b) => b.ingest_capacity(platform.total_bw),
+        None => platform.total_bw * load_factor,
+    };
+    for rt in rts {
+        if rt.rate.get() > 0.0 {
+            grants.push((rt.spec.id(), rt.rate));
+            effective.push((rt.spec.id(), rt.effective_rate));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_core::heuristics::{MaxSysEff, MinDilation, RoundRobin};
+    use iosched_model::{AppId, Bytes};
+
+    fn platform() -> Platform {
+        Platform::new("t", 1_000, Bw::gib_per_sec(0.1), Bw::gib_per_sec(10.0))
+    }
+
+    /// w = 8 s, vol = 20 GiB on 100 procs: dedicated span 10 s/instance.
+    fn app(id: usize, instances: usize) -> AppSpec {
+        AppSpec::periodic(
+            id,
+            Time::ZERO,
+            100,
+            Time::secs(8.0),
+            Bytes::gib(20.0),
+            instances,
+        )
+    }
+
+    #[test]
+    fn single_app_runs_at_dedicated_speed() {
+        let p = platform();
+        let out = simulate(
+            &p,
+            &[app(0, 3)],
+            &mut RoundRobin,
+            &SimConfig::traced(),
+        )
+        .unwrap();
+        let o = out.report.app(AppId(0)).unwrap();
+        assert!(o.finish.approx_eq(Time::secs(30.0)), "finish {}", o.finish);
+        assert!((o.rho_tilde - 0.8).abs() < 1e-9);
+        assert!((out.report.dilation - 1.0).abs() < 1e-9);
+        // Conservation: the trace delivered exactly 60 GiB.
+        let trace = out.trace.as_ref().unwrap();
+        assert!(trace.delivered(AppId(0)).approx_eq(Bytes::gib(60.0)));
+        trace.validate(&p, &|_| Some(100)).unwrap();
+    }
+
+    #[test]
+    fn two_apps_contend_and_someone_waits() {
+        let p = platform();
+        let out = simulate(
+            &p,
+            &[app(0, 2), app(1, 2)],
+            &mut MinDilation,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        // Both need the full PFS for their transfers; total I/O work is
+        // 80 GiB = 8 s of PFS time, computes overlap. Last finish ≥ 8+8+2+2.
+        let makespan = out.report.makespan();
+        assert!(
+            makespan.approx_ge(Time::secs(22.0)),
+            "makespan {makespan} too small"
+        );
+        assert!(out.report.dilation > 1.0);
+        // Work conserved for both apps.
+        for id in [AppId(0), AppId(1)] {
+            let bytes = out.bytes_of(id).unwrap();
+            assert!(bytes.approx_eq(Bytes::gib(40.0)), "{id}: {bytes}");
+        }
+    }
+
+    #[test]
+    fn release_times_are_respected() {
+        let p = platform();
+        let mut late = app(1, 1);
+        late.set_release(Time::secs(100.0));
+        let out = simulate(
+            &p,
+            &[app(0, 1), late],
+            &mut RoundRobin,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let o = out.report.app(AppId(1)).unwrap();
+        assert!(o.finish.approx_ge(Time::secs(110.0)));
+        assert!((o.rho_tilde - 0.8).abs() < 1e-9, "late app ran dedicated");
+    }
+
+    #[test]
+    fn zero_work_and_zero_vol_instances() {
+        let p = platform();
+        use iosched_model::{Instance, InstancePattern};
+        let spec = AppSpec::new(
+            0,
+            Time::ZERO,
+            100,
+            InstancePattern::Explicit(vec![
+                Instance::new(Time::ZERO, Bytes::gib(10.0)), // pure I/O
+                Instance::new(Time::secs(5.0), Bytes::ZERO), // pure compute
+                Instance::new(Time::secs(1.0), Bytes::gib(10.0)),
+            ]),
+        );
+        let out = simulate(&p, &[spec], &mut MaxSysEff, &SimConfig::default()).unwrap();
+        let o = out.report.app(AppId(0)).unwrap();
+        // 1 + 5 + 1 + 1 = 8 s total.
+        assert!(o.finish.approx_eq(Time::secs(8.0)), "finish {}", o.finish);
+        assert!((out.report.dilation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_buffer_requires_spec() {
+        let p = platform();
+        let err = simulate(
+            &p,
+            &[app(0, 1)],
+            &mut RoundRobin,
+            &SimConfig::with_burst_buffer(),
+        );
+        assert!(matches!(err, Err(SimError::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn burst_buffer_absorbs_bursts_faster() {
+        let p = platform().with_default_burst_buffer();
+        let apps = [app(0, 2), app(1, 2), app(2, 2)];
+        let without = simulate(&p, &apps, &mut RoundRobin, &SimConfig::default()).unwrap();
+        let with = simulate(
+            &p,
+            &apps,
+            &mut RoundRobin,
+            &SimConfig::with_burst_buffer(),
+        )
+        .unwrap();
+        assert!(
+            with.report.sys_efficiency >= without.report.sys_efficiency - 1e-9,
+            "BB must not hurt: {} vs {}",
+            with.report.sys_efficiency,
+            without.report.sys_efficiency
+        );
+        assert!(with.report.makespan().approx_le(without.report.makespan()));
+    }
+
+    #[test]
+    fn interference_slows_fair_sharing_policies_less_serialized_ones() {
+        use iosched_model::Interference;
+        let p = platform().with_interference(Interference::default_penalty());
+        // Heuristics serialize (one app at a time at 10 GiB/s) → factor 1.
+        let out = simulate(
+            &p,
+            &[app(0, 2), app(1, 2)],
+            &mut MinDilation,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let clean = simulate(
+            &platform(),
+            &[app(0, 2), app(1, 2)],
+            &mut MinDilation,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            (out.report.sys_efficiency - clean.report.sys_efficiency).abs() < 1e-9,
+            "serializing policy unaffected by locality penalty"
+        );
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected() {
+        let p = platform();
+        // 600 + 600 procs > 1000.
+        let a = AppSpec::periodic(0, Time::ZERO, 600, Time::secs(1.0), Bytes::gib(1.0), 1);
+        let b = AppSpec::periodic(1, Time::ZERO, 600, Time::secs(1.0), Bytes::gib(1.0), 1);
+        let err = simulate(&p, &[a, b], &mut RoundRobin, &SimConfig::default());
+        assert!(matches!(err, Err(SimError::InvalidScenario(_))));
+        let err = simulate(&p, &[], &mut RoundRobin, &SimConfig::default());
+        assert!(matches!(err, Err(SimError::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn event_budget_guard_triggers() {
+        let p = platform();
+        let cfg = SimConfig {
+            max_events: 3,
+            ..SimConfig::default()
+        };
+        let apps: Vec<AppSpec> = (0..4).map(|i| app(i, 5)).collect();
+        let err = simulate(&p, &apps, &mut RoundRobin, &cfg);
+        assert!(matches!(err, Err(SimError::EventLimitExceeded { .. })));
+    }
+
+    /// Failure injection: a policy that overcommits the PFS.
+    struct RoguePolicy;
+    impl OnlinePolicy for RoguePolicy {
+        fn name(&self) -> String {
+            "rogue".into()
+        }
+        fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
+            (0..ctx.pending.len()).collect()
+        }
+        fn allocate(&mut self, ctx: &SchedContext<'_>) -> iosched_core::policy::Allocation {
+            iosched_core::policy::Allocation {
+                grants: ctx
+                    .pending
+                    .iter()
+                    .map(|a| (a.id, ctx.total_bw * 2.0))
+                    .collect(),
+            }
+        }
+    }
+
+    /// Failure injection: a policy that grants nothing and never wakes up.
+    struct SilentPolicy;
+    impl OnlinePolicy for SilentPolicy {
+        fn name(&self) -> String {
+            "silent".into()
+        }
+        fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
+            (0..ctx.pending.len()).collect()
+        }
+        fn allocate(&mut self, _ctx: &SchedContext<'_>) -> iosched_core::policy::Allocation {
+            iosched_core::policy::Allocation::empty()
+        }
+    }
+
+    #[test]
+    fn external_load_slows_io_exactly() {
+        use crate::external_load::ExternalLoad;
+        let p = platform();
+        // Fully-blocking communication for the first 10 s of each 20 s.
+        let cfg = SimConfig {
+            external_load: Some(ExternalLoad {
+                period: Time::secs(20.0),
+                busy: Time::secs(10.0),
+                fraction: 1.0,
+            }),
+            ..SimConfig::default()
+        };
+        // One app: compute [0, 8), then 20 GiB needing 2 s at full B —
+        // but the network is blocked until t = 10, so I/O runs [10, 12).
+        let out = simulate(&p, &[app(0, 1)], &mut MaxSysEff, &cfg).unwrap();
+        let o = out.report.app(AppId(0)).unwrap();
+        assert!(
+            o.finish.approx_eq(Time::secs(12.0)),
+            "finish {} (expected 12 s: stall until the busy phase ends)",
+            o.finish
+        );
+        // §7 (ii): without communication traffic the run is unaffected.
+        let quiet = SimConfig {
+            external_load: Some(ExternalLoad {
+                period: Time::secs(20.0),
+                busy: Time::secs(10.0),
+                fraction: 0.0,
+            }),
+            ..SimConfig::default()
+        };
+        let out = simulate(&p, &[app(0, 1)], &mut MaxSysEff, &quiet).unwrap();
+        assert!(out.report.app(AppId(0)).unwrap().finish.approx_eq(Time::secs(10.0)));
+    }
+
+    #[test]
+    fn external_load_partial_fraction_shares_the_pipe() {
+        use crate::external_load::ExternalLoad;
+        let p = platform();
+        // Communications permanently eat half of B → app bandwidth 5 GiB/s
+        // → each 20 GiB transfer takes 4 s instead of 2.
+        let cfg = SimConfig {
+            external_load: Some(ExternalLoad {
+                period: Time::secs(1.0),
+                busy: Time::secs(1.0),
+                fraction: 0.5,
+            }),
+            ..SimConfig::default()
+        };
+        let out = simulate(&p, &[app(0, 2)], &mut MinDilation, &cfg).unwrap();
+        let o = out.report.app(AppId(0)).unwrap();
+        assert!(
+            o.finish.approx_eq(Time::secs(24.0)),
+            "finish {} (expected 2 × (8 + 4) s)",
+            o.finish
+        );
+        // The §2.2 accounting attributes the slowdown to I/O congestion.
+        assert!(out.report.dilation > 1.0);
+    }
+
+    #[test]
+    fn external_load_and_burst_buffer_are_exclusive() {
+        use crate::external_load::ExternalLoad;
+        let p = platform().with_default_burst_buffer();
+        let cfg = SimConfig {
+            use_burst_buffer: true,
+            external_load: Some(ExternalLoad {
+                period: Time::secs(1.0),
+                busy: Time::secs(0.5),
+                fraction: 0.5,
+            }),
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            simulate(&p, &[app(0, 1)], &mut RoundRobin, &cfg),
+            Err(SimError::InvalidScenario(_))
+        ));
+    }
+
+    #[test]
+    fn overcommitting_policy_is_rejected() {
+        let p = platform();
+        let err = simulate(&p, &[app(0, 1)], &mut RoguePolicy, &SimConfig::default());
+        match err {
+            Err(SimError::InvalidAllocation { policy, .. }) => assert_eq!(policy, "rogue"),
+            other => panic!("expected InvalidAllocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_policy_is_detected_as_livelock() {
+        let p = platform();
+        let err = simulate(&p, &[app(0, 1)], &mut SilentPolicy, &SimConfig::default());
+        match err {
+            Err(SimError::PolicyStalledSystem { policy, .. }) => assert_eq!(policy, "silent"),
+            other => panic!("expected PolicyStalledSystem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_segments_tile_the_run() {
+        let p = platform();
+        let out = simulate(
+            &p,
+            &[app(0, 2), app(1, 2)],
+            &mut RoundRobin,
+            &SimConfig::traced(),
+        )
+        .unwrap();
+        let trace = out.trace.unwrap();
+        assert!(!trace.is_empty());
+        trace.validate(&p, &|_| Some(100)).unwrap();
+        for w in trace.segments.windows(2) {
+            assert!(w[0].end.approx_le(w[1].start));
+        }
+    }
+}

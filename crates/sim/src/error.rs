@@ -1,0 +1,58 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failures of a simulation run. All are programming or configuration
+/// errors — a well-formed scenario with a well-formed policy never fails.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Scenario validation failed before the first event.
+    InvalidScenario(String),
+    /// A policy produced an allocation violating the §2.1 capacity rules.
+    InvalidAllocation { policy: String, detail: String },
+    /// The policy granted no bandwidth while applications were waiting and
+    /// capacity was available — the system would livelock.
+    PolicyStalledSystem { policy: String, at: f64 },
+    /// The event budget was exhausted (runaway configuration guard).
+    EventLimitExceeded { limit: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            Self::InvalidAllocation { policy, detail } => {
+                write!(f, "policy '{policy}' produced an invalid allocation: {detail}")
+            }
+            Self::PolicyStalledSystem { policy, at } => write!(
+                f,
+                "policy '{policy}' stalled every pending application at t = {at} \
+                 while bandwidth was available"
+            ),
+            Self::EventLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the event limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::InvalidScenario("x".into()).to_string().contains("x"));
+        assert!(SimError::EventLimitExceeded { limit: 7 }
+            .to_string()
+            .contains('7'));
+        let e = SimError::PolicyStalledSystem {
+            policy: "p".into(),
+            at: 1.5,
+        };
+        assert!(e.to_string().contains("1.5"));
+    }
+}

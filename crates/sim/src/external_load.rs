@@ -1,0 +1,160 @@
+//! §7 extension: shared I/O and communication networks.
+//!
+//! "Systems with shared networks for I/O and communications (such as Blue
+//! Waters) would also benefit from our scheduler. In such systems: (i)
+//! with congestion caused by communications, execution will slow down with
+//! or without our scheduler, but the scheduler is online and will take
+//! this congestion into account when measuring application efficiency;
+//! (ii) without congestion, the benefit from using the scheduler will be
+//! the same as when using a dedicated I/O system."
+//!
+//! [`ExternalLoad`] models the communication traffic as a periodic square
+//! wave stealing a fraction of the PFS bandwidth: during the busy prefix
+//! of every cycle only `(1 − fraction)·B` is available for I/O. The
+//! engine re-allocates at every busy/idle boundary, so the online
+//! heuristics observe the reduced capacity exactly as §7 describes.
+
+use iosched_model::{ModelError, Time};
+use serde::{Deserialize, Serialize};
+
+/// Periodic square-wave background traffic on the shared network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExternalLoad {
+    /// Full cycle length.
+    pub period: Time,
+    /// Busy prefix of each cycle (`0 < busy ≤ period` for a real load;
+    /// `busy == period` means permanently busy).
+    pub busy: Time,
+    /// Fraction of `B` consumed while busy (`0 ≤ fraction ≤ 1`).
+    pub fraction: f64,
+}
+
+impl ExternalLoad {
+    /// Validate the wave's shape.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.period.is_finite() || self.period.get() <= 0.0 {
+            return Err(ModelError::InvalidPlatform(format!(
+                "external load period must be positive, got {}",
+                self.period
+            )));
+        }
+        if self.busy.get() < 0.0 || self.busy.approx_gt(self.period) {
+            return Err(ModelError::InvalidPlatform(format!(
+                "external load busy prefix {} outside [0, {}]",
+                self.busy, self.period
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.fraction) {
+            return Err(ModelError::InvalidPlatform(format!(
+                "external load fraction {} outside [0, 1]",
+                self.fraction
+            )));
+        }
+        Ok(())
+    }
+
+    /// Offset within the current cycle.
+    fn offset(&self, t: Time) -> Time {
+        Time::secs(t.as_secs().rem_euclid(self.period.as_secs()))
+    }
+
+    /// Is the communication traffic active at `t`?
+    #[must_use]
+    pub fn is_busy(&self, t: Time) -> bool {
+        self.offset(t).approx_lt(self.busy)
+    }
+
+    /// Multiplicative factor on the PFS bandwidth at `t`.
+    #[must_use]
+    pub fn capacity_factor(&self, t: Time) -> f64 {
+        if self.is_busy(t) {
+            1.0 - self.fraction
+        } else {
+            1.0
+        }
+    }
+
+    /// Next busy/idle transition strictly after `now` (`None` when the
+    /// wave is flat: `busy == 0`, `busy == period`, or `fraction == 0`).
+    #[must_use]
+    pub fn next_boundary(&self, now: Time) -> Option<Time> {
+        if self.fraction == 0.0 || self.busy.is_zero() || self.busy.approx_eq(self.period) {
+            return None;
+        }
+        let offset = self.offset(now);
+        let base = now - offset;
+        if offset.approx_lt(self.busy) {
+            Some(base + self.busy)
+        } else {
+            Some(base + self.period)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load() -> ExternalLoad {
+        ExternalLoad {
+            period: Time::secs(10.0),
+            busy: Time::secs(4.0),
+            fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        load().validate().unwrap();
+        let mut bad = load();
+        bad.period = Time::ZERO;
+        assert!(bad.validate().is_err());
+        let mut bad = load();
+        bad.busy = Time::secs(11.0);
+        assert!(bad.validate().is_err());
+        let mut bad = load();
+        bad.fraction = 1.5;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn square_wave_shape() {
+        let l = load();
+        assert!(l.is_busy(Time::secs(0.0)));
+        assert!(l.is_busy(Time::secs(3.9)));
+        assert!(!l.is_busy(Time::secs(4.0)));
+        assert!(!l.is_busy(Time::secs(9.9)));
+        assert!(l.is_busy(Time::secs(10.5))); // wraps
+        assert_eq!(l.capacity_factor(Time::secs(1.0)), 0.5);
+        assert_eq!(l.capacity_factor(Time::secs(5.0)), 1.0);
+    }
+
+    #[test]
+    fn boundaries_advance_through_the_cycle() {
+        let l = load();
+        assert!(l.next_boundary(Time::ZERO).unwrap().approx_eq(Time::secs(4.0)));
+        assert!(l
+            .next_boundary(Time::secs(4.0))
+            .unwrap()
+            .approx_eq(Time::secs(10.0)));
+        assert!(l
+            .next_boundary(Time::secs(12.0))
+            .unwrap()
+            .approx_eq(Time::secs(14.0)));
+    }
+
+    #[test]
+    fn flat_waves_have_no_boundaries() {
+        let mut l = load();
+        l.fraction = 0.0;
+        assert!(l.next_boundary(Time::ZERO).is_none());
+        let mut l = load();
+        l.busy = Time::ZERO;
+        assert!(l.next_boundary(Time::ZERO).is_none());
+        let mut l = load();
+        l.busy = l.period;
+        assert!(l.next_boundary(Time::ZERO).is_none());
+        // Permanently busy still reduces capacity.
+        assert_eq!(l.capacity_factor(Time::secs(3.0)), 0.5);
+    }
+}

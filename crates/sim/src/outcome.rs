@@ -1,0 +1,70 @@
+//! Simulation outcome: the paper's objectives plus engine diagnostics.
+
+use crate::state::AppRuntime;
+use crate::trace::BandwidthTrace;
+use iosched_model::{AppId, AppOutcome, Bytes, ObjectiveReport, Platform, Time};
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// SysEfficiency / Dilation / per-application detail (§2.2).
+    pub report: ObjectiveReport,
+    /// Optional full allocation trace.
+    pub trace: Option<BandwidthTrace>,
+    /// Number of scheduling events processed.
+    pub events: usize,
+    /// Final simulation time (= `max_k d_k`).
+    pub end_time: Time,
+    /// Bytes actually delivered per application (conservation checks).
+    pub per_app_bytes: Vec<(AppId, Bytes)>,
+}
+
+impl SimOutcome {
+    /// Assemble the outcome from finished runtimes (engine-internal).
+    #[must_use]
+    pub(crate) fn collect(
+        _platform: &Platform,
+        rts: Vec<AppRuntime>,
+        trace: Option<BandwidthTrace>,
+        events: usize,
+        end_time: Time,
+    ) -> Self {
+        let per_app: Vec<AppOutcome> = rts
+            .iter()
+            .map(|rt| {
+                let d = rt
+                    .progress
+                    .finish_time()
+                    .expect("engine only collects finished runs");
+                AppOutcome {
+                    id: rt.spec.id(),
+                    procs: rt.spec.procs(),
+                    release: rt.spec.release(),
+                    finish: d,
+                    rho: rt.progress.rho(d),
+                    rho_tilde: rt.progress.rho_tilde(d),
+                }
+            })
+            .collect();
+        let per_app_bytes = rts
+            .iter()
+            .map(|rt| (rt.spec.id(), rt.bytes_transferred))
+            .collect();
+        Self {
+            report: ObjectiveReport::from_outcomes(per_app),
+            trace,
+            events,
+            end_time,
+            per_app_bytes,
+        }
+    }
+
+    /// Bytes delivered for one application.
+    #[must_use]
+    pub fn bytes_of(&self, id: AppId) -> Option<Bytes> {
+        self.per_app_bytes
+            .iter()
+            .find(|(a, _)| *a == id)
+            .map(|(_, b)| *b)
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-application runtime state inside the fluid simulator.
+
+use iosched_model::{AppProgress, AppSpec, Bw, Bytes, Platform, Time};
+
+/// Execution phase of one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// `now < r_k`.
+    NotReleased,
+    /// Computing the current instance; completes at the stored absolute
+    /// time (compute is never preempted — resources are dedicated, §2.1).
+    Computing {
+        /// Absolute completion time of the compute chunk.
+        done_at: Time,
+    },
+    /// The current instance's I/O: `remaining` bytes still to transfer at
+    /// the currently granted rate (zero rate = stalled by the scheduler).
+    Io {
+        /// Bytes left in this instance's transfer.
+        remaining: Bytes,
+        /// Whether any byte of this instance was already transferred
+        /// (drives the Priority heuristics' `started_io` flag).
+        started: bool,
+    },
+    /// All instances completed.
+    Finished,
+}
+
+/// Full runtime record of one application.
+#[derive(Debug, Clone)]
+pub struct AppRuntime {
+    /// Immutable description.
+    pub spec: AppSpec,
+    /// ρ̃/ρ accounting.
+    pub progress: AppProgress,
+    /// Current phase.
+    pub phase: Phase,
+    /// Index of the instance currently executing (or next to execute).
+    pub instance: usize,
+    /// Application-aggregate bandwidth granted at the last allocation.
+    pub rate: Bw,
+    /// Effective delivered bandwidth (grant × interference factor).
+    pub effective_rate: Bw,
+    /// When the application last completed an instance's I/O (its release
+    /// time before any I/O) — RoundRobin's FCFS key.
+    pub last_io_end: Time,
+    /// When the current I/O request was issued (entered the `Io` phase).
+    pub io_requested_at: Time,
+    /// Total bytes actually delivered for this application (conservation
+    /// checks).
+    pub bytes_transferred: Bytes,
+}
+
+impl AppRuntime {
+    /// Initialize at simulation start (`now = 0`).
+    #[must_use]
+    pub fn new(spec: AppSpec, platform: &Platform) -> Self {
+        let progress = AppProgress::new(&spec, platform);
+        let release = spec.release();
+        Self {
+            progress,
+            phase: Phase::NotReleased,
+            instance: 0,
+            rate: Bw::ZERO,
+            effective_rate: Bw::ZERO,
+            last_io_end: release,
+            io_requested_at: release,
+            bytes_transferred: Bytes::ZERO,
+            spec,
+        }
+    }
+
+    /// Begin the current instance at time `now`: enter `Computing` (or the
+    /// I/O phase directly when the instance has no compute part).
+    pub fn start_instance(&mut self, now: Time) {
+        debug_assert!(self.instance < self.spec.instance_count());
+        let inst = self.spec.instance(self.instance);
+        if inst.work.get() > 0.0 {
+            self.phase = Phase::Computing {
+                done_at: now + inst.work,
+            };
+        } else {
+            self.io_requested_at = now;
+            self.phase = Phase::Io {
+                remaining: inst.vol,
+                started: false,
+            };
+        }
+    }
+
+    /// True when the application currently wants PFS bandwidth.
+    #[must_use]
+    pub fn wants_io(&self) -> bool {
+        matches!(self.phase, Phase::Io { .. })
+    }
+
+    /// True once all instances completed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        matches!(self.phase, Phase::Finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::Platform;
+
+    fn platform() -> Platform {
+        Platform::new(
+            "t",
+            1_000,
+            Bw::gib_per_sec(0.1),
+            Bw::gib_per_sec(10.0),
+        )
+    }
+
+    #[test]
+    fn new_app_is_not_released() {
+        let spec = AppSpec::periodic(0, Time::secs(5.0), 10, Time::secs(1.0), Bytes::gib(1.0), 2);
+        let rt = AppRuntime::new(spec, &platform());
+        assert_eq!(rt.phase, Phase::NotReleased);
+        assert!(rt.last_io_end.approx_eq(Time::secs(5.0)));
+        assert!(!rt.wants_io());
+        assert!(!rt.is_finished());
+    }
+
+    #[test]
+    fn start_instance_enters_compute() {
+        let spec = AppSpec::periodic(0, Time::ZERO, 10, Time::secs(3.0), Bytes::gib(1.0), 1);
+        let mut rt = AppRuntime::new(spec, &platform());
+        rt.start_instance(Time::secs(2.0));
+        assert_eq!(
+            rt.phase,
+            Phase::Computing {
+                done_at: Time::secs(5.0)
+            }
+        );
+    }
+
+    #[test]
+    fn zero_work_instance_goes_straight_to_io() {
+        let spec = AppSpec::periodic(0, Time::ZERO, 10, Time::ZERO, Bytes::gib(2.0), 1);
+        let mut rt = AppRuntime::new(spec, &platform());
+        rt.start_instance(Time::ZERO);
+        assert!(rt.wants_io());
+        match rt.phase {
+            Phase::Io { remaining, started } => {
+                assert!(remaining.approx_eq(Bytes::gib(2.0)));
+                assert!(!started);
+            }
+            _ => panic!("expected Io phase"),
+        }
+    }
+}

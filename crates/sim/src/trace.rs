@@ -1,0 +1,228 @@
+//! Piecewise-constant allocation trace and its §2.1 validator.
+//!
+//! The engine records a [`TraceSegment`] for every interval between
+//! consecutive scheduling events; property tests replay the trace against
+//! the model constraints (per-processor cap, aggregate cap, conservation).
+
+use iosched_model::{AppId, Bw, Bytes, Platform, Time};
+use serde::{Deserialize, Serialize};
+
+/// One constant-allocation interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSegment {
+    /// Interval start.
+    pub start: Time,
+    /// Interval end.
+    pub end: Time,
+    /// Pipe capacity in force during the interval (PFS bandwidth `B`, or
+    /// the burst-buffer absorb bandwidth while the buffer is open).
+    pub capacity: Bw,
+    /// Granted application-aggregate bandwidths (absent = stalled).
+    pub grants: Vec<(AppId, Bw)>,
+    /// Effective delivered bandwidths after interference.
+    pub effective: Vec<(AppId, Bw)>,
+}
+
+impl TraceSegment {
+    /// Duration of the segment.
+    #[must_use]
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Total granted bandwidth.
+    #[must_use]
+    pub fn total_granted(&self) -> Bw {
+        self.grants.iter().map(|(_, b)| *b).sum()
+    }
+}
+
+/// A full allocation trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// Chronological segments.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl BandwidthTrace {
+    /// Record one segment (engine-internal; zero-duration segments are
+    /// dropped).
+    pub fn push(&mut self, segment: TraceSegment) {
+        if segment.duration().get() > 0.0 {
+            self.segments.push(segment);
+        }
+    }
+
+    /// Bytes delivered to `app` over the whole trace (via effective rates).
+    #[must_use]
+    pub fn delivered(&self, app: AppId) -> Bytes {
+        self.segments
+            .iter()
+            .map(|s| {
+                let rate = s
+                    .effective
+                    .iter()
+                    .find(|(a, _)| *a == app)
+                    .map_or(Bw::ZERO, |(_, b)| *b);
+                rate * s.duration()
+            })
+            .sum()
+    }
+
+    /// Validate every segment against the model:
+    /// * segments are chronological and non-overlapping,
+    /// * every grant respects the per-application cap `β·b`,
+    /// * aggregate grants never exceed the segment's pipe capacity,
+    /// * effective rates never exceed grants.
+    ///
+    /// `procs_of` maps applications to their `β` (the trace itself does not
+    /// carry specs).
+    pub fn validate(
+        &self,
+        platform: &Platform,
+        procs_of: &dyn Fn(AppId) -> Option<u64>,
+    ) -> Result<(), String> {
+        let mut prev_end = Time::ZERO - Time::secs(1.0);
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.end.approx_le(seg.start) {
+                return Err(format!("segment {i} is empty or reversed"));
+            }
+            if seg.start.approx_lt(prev_end) {
+                return Err(format!("segment {i} overlaps its predecessor"));
+            }
+            prev_end = seg.end;
+            if seg.total_granted().approx_gt(seg.capacity) {
+                return Err(format!(
+                    "segment {i}: granted {} exceeds capacity {}",
+                    seg.total_granted(),
+                    seg.capacity
+                ));
+            }
+            for &(app, bw) in &seg.grants {
+                let Some(procs) = procs_of(app) else {
+                    return Err(format!("segment {i}: grant for unknown {app}"));
+                };
+                let cap = platform.proc_bw * procs as f64;
+                if bw.approx_gt(cap) {
+                    return Err(format!(
+                        "segment {i}: {app} granted {bw} above β·b = {cap}"
+                    ));
+                }
+            }
+            for &(app, eff) in &seg.effective {
+                let granted = seg
+                    .grants
+                    .iter()
+                    .find(|(a, _)| *a == app)
+                    .map_or(Bw::ZERO, |(_, b)| *b);
+                if eff.approx_gt(granted) {
+                    return Err(format!(
+                        "segment {i}: {app} delivered {eff} above its grant {granted}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of distinct scheduling intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no segment was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::new("t", 1_000, Bw::gib_per_sec(0.1), Bw::gib_per_sec(10.0))
+    }
+
+    fn seg(start: f64, end: f64, grants: Vec<(AppId, Bw)>) -> TraceSegment {
+        TraceSegment {
+            start: Time::secs(start),
+            end: Time::secs(end),
+            capacity: Bw::gib_per_sec(10.0),
+            effective: grants.clone(),
+            grants,
+        }
+    }
+
+    #[test]
+    fn delivered_integrates_effective_rate() {
+        let mut t = BandwidthTrace::default();
+        t.push(seg(0.0, 2.0, vec![(AppId(0), Bw::gib_per_sec(3.0))]));
+        t.push(seg(2.0, 5.0, vec![(AppId(0), Bw::gib_per_sec(1.0))]));
+        assert!(t.delivered(AppId(0)).approx_eq(Bytes::gib(9.0)));
+        assert!(t.delivered(AppId(1)).is_zero());
+    }
+
+    #[test]
+    fn zero_duration_segments_are_dropped() {
+        let mut t = BandwidthTrace::default();
+        t.push(seg(1.0, 1.0, vec![]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let mut t = BandwidthTrace::default();
+        t.push(seg(0.0, 1.0, vec![(AppId(0), Bw::gib_per_sec(5.0))]));
+        t.push(seg(1.0, 2.0, vec![(AppId(0), Bw::gib_per_sec(10.0))]));
+        t.validate(&platform(), &|_| Some(100)).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_overlap() {
+        let mut t = BandwidthTrace::default();
+        t.push(seg(0.0, 2.0, vec![]));
+        t.push(seg(1.0, 3.0, vec![]));
+        assert!(t.validate(&platform(), &|_| Some(100)).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_over_capacity() {
+        let mut t = BandwidthTrace::default();
+        t.push(seg(
+            0.0,
+            1.0,
+            vec![
+                (AppId(0), Bw::gib_per_sec(6.0)),
+                (AppId(1), Bw::gib_per_sec(6.0)),
+            ],
+        ));
+        assert!(t.validate(&platform(), &|_| Some(100)).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_per_app_cap_violation() {
+        let mut t = BandwidthTrace::default();
+        // 10 procs → cap 1 GiB/s, granted 2.
+        t.push(seg(0.0, 1.0, vec![(AppId(0), Bw::gib_per_sec(2.0))]));
+        assert!(t.validate(&platform(), &|_| Some(10)).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_effective_above_grant() {
+        let mut t = BandwidthTrace::default();
+        let mut s = seg(0.0, 1.0, vec![(AppId(0), Bw::gib_per_sec(2.0))]);
+        s.effective = vec![(AppId(0), Bw::gib_per_sec(3.0))];
+        t.push(s);
+        assert!(t.validate(&platform(), &|_| Some(100)).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_unknown_app() {
+        let mut t = BandwidthTrace::default();
+        t.push(seg(0.0, 1.0, vec![(AppId(9), Bw::gib_per_sec(1.0))]));
+        assert!(t.validate(&platform(), &|_| None).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Random application-mix generator for the Fig. 6 study.
+//!
+//! §4.2: "two scenarios cover over 95 % of the cases: a few large or
+//! very-large applications running alone on the whole system, or a mix of
+//! small and large applications dividing the machine un-uniformly."
+//! Fig. 6 evaluates (a) 10 large applications at an average
+//! I/O-over-computation ratio of 20 %, (b) 50 small + 5 large at 20 %,
+//! (c) 50 small + 5 large at 35 %; each point is the mean of 200 random
+//! mixes.
+
+use crate::categories::AppCategory;
+use iosched_model::{AppSpec, Bytes, Platform, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one random mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixConfig {
+    /// Number of small applications.
+    pub small: usize,
+    /// Number of large applications.
+    pub large: usize,
+    /// Number of very large applications.
+    pub very_large: usize,
+    /// Average I/O-time-over-computation-time ratio (`time_io / w`);
+    /// individual applications jitter within ±50 % of it.
+    pub io_ratio: f64,
+    /// Compute-per-instance range `w` (seconds).
+    pub work_range: (f64, f64),
+    /// Instance-count range (inclusive).
+    pub instances: (usize, usize),
+    /// Release jitter as a fraction of the instance span.
+    pub release_jitter: f64,
+}
+
+impl MixConfig {
+    /// Fig. 6(a): 10 large applications, 20 % I/O ratio.
+    #[must_use]
+    pub fn fig6a() -> Self {
+        Self {
+            small: 0,
+            large: 10,
+            very_large: 0,
+            io_ratio: 0.20,
+            ..Self::base()
+        }
+    }
+
+    /// Fig. 6(b): 50 small and 5 large applications, 20 % I/O ratio.
+    #[must_use]
+    pub fn fig6b() -> Self {
+        Self {
+            small: 50,
+            large: 5,
+            very_large: 0,
+            io_ratio: 0.20,
+            ..Self::base()
+        }
+    }
+
+    /// Fig. 6(c): 50 small and 5 large applications, 35 % I/O ratio.
+    #[must_use]
+    pub fn fig6c() -> Self {
+        Self {
+            small: 50,
+            large: 5,
+            very_large: 0,
+            io_ratio: 0.35,
+            ..Self::base()
+        }
+    }
+
+    fn base() -> Self {
+        Self {
+            small: 0,
+            large: 0,
+            very_large: 0,
+            io_ratio: 0.20,
+            work_range: (100.0, 400.0),
+            instances: (8, 12),
+            release_jitter: 1.0,
+        }
+    }
+
+    /// Total number of applications.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.small + self.large + self.very_large
+    }
+
+    /// Generate one mix (deterministic in `seed`).
+    ///
+    /// Node counts are sampled per category and, if the machine is
+    /// oversubscribed, scaled down proportionally so `Σβ ≤ N` (the model
+    /// requires dedicated processors).
+    ///
+    /// # Panics
+    /// Panics on an empty mix.
+    #[must_use]
+    pub fn generate(&self, platform: &Platform, seed: u64) -> Vec<AppSpec> {
+        assert!(self.count() > 0, "mix must contain at least one application");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cats = Vec::with_capacity(self.count());
+        cats.extend(std::iter::repeat_n(AppCategory::Small, self.small));
+        cats.extend(std::iter::repeat_n(AppCategory::Large, self.large));
+        cats.extend(std::iter::repeat_n(AppCategory::VeryLarge, self.very_large));
+
+        let mut nodes: Vec<u64> = cats.iter().map(|c| c.sample_nodes(&mut rng)).collect();
+        let total: u64 = nodes.iter().sum();
+        if total > platform.procs {
+            let scale = platform.procs as f64 / total as f64;
+            for n in &mut nodes {
+                *n = ((*n as f64 * scale).floor() as u64).max(1);
+            }
+        }
+
+        cats.iter()
+            .zip(nodes)
+            .enumerate()
+            .map(|(id, (_, procs))| {
+                let work = Time::secs(rng.gen_range(self.work_range.0..self.work_range.1));
+                let ratio = self.io_ratio * rng.gen_range(0.5..1.5);
+                let tio = work * ratio;
+                let vol: Bytes = platform.app_max_bw(procs) * tio;
+                let count = rng.gen_range(self.instances.0..=self.instances.1);
+                let span = work + tio;
+                let release = Time::secs(rng.gen_range(0.0..=(span.as_secs() * self.release_jitter).max(f64::MIN_POSITIVE)));
+                AppSpec::periodic(id, release, procs, work, vol, count)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::app::validate_scenario;
+
+    #[test]
+    fn fig6_mixes_have_the_paper_composition() {
+        assert_eq!(MixConfig::fig6a().count(), 10);
+        assert_eq!(MixConfig::fig6b().count(), 55);
+        assert!((MixConfig::fig6c().io_ratio - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_mixes_are_valid_scenarios() {
+        let p = Platform::intrepid();
+        for seed in 0..5 {
+            for cfg in [MixConfig::fig6a(), MixConfig::fig6b(), MixConfig::fig6c()] {
+                let apps = cfg.generate(&p, seed);
+                assert_eq!(apps.len(), cfg.count());
+                validate_scenario(&p, &apps).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let p = Platform::intrepid();
+        let a = MixConfig::fig6b().generate(&p, 42);
+        let b = MixConfig::fig6b().generate(&p, 42);
+        assert_eq!(a, b);
+        let c = MixConfig::fig6b().generate(&p, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn io_ratio_is_respected_on_average() {
+        let p = Platform::intrepid();
+        let cfg = MixConfig::fig6a();
+        let mut ratios = Vec::new();
+        for seed in 0..20 {
+            for app in cfg.generate(&p, seed) {
+                let inst = app.instance(0);
+                let tio = p.dedicated_io_time(app.procs(), inst.vol);
+                ratios.push(tio / inst.work);
+            }
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(
+            (mean - 0.20).abs() < 0.03,
+            "mean I/O ratio {mean} far from configured 0.20"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_mix_is_scaled_to_fit() {
+        // Vesta has 2,048 nodes; 50 small + 5 large sampled nodes vastly
+        // exceed it — generation must still produce a valid scenario.
+        let p = Platform::vesta();
+        let apps = MixConfig::fig6b().generate(&p, 1);
+        validate_scenario(&p, &apps).unwrap();
+        let total: u64 = apps.iter().map(AppSpec::procs).sum();
+        assert!(total <= p.procs);
+    }
+}

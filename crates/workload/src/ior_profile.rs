@@ -1,0 +1,172 @@
+//! The Vesta experiment scenarios of §5 (Figs. 14–16).
+//!
+//! The paper's modified IOR benchmark splits its processes into groups
+//! running on different node counts; scenarios are written `x/y/z` where
+//! each component is one application's node count ("for example 512/32
+//! means there are two applications running, one on 512 nodes and the
+//! other on 32").
+
+use iosched_model::{AppSpec, Bytes, Platform, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One node-split scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VestaScenario {
+    /// The paper's label, e.g. `"512/256/256/32"`.
+    pub name: String,
+    /// Node count of each application.
+    pub nodes: Vec<u64>,
+}
+
+impl VestaScenario {
+    /// Build from node counts (label derived).
+    #[must_use]
+    pub fn new(nodes: &[u64]) -> Self {
+        let name = nodes
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        Self {
+            name,
+            nodes: nodes.to_vec(),
+        }
+    }
+
+    /// Number of applications.
+    #[must_use]
+    pub fn app_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// The eleven scenarios of Figs. 14–15, in the paper's order.
+#[must_use]
+pub fn vesta_scenarios() -> Vec<VestaScenario> {
+    [
+        vec![256],
+        vec![512],
+        vec![32, 512],
+        vec![256, 256],
+        vec![256, 512],
+        vec![256, 256, 256],
+        vec![256, 256, 512],
+        vec![512, 256, 32],
+        vec![512, 256, 256, 32],
+        vec![256, 256, 256, 256],
+        vec![512, 512, 512, 512],
+    ]
+    .iter()
+    .map(|nodes| VestaScenario::new(nodes))
+    .collect()
+}
+
+/// The scenario Fig. 16 dissects per-application.
+#[must_use]
+pub fn fig16_scenario() -> VestaScenario {
+    VestaScenario::new(&[512, 256, 256, 32])
+}
+
+/// IOR-like application parameters for the Vesta runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IorParams {
+    /// Compute seconds between I/O phases (the added MPI_Reduce work).
+    pub work: f64,
+    /// Average I/O-over-computation time ratio (jittered ±30 %).
+    pub io_ratio: f64,
+    /// Iterations per application.
+    pub iterations: usize,
+}
+
+impl Default for IorParams {
+    fn default() -> Self {
+        Self {
+            work: 20.0,
+            io_ratio: 0.30,
+            iterations: 10,
+        }
+    }
+}
+
+/// Instantiate the applications of `scenario` on `platform`
+/// (deterministic in `seed`).
+#[must_use]
+pub fn scenario_apps(
+    scenario: &VestaScenario,
+    platform: &Platform,
+    params: IorParams,
+    seed: u64,
+) -> Vec<AppSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    scenario
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(id, &nodes)| {
+            let work = Time::secs(params.work * rng.gen_range(0.9..1.1));
+            let ratio = params.io_ratio * rng.gen_range(0.7..1.3);
+            let vol: Bytes = platform.app_max_bw(nodes) * (work * ratio);
+            // All IOR groups start together (the experiment controls the
+            // exact moment all applications perform I/O).
+            AppSpec::periodic(id, Time::ZERO, nodes, work, vol, params.iterations)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::app::validate_scenario;
+
+    #[test]
+    fn scenario_roster_matches_fig14() {
+        let all = vesta_scenarios();
+        assert_eq!(all.len(), 11);
+        assert_eq!(all[0].name, "256");
+        assert_eq!(all[2].name, "32/512");
+        assert_eq!(all[8].name, "512/256/256/32");
+        assert_eq!(all[10].name, "512/512/512/512");
+        assert_eq!(all[10].app_count(), 4);
+    }
+
+    #[test]
+    fn fig16_scenario_is_the_uneven_mix() {
+        let s = fig16_scenario();
+        assert_eq!(s.name, "512/256/256/32");
+        assert_eq!(s.nodes, vec![512, 256, 256, 32]);
+    }
+
+    #[test]
+    fn scenarios_fit_vesta() {
+        let p = Platform::vesta();
+        for s in vesta_scenarios() {
+            let apps = scenario_apps(&s, &p, IorParams::default(), 9);
+            assert_eq!(apps.len(), s.app_count());
+            validate_scenario(&p, &apps).unwrap();
+        }
+    }
+
+    #[test]
+    fn apps_are_deterministic_and_sized_correctly() {
+        let p = Platform::vesta();
+        let s = fig16_scenario();
+        let a = scenario_apps(&s, &p, IorParams::default(), 5);
+        let b = scenario_apps(&s, &p, IorParams::default(), 5);
+        assert_eq!(a, b);
+        for (app, &nodes) in a.iter().zip(&s.nodes) {
+            assert_eq!(app.procs(), nodes);
+        }
+    }
+
+    #[test]
+    fn io_volume_scales_with_node_count() {
+        let p = Platform::vesta();
+        let s = VestaScenario::new(&[32, 512]);
+        let apps = scenario_apps(&s, &p, IorParams::default(), 3);
+        // The 512-node group pushes (roughly) more bytes than the 32-node
+        // one: its card bandwidth is 16× higher (jitter is only ±30 %).
+        assert!(apps[1].instance(0).vol.get() > apps[0].instance(0).vol.get());
+    }
+}

@@ -1,0 +1,35 @@
+//! # iosched-workload
+//!
+//! Workload substrate standing in for the Darshan traces of Argonne's
+//! Intrepid and Mira that drive the paper's evaluation (§4).
+//!
+//! The paper reduces every Darshan job record to the tuple the §2 model
+//! needs — `(β, w, vol_io, n_tot, r)` — and *enforces periodicity* on it
+//! ("we choose to enforce application periodicity by considering that
+//! these applications have a fixed number of iterations, each of a
+//! constant execution time and I/O volume", §4.4). This crate generates
+//! exactly those tuples:
+//!
+//! * [`categories`] — the small / large / very-large application classes
+//!   of §4.1 with a Fig. 5-shaped usage mixture,
+//! * [`generator`] — the three Fig. 6 application mixes (10 large @ 20 %;
+//!   50 small + 5 large @ 20 %; 50 small + 5 large @ 35 %),
+//! * [`congestion`] — seeded congested moments for the Intrepid (56) and
+//!   Mira (11) comparisons of Figs. 8–13 / Tables 1–2,
+//! * [`sensibility`] — the §4.3 non-periodicity perturbation (Fig. 7),
+//! * [`darshan`] — a synthetic Darshan-like JSON log format, a year-long
+//!   log synthesizer and the paper's log→scenario reduction pipeline,
+//! * [`ior_profile`] — the Vesta node-split scenarios of Figs. 14–16.
+
+pub mod categories;
+pub mod congestion;
+pub mod darshan;
+pub mod generator;
+pub mod ior_profile;
+pub mod sensibility;
+
+pub use categories::AppCategory;
+pub use congestion::{congested_moment, intrepid_cases, mira_cases};
+pub use darshan::{DarshanLog, DarshanRecord};
+pub use generator::MixConfig;
+pub use ior_profile::{scenario_apps, vesta_scenarios, VestaScenario};

@@ -1,0 +1,151 @@
+//! The §4.3 *sensibility* perturbation (Fig. 7).
+//!
+//! "We define the sensibility of an application as
+//! `Sens_w = (max_i w(k,i) − min_i w(k,i)) / max_i w(k,i)`. […] To compute
+//! each point on the x % sensibility axis, we have generated applications
+//! where the value of the computation has a continuous uniform
+//! distribution between `w_min` and `w_min(1+x%)`."
+
+use iosched_model::{AppSpec, Instance, InstancePattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replace each periodic application's constant work by per-instance draws
+/// `w_i ~ U[w, w·(1+x)]` (and likewise the I/O volume with `vol_x`),
+/// producing the non-periodic applications of Fig. 7.
+///
+/// `x` and `vol_x` are fractions (0.30 = "30 % sensibility").
+///
+/// # Panics
+/// Panics on negative sensibility values.
+#[must_use]
+pub fn perturb(apps: &[AppSpec], x: f64, vol_x: f64, seed: u64) -> Vec<AppSpec> {
+    assert!(x >= 0.0 && vol_x >= 0.0, "sensibility must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    apps.iter()
+        .map(|app| {
+            let instances: Vec<Instance> = app
+                .pattern()
+                .iter()
+                .map(|inst| {
+                    let w = if x > 0.0 && inst.work.get() > 0.0 {
+                        inst.work * rng.gen_range(1.0..1.0 + x)
+                    } else {
+                        inst.work
+                    };
+                    let v = if vol_x > 0.0 && inst.vol.get() > 0.0 {
+                        inst.vol * rng.gen_range(1.0..1.0 + vol_x)
+                    } else {
+                        inst.vol
+                    };
+                    Instance::new(w, v)
+                })
+                .collect();
+            AppSpec::new(
+                app.id(),
+                app.release(),
+                app.procs(),
+                InstancePattern::Explicit(instances),
+            )
+        })
+        .collect()
+}
+
+/// Measured work sensibility of an application:
+/// `(max_i w_i − min_i w_i) / max_i w_i` (§4.3). Zero for periodic
+/// applications.
+#[must_use]
+pub fn work_sensibility(app: &AppSpec) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for inst in app.pattern().iter() {
+        lo = lo.min(inst.work.as_secs());
+        hi = hi.max(inst.work.as_secs());
+    }
+    if hi <= 0.0 {
+        0.0
+    } else {
+        (hi - lo) / hi
+    }
+}
+
+/// Measured I/O-volume sensibility (the `Sens_io` of §4.3).
+#[must_use]
+pub fn io_sensibility(app: &AppSpec) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for inst in app.pattern().iter() {
+        lo = lo.min(inst.vol.get());
+        hi = hi.max(inst.vol.get());
+    }
+    if hi <= 0.0 {
+        0.0
+    } else {
+        (hi - lo) / hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::{Bytes, Time};
+
+    fn periodic_app() -> AppSpec {
+        AppSpec::periodic(0, Time::ZERO, 100, Time::secs(100.0), Bytes::gib(10.0), 20)
+    }
+
+    #[test]
+    fn zero_sensibility_is_identity_shape() {
+        let apps = [periodic_app()];
+        let out = perturb(&apps, 0.0, 0.0, 1);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].pattern().is_periodic());
+        assert!((work_sensibility(&out[0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturbed_work_stays_in_band_and_measures_below_x() {
+        let apps = [periodic_app()];
+        let x = 0.30;
+        let out = perturb(&apps, x, 0.0, 7);
+        let app = &out[0];
+        for inst in app.pattern().iter() {
+            let w = inst.work.as_secs();
+            assert!((100.0..100.0 * (1.0 + x)).contains(&w), "w = {w}");
+        }
+        let s = work_sensibility(app);
+        // Sens = (max−min)/max ≤ x/(1+x) < x by construction.
+        assert!(s > 0.0 && s <= x / (1.0 + x) + 1e-9, "sens {s}");
+    }
+
+    #[test]
+    fn io_perturbation_independent_of_work_perturbation() {
+        let apps = [periodic_app()];
+        let out = perturb(&apps, 0.0, 0.25, 9);
+        let app = &out[0];
+        assert!((work_sensibility(app)).abs() < 1e-12);
+        assert!(io_sensibility(app) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let apps = [periodic_app()];
+        assert_eq!(perturb(&apps, 0.2, 0.2, 5), perturb(&apps, 0.2, 0.2, 5));
+        assert_ne!(perturb(&apps, 0.2, 0.2, 5), perturb(&apps, 0.2, 0.2, 6));
+    }
+
+    #[test]
+    fn sensibility_of_example_from_paper() {
+        // "if the amount of work between two instances varies from 65 to
+        // 102 time units, then Sens_w = 1 − 65/102 ≈ 36 %".
+        let app = AppSpec::new(
+            0,
+            Time::ZERO,
+            1,
+            InstancePattern::Explicit(vec![
+                Instance::new(Time::secs(65.0), Bytes::gib(1.0)),
+                Instance::new(Time::secs(102.0), Bytes::gib(1.0)),
+            ]),
+        );
+        let s = work_sensibility(&app);
+        assert!((s - (1.0 - 65.0 / 102.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: three applications contend for a shared PFS; compare
+//! uncoordinated fair sharing against the paper's global scheduler.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hpc_io_sched::baselines::FairShare;
+use hpc_io_sched::core::heuristics::{MaxSysEff, MinDilation};
+use hpc_io_sched::model::{AppSpec, Bytes, Interference, Platform, Time};
+use hpc_io_sched::sim::{simulate, SimConfig};
+
+fn main() {
+    // A small cluster: 1,000 nodes, 0.05 GiB/s per node, 10 GiB/s PFS,
+    // spinning disks (locality interference on).
+    let platform = Platform::new(
+        "quickstart",
+        1_000,
+        hpc_io_sched::model::Bw::gib_per_sec(0.05),
+        hpc_io_sched::model::Bw::gib_per_sec(10.0),
+    )
+    .with_interference(Interference::default_penalty());
+
+    // Three periodic applications: compute w seconds, then write vol GiB,
+    // ten times each (§2.1 model).
+    let apps = vec![
+        AppSpec::periodic(0, Time::ZERO, 400, Time::secs(50.0), Bytes::gib(120.0), 10),
+        AppSpec::periodic(1, Time::ZERO, 300, Time::secs(80.0), Bytes::gib(150.0), 10),
+        AppSpec::periodic(2, Time::ZERO, 200, Time::secs(30.0), Bytes::gib(80.0), 10),
+    ];
+
+    println!("policy        SysEfficiency   Dilation   makespan");
+    println!("--------------------------------------------------");
+    for (name, policy) in [
+        ("fairshare", &mut FairShare as &mut dyn hpc_io_sched::core::policy::OnlinePolicy),
+        ("mindilation", &mut MinDilation),
+        ("maxsyseff", &mut MaxSysEff),
+    ] {
+        let out = simulate(&platform, &apps, policy, &SimConfig::default())
+            .expect("valid scenario");
+        println!(
+            "{name:<12}  {:>12.1}%  {:>8.2}   {:>7.0}s",
+            out.report.sys_efficiency * 100.0,
+            out.report.dilation,
+            out.report.makespan().as_secs(),
+        );
+    }
+    println!("\n(upper limit: {:.1}% — what a congestion-free oracle would reach)",
+        simulate(&platform, &apps, &mut MinDilation, &SimConfig::default())
+            .unwrap()
+            .report
+            .upper_limit
+            * 100.0
+    );
+}

@@ -1,0 +1,95 @@
+//! §5's purpose was to *validate the simulator* against a real
+//! implementation: "We validate our simulation model and show that […]
+//! the results are much better when using our implementation than current
+//! Vesta schedulers." Here we close the same loop in-repo: the
+//! real-thread IOR harness and the fluid simulator must agree on the same
+//! scenario within protocol-overhead tolerance.
+
+use iosched_core::heuristics::{MaxSysEff, MinDilation, RoundRobin};
+use iosched_core::policy::OnlinePolicy;
+use iosched_ior::{run_ior, IorConfig};
+use iosched_model::Platform;
+use iosched_sim::{simulate, SimConfig};
+use iosched_workload::ior_profile::{scenario_apps, IorParams, VestaScenario};
+
+fn agreement_case(nodes: &[u64], policy_pair: (&mut dyn OnlinePolicy, &mut dyn OnlinePolicy)) {
+    let platform = Platform::vesta();
+    let scenario = VestaScenario::new(nodes);
+    let params = IorParams {
+        iterations: 4,
+        ..IorParams::default()
+    };
+    let apps = scenario_apps(&scenario, &platform, params, 5);
+
+    let sim = simulate(&platform, &apps, policy_pair.0, &SimConfig::default())
+        .expect("valid scenario");
+
+    let mut cfg = IorConfig::new(platform.clone(), apps);
+    cfg.speedup = 1_000.0;
+    let ior = run_ior(&cfg, policy_pair.1).expect("valid scenario");
+
+    // Per-application achieved efficiency must agree within the protocol
+    // overhead band the paper measures (≤ ~5 %) plus thread-timing noise
+    // (the whole workspace test suite may be loading every core while
+    // these sleeps run, so the band is generous: 25 % relative or 0.05
+    // absolute, whichever is friendlier).
+    for (s, r) in sim.report.per_app.iter().zip(ior.report.per_app.iter()) {
+        assert_eq!(s.id, r.id);
+        let abs = (s.rho_tilde - r.rho_tilde).abs();
+        let rel = abs / s.rho_tilde.max(1e-9);
+        assert!(
+            rel < 0.25 || abs < 0.05,
+            "scenario {}: {} fluid ρ̃ {:.4} vs threaded ρ̃ {:.4} ({:.1} % apart)",
+            scenario.name,
+            s.id,
+            s.rho_tilde,
+            r.rho_tilde,
+            rel * 100.0
+        );
+    }
+    let eff_gap = (sim.report.sys_efficiency - ior.report.sys_efficiency).abs();
+    assert!(
+        eff_gap < 0.15,
+        "scenario {}: SysEfficiency gap {eff_gap:.3} between fluid and threaded runs",
+        scenario.name
+    );
+}
+
+#[test]
+fn single_app_agrees() {
+    agreement_case(&[256], (&mut RoundRobin, &mut RoundRobin));
+}
+
+#[test]
+fn two_apps_agree_under_mindilation() {
+    agreement_case(&[256, 512], (&mut MinDilation, &mut MinDilation));
+}
+
+#[test]
+fn four_apps_agree_under_maxsyseff() {
+    agreement_case(&[512, 256, 256, 32], (&mut MaxSysEff, &mut MaxSysEff));
+}
+
+/// The threaded run's dilation ordering matches the fluid prediction:
+/// MinDilation's max dilation ≤ MaxSysEff's on the uneven scenario.
+#[test]
+fn threaded_run_preserves_the_fairness_ordering() {
+    let platform = Platform::vesta();
+    let scenario = VestaScenario::new(&[512, 256, 256, 32]);
+    let params = IorParams {
+        iterations: 5,
+        ..IorParams::default()
+    };
+    let apps = scenario_apps(&scenario, &platform, params, 11);
+
+    let mut cfg = IorConfig::new(platform.clone(), apps);
+    cfg.speedup = 1_000.0;
+    let md = run_ior(&cfg, &mut MinDilation).unwrap();
+    let ms = run_ior(&cfg, &mut MaxSysEff).unwrap();
+    assert!(
+        md.report.dilation <= ms.report.dilation + 0.4,
+        "threaded MinDilation {:.2} vs MaxSysEff {:.2}",
+        md.report.dilation,
+        ms.report.dilation
+    );
+}

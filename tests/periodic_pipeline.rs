@@ -1,0 +1,140 @@
+//! Cross-crate checks of the §3.2 periodic machinery: schedules built by
+//! the insertion heuristics stay valid on random inputs, steady state
+//! agrees with the unrolled finite-horizon execution, and the Theorem 1
+//! reduction round-trips through the scheduler types.
+
+use iosched_core::periodic::{
+    build_schedule, InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
+};
+use iosched_core::three_partition::ThreePartition;
+use iosched_model::{Bw, Bytes, Platform, Time};
+use iosched_sim::periodic_exec::unroll_report;
+use iosched_workload::congestion::congested_moment;
+use proptest::prelude::*;
+
+fn arb_periodic_apps() -> impl Strategy<Value = Vec<PeriodicAppSpec>> {
+    prop::collection::vec(
+        (1u64..400, 1.0f64..120.0, 0.1f64..80.0),
+        1..7,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (procs, w, vol))| {
+                PeriodicAppSpec::new(i, procs, Time::secs(w), Bytes::gib(vol))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both insertion heuristics produce schedules satisfying every
+    /// §3.2.1 constraint on random application sets and periods.
+    #[test]
+    fn insertion_always_produces_valid_schedules(
+        apps in arb_periodic_apps(),
+        period_factor in 1.0f64..6.0,
+    ) {
+        let platform = Platform::new("prop", 4_000, Bw::gib_per_sec(0.05),
+                                     Bw::gib_per_sec(10.0));
+        let t0: Time = apps.iter().map(|a| a.span(&platform)).fold(Time::ZERO, Time::max);
+        let period = t0 * period_factor;
+        for heuristic in [InsertionHeuristic::Throughput, InsertionHeuristic::Congestion] {
+            let schedule = build_schedule(&platform, &apps, period, heuristic);
+            schedule.validate(&platform).map_err(|e| {
+                TestCaseError::fail(format!("{}: {e}", heuristic.name()))
+            })?;
+            // Steady state is well-formed.
+            let report = schedule.steady_state(&platform);
+            prop_assert!(report.sys_efficiency >= 0.0);
+            prop_assert!(report.sys_efficiency <= report.upper_limit + 1e-9);
+        }
+    }
+
+    /// The unrolled finite-horizon report converges to the analytic
+    /// steady state (equation (1) of the paper).
+    #[test]
+    fn unroll_converges_to_steady_state(apps in arb_periodic_apps()) {
+        let platform = Platform::new("prop", 4_000, Bw::gib_per_sec(0.05),
+                                     Bw::gib_per_sec(10.0));
+        let t0: Time = apps.iter().map(|a| a.span(&platform)).fold(Time::ZERO, Time::max);
+        let schedule = build_schedule(&platform, &apps, t0 * 3.0,
+                                      InsertionHeuristic::Congestion);
+        // Only meaningful when everything got scheduled.
+        if schedule.plans.iter().any(|p| p.n_per() == 0) {
+            return Ok(());
+        }
+        let steady = schedule.steady_state(&platform);
+        let long = unroll_report(&schedule, &platform, 400);
+        prop_assert!(
+            (long.sys_efficiency - steady.sys_efficiency).abs() < 5e-3,
+            "unrolled {} vs steady {}", long.sys_efficiency, steady.sys_efficiency
+        );
+    }
+}
+
+/// Period search dominates single-period construction on its objective.
+#[test]
+fn period_search_dominates_fixed_period() {
+    let platform = Platform::intrepid();
+    let apps: Vec<PeriodicAppSpec> = congested_moment(&platform, 3)
+        .iter()
+        .map(|a| PeriodicAppSpec::from_app(a).unwrap())
+        .collect();
+    let t0: Time = apps
+        .iter()
+        .map(|a| a.span(&platform))
+        .fold(Time::ZERO, Time::max);
+    let single = build_schedule(&platform, &apps, t0, InsertionHeuristic::Congestion)
+        .steady_state(&platform);
+    let searched = PeriodSearch::new(PeriodicObjective::Dilation)
+        .with_epsilon(0.05)
+        .run(&platform, &apps, InsertionHeuristic::Congestion)
+        .unwrap();
+    assert!(
+        searched.report.dilation <= single.dilation + 1e-9,
+        "search {} vs single-period {}",
+        searched.report.dilation,
+        single.dilation
+    );
+}
+
+/// Theorem 1 end-to-end: a feasible 3-Partition instance maps to a
+/// scheduling instance whose proof schedule reaches Dilation 1 and
+/// SysEfficiency (n−1)/n, and the partition can be recovered from it;
+/// the scheduling instance is also digestible by the general periodic
+/// machinery (valid schedules, even if heuristics need a longer period).
+#[test]
+fn theorem1_reduction_end_to_end() {
+    let instance = ThreePartition::new(12, vec![4, 4, 4, 5, 4, 3, 6, 4, 2, 7, 3, 2]).unwrap();
+    let solution = instance.brute_force().expect("feasible");
+    let proof = instance.schedule_from_partition(&solution);
+    assert_eq!(proof.verify().unwrap(), 1.0);
+    assert!((proof.sys_efficiency() - 0.75).abs() < 1e-12);
+    let recovered = proof.extract_partition().unwrap();
+    for triplet in &recovered {
+        let sum: u64 = triplet.iter().map(|&k| instance.items()[k]).sum();
+        assert_eq!(sum, instance.target());
+    }
+
+    // The reduction's scheduling instance works in the general machinery.
+    let (platform, apps) = instance.to_scheduling_instance(Bw::gib_per_sec(0.1));
+    let t0: Time = apps
+        .iter()
+        .map(|a| a.span(&platform))
+        .fold(Time::ZERO, Time::max);
+    for heuristic in [InsertionHeuristic::Throughput, InsertionHeuristic::Congestion] {
+        let schedule = build_schedule(&platform, &apps, t0 * 3.0, heuristic);
+        schedule.validate(&platform).unwrap();
+    }
+}
+
+/// An infeasible 3-Partition instance has no brute-force certificate —
+/// and hence no proof schedule can be constructed from one.
+#[test]
+fn theorem1_infeasible_instance() {
+    let instance = ThreePartition::new(20, vec![10, 10, 10, 4, 3, 3]).unwrap();
+    assert!(instance.brute_force().is_none());
+}
