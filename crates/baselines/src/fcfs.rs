@@ -49,9 +49,15 @@ mod tests {
         let pending = [a0, a1, a2];
         let c = ctx(10.0, &pending);
         let alloc = Fcfs.allocate(&c);
-        assert!(alloc.granted(AppId(0)).approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
-        assert!(alloc.granted(AppId(1)).approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
-        assert!(alloc.granted(AppId(2)).approx_eq(iosched_model::Bw::gib_per_sec(2.0)));
+        assert!(alloc
+            .granted(AppId(0))
+            .approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
+        assert!(alloc
+            .granted(AppId(1))
+            .approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
+        assert!(alloc
+            .granted(AppId(2))
+            .approx_eq(iosched_model::Bw::gib_per_sec(2.0)));
     }
 
     #[test]

@@ -91,8 +91,22 @@ mod tests {
     fn burst_buffers_help_the_native_scheduler() {
         let p = native_platform(Platform::intrepid());
         let apps = congested_apps(6);
-        let with = run_native(&p, &apps, NativeConfig { burst_buffers: true }).unwrap();
-        let without = run_native(&p, &apps, NativeConfig { burst_buffers: false }).unwrap();
+        let with = run_native(
+            &p,
+            &apps,
+            NativeConfig {
+                burst_buffers: true,
+            },
+        )
+        .unwrap();
+        let without = run_native(
+            &p,
+            &apps,
+            NativeConfig {
+                burst_buffers: false,
+            },
+        )
+        .unwrap();
         assert!(
             with.report.sys_efficiency > without.report.sys_efficiency,
             "BB must improve the congested native run: {} vs {}",

@@ -26,7 +26,10 @@ fn bench_periodic(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("periodic");
     group.sample_size(20);
-    for heuristic in [InsertionHeuristic::Throughput, InsertionHeuristic::Congestion] {
+    for heuristic in [
+        InsertionHeuristic::Throughput,
+        InsertionHeuristic::Congestion,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("fill_one_period", heuristic.name()),
             &heuristic,

@@ -18,7 +18,11 @@ fn main() {
     let mut t = Table::new(["decrease bin", "applications"]);
     for (center, count) in hist.centers() {
         t.row([
-            format!("{:>4.0}-{:>3.0}%", (center - 0.05) * 100.0, (center + 0.05) * 100.0),
+            format!(
+                "{:>4.0}-{:>3.0}%",
+                (center - 0.05) * 100.0,
+                (center + 0.05) * 100.0
+            ),
             count.to_string(),
         ]);
     }

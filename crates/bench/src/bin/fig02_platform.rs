@@ -6,7 +6,13 @@ use iosched_bench::report::Table;
 
 fn main() {
     let rows = fig02::run();
-    let mut t = Table::new(["platform", "nodes N", "b (GiB/s)", "B (GiB/s)", "saturation nodes"]);
+    let mut t = Table::new([
+        "platform",
+        "nodes N",
+        "b (GiB/s)",
+        "B (GiB/s)",
+        "saturation nodes",
+    ]);
     for r in rows {
         t.row([
             r.name,

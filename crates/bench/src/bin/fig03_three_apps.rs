@@ -17,7 +17,11 @@ fn main() {
         t.row([
             format!("{:.2}", seg.start.as_secs()),
             format!("{:.2}", seg.end.as_secs()),
-            if grants.is_empty() { "-".into() } else { grants },
+            if grants.is_empty() {
+                "-".into()
+            } else {
+                grants
+            },
         ]);
     }
     t.print(&format!(

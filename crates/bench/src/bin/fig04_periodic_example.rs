@@ -24,7 +24,11 @@ fn main() {
                     inst.compute_start.as_secs(),
                     inst.compute_end.as_secs()
                 ),
-                format!("[{:.1}, {:.1})", inst.io_start.as_secs(), inst.io_end.as_secs()),
+                format!(
+                    "[{:.1}, {:.1})",
+                    inst.io_start.as_secs(),
+                    inst.io_end.as_secs()
+                ),
                 format!("{:.1}", inst.io_bw.get()),
             ]);
         }
@@ -32,7 +36,10 @@ fn main() {
             t.row([
                 plan.app.to_string(),
                 "…".into(),
-                format!("(+{} more instances)", plan.instances.len() - MAX_ROWS_PER_APP),
+                format!(
+                    "(+{} more instances)",
+                    plan.instances.len() - MAX_ROWS_PER_APP
+                ),
                 "…".into(),
                 "…".into(),
             ]);

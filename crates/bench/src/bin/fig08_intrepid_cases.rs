@@ -7,7 +7,12 @@ use iosched_bench::report::{dil, pct, Table};
 fn main() {
     let limit = iosched_bench::runs_from_env(56);
     let result = run(Machine::Intrepid, limit);
-    let series = ["priority-maxsyseff", "priority-mindilation", "intrepid", "upper-limit"];
+    let series = [
+        "priority-maxsyseff",
+        "priority-mindilation",
+        "intrepid",
+        "upper-limit",
+    ];
     let mut t = Table::new(["case", "scheduler", "SysEfficiency %", "Dilation"]);
     for c in result
         .cases

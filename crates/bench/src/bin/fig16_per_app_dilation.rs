@@ -7,7 +7,13 @@ use iosched_bench::report::{dil, Table};
 
 fn main() {
     let rows = fig16::run(1_000.0, 42);
-    let mut t = Table::new(["policy", "app0 (512)", "app1 (256)", "app2 (256)", "app3 (32)"]);
+    let mut t = Table::new([
+        "policy",
+        "app0 (512)",
+        "app1 (256)",
+        "app2 (256)",
+        "app3 (32)",
+    ]);
     for r in &rows {
         let mut cells = vec![r.policy.clone()];
         cells.extend(r.dilations.iter().map(|&d| dil(d)));

@@ -2,13 +2,15 @@
 //! burst-buffer capacity sweep for the native baseline, and the
 //! period-search ε sensitivity.
 
-use iosched_baselines::{native_platform, run_native, NativeConfig};
-use iosched_core::heuristics::MinMax;
+use crate::runner::ScenarioRunner;
+use crate::scenario::{PolicySpec, Scenario};
+use iosched_baselines::native_platform;
+use iosched_core::heuristics::{BasePolicy, PolicyKind};
 use iosched_core::periodic::{
     InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
 };
 use iosched_model::{stats, BurstBufferSpec, Platform, Time};
-use iosched_sim::{simulate, SimConfig};
+use iosched_sim::SimConfig;
 use iosched_workload::congestion::congested_moment;
 
 /// γ sweep: how MinMax-γ trades Dilation for SysEfficiency (extends
@@ -23,24 +25,40 @@ pub struct GammaRow {
     pub dilation: f64,
 }
 
-/// Sweep γ over `steps` points on `cases` Intrepid congested moments.
+/// Sweep γ over `steps` points on `cases` Intrepid congested moments
+/// (one flat `(γ × case)` batch on the parallel [`ScenarioRunner`]).
 #[must_use]
 pub fn gamma_sweep(steps: usize, cases: usize) -> Vec<GammaRow> {
     assert!(steps >= 2, "need at least the two endpoint gammas");
     let platform = native_platform(Platform::intrepid());
-    (0..steps)
-        .map(|i| {
-            let gamma = i as f64 / (steps - 1) as f64;
-            let mut effs = Vec::with_capacity(cases);
-            let mut dils = Vec::with_capacity(cases);
-            for seed in 0..cases as u64 {
-                let apps = congested_moment(&platform, seed);
-                let mut policy = MinMax::new(gamma);
-                let out = simulate(&platform, &apps, &mut policy, &SimConfig::default())
-                    .expect("valid scenario");
-                effs.push(out.report.sys_efficiency);
-                dils.push(out.report.dilation);
-            }
+    let apps_per_seed: Vec<_> = (0..cases as u64)
+        .map(|seed| congested_moment(&platform, seed))
+        .collect();
+    let gammas: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
+    let mut scenarios = Vec::with_capacity(steps * cases);
+    for &gamma in &gammas {
+        for (seed, apps) in apps_per_seed.iter().enumerate() {
+            scenarios.push(Scenario::new(
+                format!("gamma/{gamma:.3}/{seed}"),
+                platform.clone(),
+                apps.clone(),
+                PolicySpec::Kind(PolicyKind::plain(BasePolicy::MinMax(gamma))),
+            ));
+        }
+    }
+    let results = ScenarioRunner::new().run_all(&scenarios);
+    gammas
+        .iter()
+        .zip(results.chunks(cases))
+        .map(|(&gamma, chunk)| {
+            let effs: Vec<f64> = chunk
+                .iter()
+                .map(|r| r.as_ref().expect("valid scenario").report.sys_efficiency)
+                .collect();
+            let dils: Vec<f64> = chunk
+                .iter()
+                .map(|r| r.as_ref().expect("valid scenario").report.dilation)
+                .collect();
             GammaRow {
                 gamma,
                 sys_efficiency: stats::mean(&effs),
@@ -60,24 +78,39 @@ pub struct BbCapacityRow {
     pub sys_efficiency: f64,
 }
 
-/// Sweep capacities (in seconds of `B`) on Intrepid congested moments.
+/// Sweep capacities (in seconds of `B`) on Intrepid congested moments
+/// (one flat `(capacity × case)` batch on the parallel
+/// [`ScenarioRunner`]).
 #[must_use]
 pub fn bb_capacity_sweep(capacities_secs: &[f64], cases: usize) -> Vec<BbCapacityRow> {
     let base = native_platform(Platform::intrepid());
+    let mut scenarios = Vec::with_capacity(capacities_secs.len() * cases);
+    for &secs in capacities_secs {
+        let platform = base.clone().with_burst_buffer(BurstBufferSpec {
+            capacity: base.total_bw * Time::secs(secs),
+            absorb_bw: base.total_bw * 4.0,
+        });
+        for seed in 0..cases as u64 {
+            scenarios.push(
+                Scenario::new(
+                    format!("bb-capacity/{secs}/{seed}"),
+                    platform.clone(),
+                    congested_moment(&platform, seed),
+                    PolicySpec::FairShare,
+                )
+                .with_config(SimConfig::with_burst_buffer()),
+            );
+        }
+    }
+    let results = ScenarioRunner::new().run_all(&scenarios);
     capacities_secs
         .iter()
-        .map(|&secs| {
-            let platform = base.clone().with_burst_buffer(BurstBufferSpec {
-                capacity: base.total_bw * Time::secs(secs),
-                absorb_bw: base.total_bw * 4.0,
-            });
-            let mut effs = Vec::with_capacity(cases);
-            for seed in 0..cases as u64 {
-                let apps = congested_moment(&platform, seed);
-                let out = run_native(&platform, &apps, NativeConfig::default())
-                    .expect("valid scenario");
-                effs.push(out.report.sys_efficiency);
-            }
+        .zip(results.chunks(cases))
+        .map(|(&secs, chunk)| {
+            let effs: Vec<f64> = chunk
+                .iter()
+                .map(|r| r.as_ref().expect("valid scenario").report.sys_efficiency)
+                .collect();
             BbCapacityRow {
                 capacity_secs: secs,
                 sys_efficiency: stats::mean(&effs),
@@ -97,7 +130,9 @@ pub struct EpsilonRow {
     pub dilation: f64,
 }
 
-/// Sweep ε on a fixed periodic application set.
+/// Sweep ε on a fixed periodic application set. Period searches are not
+/// fluid simulations, so they ride on the runner's generic parallel map
+/// (one search per worker, results input-ordered).
 #[must_use]
 pub fn epsilon_sweep(epsilons: &[f64]) -> Vec<EpsilonRow> {
     let platform = Platform::intrepid();
@@ -105,20 +140,17 @@ pub fn epsilon_sweep(epsilons: &[f64]) -> Vec<EpsilonRow> {
         .iter()
         .map(|a| PeriodicAppSpec::from_app(a).expect("generator emits periodic apps"))
         .collect();
-    epsilons
-        .iter()
-        .map(|&epsilon| {
-            let result = PeriodSearch::new(PeriodicObjective::Dilation)
-                .with_epsilon(epsilon)
-                .run(&platform, &apps, InsertionHeuristic::Congestion)
-                .expect("non-empty set");
-            EpsilonRow {
-                epsilon,
-                candidates: result.candidates_tried,
-                dilation: result.report.dilation,
-            }
-        })
-        .collect()
+    ScenarioRunner::new().map(epsilons, |_, &epsilon| {
+        let result = PeriodSearch::new(PeriodicObjective::Dilation)
+            .with_epsilon(epsilon)
+            .run(&platform, &apps, InsertionHeuristic::Congestion)
+            .expect("non-empty set");
+        EpsilonRow {
+            epsilon,
+            candidates: result.candidates_tried,
+            dilation: result.report.dilation,
+        }
+    })
 }
 
 #[cfg(test)]

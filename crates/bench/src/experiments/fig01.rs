@@ -7,7 +7,8 @@
 //! mode. The paper's headline: decreases reach ~70 % ("a decrease in I/O
 //! throughput of 67 %", abstract).
 
-use iosched_baselines::{run_native, NativeConfig};
+use crate::runner::ScenarioRunner;
+use crate::scenario::{PolicySpec, Scenario};
 use iosched_model::{stats, Interference, Platform};
 use iosched_workload::congestion::congested_moment;
 
@@ -39,26 +40,37 @@ impl Fig01Result {
 
 /// Collect at least `target_apps` application samples (the paper uses
 /// 400) from successive congested moments.
+///
+/// Seeds are swept in parallel batches through the [`ScenarioRunner`];
+/// since results come back seed-ordered, the collected distribution is
+/// identical to the old sequential sweep.
 #[must_use]
 pub fn run(target_apps: usize) -> Fig01Result {
-    let platform =
-        Platform::intrepid().with_interference(Interference::default_penalty());
+    const BATCH: u64 = 16;
+    let platform = Platform::intrepid().with_interference(Interference::default_penalty());
+    let runner = ScenarioRunner::new();
     let mut decreases = Vec::with_capacity(target_apps);
     let mut seed = 0u64;
     while decreases.len() < target_apps && seed < 10_000 {
-        let apps = congested_moment(&platform, seed);
-        let out = run_native(
-            &platform,
-            &apps,
-            NativeConfig {
-                burst_buffers: false,
-            },
-        )
-        .expect("congested moments are valid scenarios");
-        for o in &out.report.per_app {
-            decreases.push(o.io_throughput_decrease());
+        // The native stack without burst buffers: uncoordinated fair
+        // sharing on the penalized platform.
+        let scenarios: Vec<Scenario> = (seed..seed + BATCH)
+            .map(|s| {
+                Scenario::new(
+                    format!("fig01/{s}"),
+                    platform.clone(),
+                    congested_moment(&platform, s),
+                    PolicySpec::FairShare,
+                )
+            })
+            .collect();
+        for result in runner.run_all(&scenarios) {
+            let out = result.expect("congested moments are valid scenarios");
+            for o in &out.report.per_app {
+                decreases.push(o.io_throughput_decrease());
+            }
         }
-        seed += 1;
+        seed += BATCH;
     }
     decreases.truncate(target_apps);
     decreases.sort_by(|a, b| b.total_cmp(a));
@@ -81,7 +93,11 @@ mod tests {
         );
         assert!(r.max() <= 1.0);
         // Congestion hurts a majority of applications.
-        assert!(r.median() > 0.05, "median {:.3} suspiciously low", r.median());
+        assert!(
+            r.median() > 0.05,
+            "median {:.3} suspiciously low",
+            r.median()
+        );
         // Sorted descending.
         for w in r.decreases.windows(2) {
             assert!(w[0] >= w[1]);

@@ -23,19 +23,14 @@ pub struct Fig03Result {
 /// lengths, all I/O bursts colliding on a 10 GiB/s PFS.
 #[must_use]
 pub fn run() -> Fig03Result {
-    let platform = Platform::new(
-        "fig3",
-        300,
-        Bw::gib_per_sec(0.05),
-        Bw::gib_per_sec(10.0),
-    );
+    let platform = Platform::new("fig3", 300, Bw::gib_per_sec(0.05), Bw::gib_per_sec(10.0));
     let apps = vec![
         AppSpec::periodic(0, Time::ZERO, 100, Time::secs(10.0), Bytes::gib(40.0), 3),
         AppSpec::periodic(1, Time::ZERO, 100, Time::secs(12.0), Bytes::gib(40.0), 3),
         AppSpec::periodic(2, Time::ZERO, 100, Time::secs(14.0), Bytes::gib(40.0), 3),
     ];
-    let out = simulate(&platform, &apps, &mut RoundRobin, &SimConfig::traced())
-        .expect("valid scenario");
+    let out =
+        simulate(&platform, &apps, &mut RoundRobin, &SimConfig::traced()).expect("valid scenario");
     Fig03Result {
         segments: out.trace.expect("trace requested").segments,
         total_bw_gib: platform.total_bw.as_gib_per_sec(),
@@ -52,11 +47,7 @@ mod tests {
         assert!(!r.segments.is_empty());
         // At some point more than one application holds bandwidth
         // (5 GiB/s card limit each < 10 GiB/s PFS → pairs can overlap).
-        let concurrent = r
-            .segments
-            .iter()
-            .filter(|s| s.grants.len() >= 2)
-            .count();
+        let concurrent = r.segments.iter().filter(|s| s.grants.len() >= 2).count();
         assert!(concurrent > 0, "expected overlapping transfers");
         // And the aggregate never exceeds B.
         for s in &r.segments {

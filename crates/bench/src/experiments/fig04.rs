@@ -57,10 +57,7 @@ pub fn run() -> Fig04Result {
         .with_max_factor(1.5)
         .run(&platform, &apps, InsertionHeuristic::Congestion)
         .expect("non-empty application set");
-    let n_per = apps
-        .iter()
-        .map(|a| result.schedule.n_per(a.id))
-        .collect();
+    let n_per = apps.iter().map(|a| result.schedule.n_per(a.id)).collect();
     Fig04Result {
         schedule: result.schedule,
         report: result.report,

@@ -5,6 +5,7 @@
 //! We synthesize a year-long Darshan-like log with the calibrated
 //! category mixture and report the same two statistics.
 
+use crate::runner::ScenarioRunner;
 use iosched_model::Platform;
 use iosched_workload::categories::AppCategory;
 use iosched_workload::DarshanLog;
@@ -22,11 +23,35 @@ pub struct CategoryRow {
     pub mean_io_fraction: f64,
 }
 
+/// Shards the synthetic year is split into. Fixed (not thread-count
+/// derived) so the merged log is identical no matter how many workers
+/// the runner uses.
+const SHARDS: usize = 8;
+
 /// Synthesize the year and aggregate per category.
+///
+/// The year-long log is synthesized in [`SHARDS`] deterministic shards
+/// (seeded from `seed` and the shard index) fanned out on the
+/// [`ScenarioRunner`]'s generic parallel map, then merged in shard order.
 #[must_use]
 pub fn run(jobs: usize, seed: u64) -> Vec<CategoryRow> {
     let platform = Platform::intrepid();
-    let log = DarshanLog::synthesize_year(&platform, seed, jobs);
+    let shard_sizes: Vec<(u64, usize)> = (0..SHARDS)
+        .map(|shard| {
+            let shard_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(shard as u64);
+            // Distribute `jobs` as evenly as possible over the shards.
+            let n = jobs / SHARDS + usize::from(shard < jobs % SHARDS);
+            (shard_seed, n)
+        })
+        .collect();
+    let shards = ScenarioRunner::new().map(&shard_sizes, |_, &(shard_seed, n)| {
+        DarshanLog::synthesize_year(&platform, shard_seed, n)
+    });
+    let log = DarshanLog {
+        records: shards.into_iter().flat_map(|l| l.records).collect(),
+    };
     let total_node_seconds: f64 = log
         .records
         .iter()

@@ -5,9 +5,10 @@
 //! small + 5 large @ 35 %. "Simulations were run 200 times on different
 //! application mixes and only the mean values are reported."
 
+use crate::runner::ScenarioRunner;
+use crate::scenario::{PolicySpec, Scenario};
 use iosched_core::heuristics::PolicyKind;
 use iosched_model::{stats, Platform};
-use iosched_sim::{simulate, SimConfig};
 use iosched_workload::MixConfig;
 
 /// Mean objectives of one policy on one mix.
@@ -35,34 +36,58 @@ pub fn mixes() -> Vec<(&'static str, MixConfig)> {
     ]
 }
 
-/// Run `runs` random mixes per configuration per policy.
+/// Run `runs` random mixes per configuration per policy (fanned out in
+/// parallel by the [`ScenarioRunner`]; results are input-ordered, so the
+/// reported means are independent of the thread count).
 #[must_use]
 pub fn run(runs: usize) -> Vec<Fig06Row> {
     let platform = Platform::intrepid();
     let kinds = PolicyKind::fig6_roster();
-    let mut rows = Vec::new();
-    for (label, mix) in mixes() {
+    let mixes = mixes();
+
+    // Describe the (mix × policy × seed) sweep declaratively; each seed's
+    // application mix is generated once and shared across policies.
+    let mut scenarios = Vec::with_capacity(mixes.len() * kinds.len() * runs);
+    for (label, mix) in &mixes {
+        let apps_per_seed: Vec<_> = (0..runs as u64)
+            .map(|seed| mix.generate(&platform, seed))
+            .collect();
         for kind in &kinds {
-            let mut effs = Vec::with_capacity(runs);
-            let mut dils = Vec::with_capacity(runs);
-            let mut uppers = Vec::with_capacity(runs);
-            for seed in 0..runs as u64 {
-                let apps = mix.generate(&platform, seed);
-                let mut policy = kind.build();
-                let out = simulate(&platform, &apps, &mut policy, &SimConfig::default())
-                    .expect("generated mixes are valid");
-                effs.push(out.report.sys_efficiency);
-                dils.push(out.report.dilation);
-                uppers.push(out.report.upper_limit);
+            for (seed, apps) in apps_per_seed.iter().enumerate() {
+                scenarios.push(Scenario::new(
+                    format!("fig06/{label}/{}/{seed}", kind.name()),
+                    platform.clone(),
+                    apps.clone(),
+                    PolicySpec::Kind(*kind),
+                ));
             }
-            rows.push(Fig06Row {
-                mix: label,
-                policy: kind.name(),
-                sys_efficiency: stats::mean(&effs),
-                dilation: stats::mean(&dils),
-                upper_limit: stats::mean(&uppers),
-            });
         }
+    }
+    let results = ScenarioRunner::new().run_all(&scenarios);
+
+    // Chunk structurally: each (mix, policy) pair owns `runs` consecutive
+    // results, mirroring the construction order above.
+    let mut rows = Vec::new();
+    let mix_kind_pairs = mixes
+        .iter()
+        .flat_map(|&(label, _)| kinds.iter().map(move |kind| (label, kind)));
+    for ((label, kind), chunk) in mix_kind_pairs.zip(results.chunks(runs)) {
+        let mut effs = Vec::with_capacity(runs);
+        let mut dils = Vec::with_capacity(runs);
+        let mut uppers = Vec::with_capacity(runs);
+        for result in chunk {
+            let out = result.as_ref().expect("generated mixes are valid");
+            effs.push(out.report.sys_efficiency);
+            dils.push(out.report.dilation);
+            uppers.push(out.report.upper_limit);
+        }
+        rows.push(Fig06Row {
+            mix: label,
+            policy: kind.name(),
+            sys_efficiency: stats::mean(&effs),
+            dilation: stats::mean(&dils),
+            upper_limit: stats::mean(&uppers),
+        });
     }
     rows
 }

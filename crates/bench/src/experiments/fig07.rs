@@ -6,9 +6,10 @@
 //! parameter has almost no impact on the results" because the online
 //! heuristics only use information available at each event.
 
+use crate::runner::ScenarioRunner;
+use crate::scenario::{PolicySpec, Scenario};
 use iosched_core::heuristics::{BasePolicy, PolicyKind};
 use iosched_model::{stats, Platform};
-use iosched_sim::{simulate, SimConfig};
 use iosched_workload::{sensibility, MixConfig};
 
 /// Mean objectives at one sensibility level for one policy.
@@ -40,33 +41,58 @@ pub fn policies() -> Vec<PolicyKind> {
     ]
 }
 
-/// Run `runs` mixes per sensibility level per policy.
+/// Run `runs` mixes per sensibility level per policy (batched through the
+/// parallel [`ScenarioRunner`]; input-ordered results keep the means
+/// thread-count independent).
 #[must_use]
 pub fn run(runs: usize) -> Vec<Fig07Row> {
     let platform = Platform::intrepid();
     let mix = MixConfig::fig6b();
-    let mut rows = Vec::new();
-    for &pct in &sensibility_levels() {
+    let levels = sensibility_levels();
+    let kinds = policies();
+
+    let mut scenarios = Vec::with_capacity(levels.len() * kinds.len() * runs);
+    for &pct in &levels {
         let x = f64::from(pct) / 100.0;
-        for kind in &policies() {
-            let mut effs = Vec::with_capacity(runs);
-            let mut dils = Vec::with_capacity(runs);
-            for seed in 0..runs as u64 {
+        let apps_per_seed: Vec<_> = (0..runs as u64)
+            .map(|seed| {
                 let periodic = mix.generate(&platform, seed);
-                let apps = sensibility::perturb(&periodic, x, x, seed ^ 0xABCD);
-                let mut policy = kind.build();
-                let out = simulate(&platform, &apps, &mut policy, &SimConfig::default())
-                    .expect("perturbed mixes are valid");
-                effs.push(out.report.sys_efficiency);
-                dils.push(out.report.dilation);
+                sensibility::perturb(&periodic, x, x, seed ^ 0xABCD)
+            })
+            .collect();
+        for kind in &kinds {
+            for (seed, apps) in apps_per_seed.iter().enumerate() {
+                scenarios.push(Scenario::new(
+                    format!("fig07/{pct}%/{}/{seed}", kind.name()),
+                    platform.clone(),
+                    apps.clone(),
+                    PolicySpec::Kind(*kind),
+                ));
             }
-            rows.push(Fig07Row {
-                sensibility_pct: pct,
-                policy: kind.name(),
-                sys_efficiency: stats::mean(&effs),
-                dilation: stats::mean(&dils),
-            });
         }
+    }
+    let results = ScenarioRunner::new().run_all(&scenarios);
+
+    // Chunk structurally: each (level, policy) pair owns `runs`
+    // consecutive results, mirroring the construction order above.
+    let mut rows = Vec::new();
+    let level_kind_pairs = levels
+        .iter()
+        .flat_map(|&pct| kinds.iter().map(move |kind| (pct, kind)));
+    for ((pct, kind), chunk) in level_kind_pairs.zip(results.chunks(runs)) {
+        let mut effs = Vec::with_capacity(runs);
+        let mut dils = Vec::with_capacity(runs);
+        for result in chunk {
+            let out = result.as_ref().expect("perturbed mixes are valid");
+            effs.push(out.report.sys_efficiency);
+            dils.push(out.report.dilation);
+        }
+        rows.push(Fig07Row {
+            sensibility_pct: pct,
+            policy: kind.name(),
+            sys_efficiency: stats::mean(&effs),
+            dilation: stats::mean(&dils),
+        });
     }
     rows
 }
@@ -80,8 +106,7 @@ mod tests {
         let rows = run(5);
         for kind in policies() {
             let name = kind.name();
-            let series: Vec<&Fig07Row> =
-                rows.iter().filter(|r| r.policy == name).collect();
+            let series: Vec<&Fig07Row> = rows.iter().filter(|r| r.policy == name).collect();
             assert_eq!(series.len(), sensibility_levels().len());
             let base = series[0];
             for r in &series {

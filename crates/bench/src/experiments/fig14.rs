@@ -58,7 +58,7 @@ mod tests {
     #[test]
     fn overheads_are_small_for_every_scenario() {
         // Coarse scale to keep the test quick; the binary uses a finer one.
-        let rows = run(4_000.0);
+        let rows = run(2_000.0);
         assert_eq!(rows.len(), 11);
         for r in &rows {
             assert!(r.overhead_no_bb >= 0.0 && r.overhead_bb >= 0.0);

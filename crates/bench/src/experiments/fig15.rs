@@ -34,12 +34,32 @@ pub fn vesta_platform() -> Platform {
 fn variants() -> Vec<(String, Box<dyn OnlinePolicy>, bool)> {
     // §5.1: Vesta uses hard disks, so the Priority variants run.
     vec![
-        ("ior".into(), Box::new(FairShare) as Box<dyn OnlinePolicy>, false),
-        ("maxsyseff".into(), Box::new(Priority::new(MaxSysEff)), false),
-        ("mindilation".into(), Box::new(Priority::new(MinDilation)), false),
+        (
+            "ior".into(),
+            Box::new(FairShare) as Box<dyn OnlinePolicy>,
+            false,
+        ),
+        (
+            "maxsyseff".into(),
+            Box::new(Priority::new(MaxSysEff)),
+            false,
+        ),
+        (
+            "mindilation".into(),
+            Box::new(Priority::new(MinDilation)),
+            false,
+        ),
         ("bb-ior".into(), Box::new(FairShare), true),
-        ("bb-maxsyseff".into(), Box::new(Priority::new(MaxSysEff)), true),
-        ("bb-mindilation".into(), Box::new(Priority::new(MinDilation)), true),
+        (
+            "bb-maxsyseff".into(),
+            Box::new(Priority::new(MaxSysEff)),
+            true,
+        ),
+        (
+            "bb-mindilation".into(),
+            Box::new(Priority::new(MinDilation)),
+            true,
+        ),
     ]
 }
 

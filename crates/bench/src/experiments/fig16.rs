@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn mindilation_is_more_uniform_than_maxsyseff() {
-        let rows = run(4_000.0, 3);
+        let rows = run(2_000.0, 3);
         let get = |name: &str| {
             rows.iter()
                 .find(|r| r.policy == name)

@@ -12,10 +12,12 @@
 //! Figures 8–13 are the per-case series of the same data; the tables are
 //! its averages.
 
-use iosched_baselines::{native_platform, run_native, NativeConfig};
+use crate::runner::ScenarioRunner;
+use crate::scenario::{PolicySpec, Scenario};
+use iosched_baselines::native_platform;
 use iosched_core::heuristics::PolicyKind;
 use iosched_model::{stats, Platform};
-use iosched_sim::{simulate, SimConfig};
+use iosched_sim::SimConfig;
 use iosched_workload::congestion::{congested_moment, intrepid_cases, mira_cases};
 
 /// Which machine a run models.
@@ -92,6 +94,10 @@ pub struct TablesResult {
 
 /// Run every scheduler over `limit` cases of `machine` (pass `usize::MAX`
 /// for the paper's full case count).
+///
+/// The whole `(case × scheduler)` grid is described as one flat batch and
+/// executed in parallel by the [`ScenarioRunner`]; the per-case series
+/// and table averages are assembled from the input-ordered results.
 #[must_use]
 pub fn run(machine: Machine, limit: usize) -> TablesResult {
     let plain = machine.platform();
@@ -99,17 +105,39 @@ pub fn run(machine: Machine, limit: usize) -> TablesResult {
     let kinds = PolicyKind::tables_roster();
     let seeds: Vec<u64> = machine.cases().into_iter().take(limit).collect();
 
-    let mut cases = Vec::new();
+    // Per case: the heuristics run on the *penalized* platform without
+    // burst buffers (they serialize I/O, so the locality penalty rarely
+    // bites them, but it is the same disk model the native run sees),
+    // followed by the native scheduler — fair sharing *with* the buffer.
+    let mut scenarios = Vec::with_capacity(seeds.len() * (kinds.len() + 1));
     for (idx, &seed) in seeds.iter().enumerate() {
-        let case = idx + 1;
-        // The heuristics run on the *penalized* platform without burst
-        // buffers: they serialize I/O, so the locality penalty rarely
-        // bites them, but it is the same disk model the native run sees.
         let apps = congested_moment(&native, seed);
         for kind in &kinds {
-            let mut policy = kind.build();
-            let out = simulate(&native, &apps, &mut policy, &SimConfig::default())
-                .expect("congested moments are valid");
+            scenarios.push(Scenario::new(
+                format!("{}/case{}/{}", machine.native_label(), idx + 1, kind.name()),
+                native.clone(),
+                apps.clone(),
+                PolicySpec::Kind(*kind),
+            ));
+        }
+        scenarios.push(
+            Scenario::new(
+                format!("{}/case{}/native", machine.native_label(), idx + 1),
+                native.clone(),
+                apps,
+                PolicySpec::FairShare,
+            )
+            .with_config(SimConfig::with_burst_buffer()),
+        );
+    }
+    let results = ScenarioRunner::new().run_all(&scenarios);
+
+    let mut cases = Vec::new();
+    let per_case = kinds.len() + 1;
+    for (idx, chunk) in results.chunks(per_case).enumerate() {
+        let case = idx + 1;
+        for (kind, result) in kinds.iter().zip(chunk) {
+            let out = result.as_ref().expect("congested moments are valid");
             cases.push(CaseResult {
                 case,
                 scheduler: kind.name(),
@@ -117,8 +145,7 @@ pub fn run(machine: Machine, limit: usize) -> TablesResult {
                 dilation: out.report.dilation,
             });
         }
-        let nat = run_native(&native, &apps, NativeConfig::default())
-            .expect("native run");
+        let nat = chunk[kinds.len()].as_ref().expect("native run");
         cases.push(CaseResult {
             case,
             scheduler: machine.native_label().into(),

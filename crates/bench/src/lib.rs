@@ -16,6 +16,11 @@
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use runner::ScenarioRunner;
+pub use scenario::{PolicySpec, Scenario};
 
 /// Resolve the number of randomized repetitions: first CLI argument if
 /// parseable, else `REPRO_RUNS`, else `default`.

@@ -1,0 +1,194 @@
+//! Declarative description of one simulate-one-scenario unit of work.
+//!
+//! The paper's whole evaluation (Figs. 5–16, Tables 1–2) is thousands of
+//! independent `simulate()` calls differing only in platform, application
+//! mix, policy and engine configuration. A [`Scenario`] captures exactly
+//! that tuple as data, so experiment code *describes* its sweep and hands
+//! the batch to a [`crate::runner::ScenarioRunner`] instead of hand-rolling
+//! a sequential loop per figure.
+
+use iosched_baselines::{FairShare, Fcfs};
+use iosched_core::heuristics::{BasePolicy, PolicyKind};
+use iosched_core::policy::OnlinePolicy;
+use iosched_model::{AppSpec, Platform};
+use iosched_sim::{simulate, SimConfig, SimError, SimOutcome};
+
+/// Buildable description of an online policy — everything the runner can
+/// instantiate fresh inside a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// One of the paper's heuristics (MaxSysEff, MinMax-γ, …, ± Priority).
+    Kind(PolicyKind),
+    /// Uncoordinated max–min fair sharing (the native baseline's policy).
+    FairShare,
+    /// Strict first-come-first-served.
+    Fcfs,
+}
+
+impl PolicySpec {
+    /// Instantiate the policy.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn OnlinePolicy> {
+        match self {
+            Self::Kind(kind) => kind.build(),
+            Self::FairShare => Box::new(FairShare),
+            Self::Fcfs => Box::new(Fcfs),
+        }
+    }
+
+    /// The report name of the built policy.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Self::Kind(kind) => kind.name(),
+            Self::FairShare => "fairshare".into(),
+            Self::Fcfs => "fcfs".into(),
+        }
+    }
+
+    /// Parse the names used throughout the reports and the CLI:
+    /// `roundrobin`, `mindilation`, `maxsyseff`, `minmax-<γ>`,
+    /// `fairshare`, `fcfs`, plus `priority-` variants of the heuristics.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        let (prio, bare) = match name.strip_prefix("priority-") {
+            Some(rest) => (true, rest),
+            None => (false, name),
+        };
+        let kind = |base: BasePolicy| {
+            Ok(Self::Kind(if prio {
+                PolicyKind::with_priority(base)
+            } else {
+                PolicyKind::plain(base)
+            }))
+        };
+        match bare {
+            "roundrobin" => kind(BasePolicy::RoundRobin),
+            "mindilation" => kind(BasePolicy::MinDilation),
+            "maxsyseff" => kind(BasePolicy::MaxSysEff),
+            "fairshare" if !prio => Ok(Self::FairShare),
+            "fcfs" if !prio => Ok(Self::Fcfs),
+            other => match other.strip_prefix("minmax-") {
+                Some(gamma) => {
+                    let g: f64 = gamma
+                        .parse()
+                        .map_err(|_| format!("bad MinMax threshold '{gamma}'"))?;
+                    if !(0.0..=1.0).contains(&g) {
+                        return Err(format!("MinMax threshold {g} outside [0, 1]"));
+                    }
+                    kind(BasePolicy::MinMax(g))
+                }
+                None => Err(format!(
+                    "unknown policy '{name}' (try roundrobin, mindilation, maxsyseff, \
+                     minmax-<γ>, fairshare, fcfs, or a priority- prefix)"
+                )),
+            },
+        }
+    }
+}
+
+/// One unit of batch work: a platform, its applications, the policy to
+/// drive them and the engine configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Free-form tag carried through to the results (figure key, case
+    /// number, seed, …).
+    pub label: String,
+    /// The machine description.
+    pub platform: Platform,
+    /// The §2.1 applications.
+    pub apps: Vec<AppSpec>,
+    /// Which policy to run.
+    pub policy: PolicySpec,
+    /// Engine configuration.
+    pub config: SimConfig,
+}
+
+impl Scenario {
+    /// A scenario with the default engine configuration.
+    pub fn new(
+        label: impl Into<String>,
+        platform: Platform,
+        apps: Vec<AppSpec>,
+        policy: PolicySpec,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            platform,
+            apps,
+            policy,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Override the engine configuration.
+    #[must_use]
+    pub fn with_config(self, config: SimConfig) -> Self {
+        Self { config, ..self }
+    }
+
+    /// Execute this scenario to completion (the sequential unit the
+    /// parallel runner fans out).
+    pub fn run(&self) -> Result<SimOutcome, SimError> {
+        let mut policy = self.policy.build();
+        simulate(&self.platform, &self.apps, policy.as_mut(), &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::{Bytes, Time};
+
+    #[test]
+    fn policy_spec_parses_the_full_roster() {
+        for name in [
+            "roundrobin",
+            "mindilation",
+            "maxsyseff",
+            "minmax-0.5",
+            "priority-minmax-0.25",
+            "priority-maxsyseff",
+            "fairshare",
+            "fcfs",
+        ] {
+            let spec = PolicySpec::parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!spec.build().name().is_empty());
+        }
+        assert!(PolicySpec::parse("lottery").is_err());
+        assert!(PolicySpec::parse("minmax-1.5").is_err());
+        assert!(PolicySpec::parse("priority-fairshare").is_err());
+        assert!(PolicySpec::parse("priority-fcfs").is_err());
+    }
+
+    #[test]
+    fn scenario_runs_like_a_direct_simulate_call() {
+        let platform = Platform::vesta();
+        let apps = vec![AppSpec::periodic(
+            0,
+            Time::ZERO,
+            256,
+            Time::secs(60.0),
+            Bytes::gib(100.0),
+            3,
+        )];
+        let scenario = Scenario::new(
+            "unit",
+            platform.clone(),
+            apps.clone(),
+            PolicySpec::parse("maxsyseff").unwrap(),
+        );
+        let out = scenario.run().unwrap();
+        let direct = simulate(
+            &platform,
+            &apps,
+            &mut iosched_core::heuristics::MaxSysEff,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.events, direct.events);
+        assert_eq!(
+            out.report.sys_efficiency.to_bits(),
+            direct.report.sys_efficiency.to_bits()
+        );
+    }
+}

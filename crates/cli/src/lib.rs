@@ -12,19 +12,33 @@
 //! iosched simulate scenario.json --policy priority-maxsyseff [--burst-buffer]
 //! iosched simulate scenario.json --policy all
 //! iosched periodic scenario.json --objective dilation --epsilon 0.05
+//! iosched batch batch.json [--threads N]
 //! ```
 //!
 //! Scenario files are plain JSON (`serde`) holding the platform and the
 //! application list, so they can be authored by hand or produced by any
-//! external tool.
+//! external tool. Batch specs describe a whole `(seed × policy)` sweep
+//! that runs in parallel on the [`iosched_bench::ScenarioRunner`]:
+//!
+//! ```json
+//! {
+//!   "platform": "intrepid",
+//!   "kind": "congested",
+//!   "seeds": [0, 1, 2, 3],
+//!   "policies": ["maxsyseff", "mindilation", "fairshare"],
+//!   "burst_buffer": false,
+//!   "threads": null
+//! }
+//! ```
 
-use iosched_baselines::{FairShare, Fcfs};
-use iosched_core::heuristics::{BasePolicy, PolicyKind};
+use iosched_bench::runner::ScenarioRunner;
+use iosched_bench::scenario::{PolicySpec, Scenario};
+use iosched_core::heuristics::PolicyKind;
 use iosched_core::periodic::{
     InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
 };
 use iosched_core::policy::OnlinePolicy;
-use iosched_model::{app::validate_scenario, AppSpec, Platform};
+use iosched_model::{app::validate_scenario, stats, AppSpec, Platform};
 use iosched_sim::{simulate, SimConfig};
 use iosched_workload::congestion::congested_moment;
 use iosched_workload::MixConfig;
@@ -72,41 +86,11 @@ pub fn platform_by_name(name: &str) -> Result<Platform, String> {
 }
 
 /// Resolve a policy by the names used throughout the reports. `all` is
-/// handled by the caller.
+/// handled by the caller. (Name resolution lives in
+/// [`iosched_bench::scenario::PolicySpec`] so the CLI, the batch layer
+/// and the experiment runners agree on one vocabulary.)
 pub fn policy_by_name(name: &str) -> Result<Box<dyn OnlinePolicy>, String> {
-    let build_kind = |base: BasePolicy, prio: bool| -> Box<dyn OnlinePolicy> {
-        if prio {
-            PolicyKind::with_priority(base).build()
-        } else {
-            PolicyKind::plain(base).build()
-        }
-    };
-    let (prio, bare) = match name.strip_prefix("priority-") {
-        Some(rest) => (true, rest),
-        None => (false, name),
-    };
-    match bare {
-        "roundrobin" => Ok(build_kind(BasePolicy::RoundRobin, prio)),
-        "mindilation" => Ok(build_kind(BasePolicy::MinDilation, prio)),
-        "maxsyseff" => Ok(build_kind(BasePolicy::MaxSysEff, prio)),
-        "fairshare" if !prio => Ok(Box::new(FairShare)),
-        "fcfs" if !prio => Ok(Box::new(Fcfs)),
-        other => match other.strip_prefix("minmax-") {
-            Some(gamma) => {
-                let g: f64 = gamma
-                    .parse()
-                    .map_err(|_| format!("bad MinMax threshold '{gamma}'"))?;
-                if !(0.0..=1.0).contains(&g) {
-                    return Err(format!("MinMax threshold {g} outside [0, 1]"));
-                }
-                Ok(build_kind(BasePolicy::MinMax(g), prio))
-            }
-            None => Err(format!(
-                "unknown policy '{name}' (try roundrobin, mindilation, maxsyseff, \
-                 minmax-<γ>, fairshare, fcfs, or a priority- prefix)"
-            )),
-        },
-    }
+    PolicySpec::parse(name).map(|spec| spec.build())
 }
 
 /// Scenario kinds `generate` can produce.
@@ -197,7 +181,11 @@ pub fn cmd_simulate(
         scenario.apps.len(),
         scenario.platform.name,
         scenario.platform.total_bw.as_gib_per_sec(),
-        if burst_buffer { ", burst buffer on" } else { "" },
+        if burst_buffer {
+            ", burst buffer on"
+        } else {
+            ""
+        },
     );
     let _ = writeln!(
         out,
@@ -285,6 +273,135 @@ pub fn cmd_periodic(
     Ok(out)
 }
 
+/// A batch file: one `(seed × policy)` sweep over generated scenarios,
+/// executed in parallel with deterministic aggregate output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSpec {
+    /// Platform preset name (`intrepid`, `mira`, `vesta`).
+    pub platform: String,
+    /// Scenario generator (`congested`, `mix-a`, `mix-b`, `mix-c`).
+    pub kind: String,
+    /// One generated scenario per seed.
+    pub seeds: Vec<u64>,
+    /// Policies to run over every seed.
+    pub policies: Vec<String>,
+    /// Route I/O through the platform burst buffer (default off).
+    pub burst_buffer: Option<bool>,
+    /// Worker-thread override (default: `RAYON_NUM_THREADS` / all cores).
+    pub threads: Option<usize>,
+}
+
+impl BatchSpec {
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+}
+
+/// `iosched batch`: run a whole scenario sweep through the parallel
+/// [`ScenarioRunner`] and report per-policy aggregates (means over the
+/// seeds) plus the congestion-free upper limit.
+pub fn cmd_batch(spec: &BatchSpec) -> Result<String, String> {
+    let platform = platform_by_name(&spec.platform)?;
+    let kind = GenerateKind::parse(&spec.kind)?;
+    if spec.seeds.is_empty() {
+        return Err("batch needs at least one seed".into());
+    }
+    if spec.policies.is_empty() {
+        return Err("batch needs at least one policy".into());
+    }
+    let burst_buffer = spec.burst_buffer.unwrap_or(false);
+    let policies: Result<Vec<PolicySpec>, String> =
+        spec.policies.iter().map(|p| PolicySpec::parse(p)).collect();
+    let policies = policies?;
+    let config = SimConfig {
+        use_burst_buffer: burst_buffer,
+        ..SimConfig::default()
+    };
+
+    // Generate each seed's applications once, then sweep policies over it.
+    let mut scenarios = Vec::with_capacity(spec.seeds.len() * policies.len());
+    for &seed in &spec.seeds {
+        let file = cmd_generate(kind, &spec.platform, seed)?;
+        for policy in &policies {
+            scenarios.push(
+                Scenario::new(
+                    format!("{}/{}/{seed}", spec.platform, policy.name()),
+                    file.platform.clone(),
+                    file.apps.clone(),
+                    *policy,
+                )
+                .with_config(config.clone()),
+            );
+        }
+    }
+    let runner = match spec.threads {
+        Some(0) => return Err("thread count must be at least 1".into()),
+        Some(n) => ScenarioRunner::with_threads(n),
+        None => ScenarioRunner::new(),
+    };
+    let results = runner.run_all(&scenarios);
+
+    // Aggregate per policy: results are input-ordered as seed-major,
+    // policy-minor, so policy `p`'s outcomes sit at `i * len + p`.
+    let mut out = format!(
+        "batch: {} seeds x {} policies on {} ({} scenarios, {} threads{})\n\n",
+        spec.seeds.len(),
+        policies.len(),
+        platform.name,
+        scenarios.len(),
+        runner.threads(),
+        if burst_buffer {
+            ", burst buffer on"
+        } else {
+            ""
+        },
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>10} {:>13}",
+        "policy", "SysEfficiency", "Dilation", "makespan"
+    );
+    let mut uppers = Vec::with_capacity(spec.seeds.len());
+    for (p, policy) in policies.iter().enumerate() {
+        let mut effs = Vec::with_capacity(spec.seeds.len());
+        let mut dils = Vec::with_capacity(spec.seeds.len());
+        let mut spans = Vec::with_capacity(spec.seeds.len());
+        for (i, &seed) in spec.seeds.iter().enumerate() {
+            let result = &results[i * policies.len() + p];
+            let outcome = result
+                .as_ref()
+                .map_err(|e| format!("seed {seed}, policy {}: {e}", policy.name()))?;
+            effs.push(outcome.report.sys_efficiency);
+            dils.push(outcome.report.dilation);
+            spans.push(outcome.report.makespan().as_secs());
+            if p == 0 {
+                uppers.push(outcome.report.upper_limit);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<22} {:>13.2}% {:>10.2} {:>12.0}s",
+            policy.name(),
+            stats::mean(&effs) * 100.0,
+            stats::mean(&dils),
+            stats::mean(&spans),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<22} {:>13.2}%",
+        "upper limit",
+        stats::mean(&uppers) * 100.0
+    );
+    Ok(out)
+}
+
 /// The usage string printed on `--help` or argument errors.
 pub const USAGE: &str = "\
 iosched — global HPC I/O scheduling (IPDPS'15 reproduction)
@@ -295,6 +412,14 @@ USAGE:
                    --platform <intrepid|mira|vesta> [--seed N] [-o FILE]
   iosched simulate <scenario.json> --policy <name|all> [--burst-buffer]
   iosched periodic <scenario.json> [--objective <dilation|syseff>] [--epsilon E]
+  iosched batch <batch.json> [--threads N]
+
+BATCH FILES:
+  {\"platform\": \"intrepid\", \"kind\": \"congested\", \"seeds\": [0, 1, 2],
+   \"policies\": [\"maxsyseff\", \"fairshare\"], \"burst_buffer\": false,
+   \"threads\": null}
+  The (seed x policy) sweep runs in parallel with deterministic,
+  input-ordered aggregation.
 
 POLICIES:
   roundrobin, mindilation, maxsyseff, minmax-<gamma>, fairshare, fcfs,
@@ -339,7 +464,10 @@ mod tests {
 
     #[test]
     fn generate_kinds_parse() {
-        assert_eq!(GenerateKind::parse("congested").unwrap(), GenerateKind::Congested);
+        assert_eq!(
+            GenerateKind::parse("congested").unwrap(),
+            GenerateKind::Congested
+        );
         assert_eq!(GenerateKind::parse("mix-b").unwrap(), GenerateKind::MixB);
         assert!(GenerateKind::parse("chaos").is_err());
     }
@@ -409,5 +537,75 @@ mod tests {
     fn platforms_listing_mentions_all_three() {
         let out = cmd_platforms();
         assert!(out.contains("intrepid") && out.contains("mira") && out.contains("vesta"));
+    }
+
+    fn batch_spec() -> BatchSpec {
+        BatchSpec {
+            platform: "vesta".into(),
+            kind: "congested".into(),
+            seeds: vec![1, 2, 3],
+            policies: vec!["maxsyseff".into(), "mindilation".into(), "fairshare".into()],
+            burst_buffer: None,
+            threads: Some(2),
+        }
+    }
+
+    #[test]
+    fn batch_spec_json_roundtrip() {
+        let spec = batch_spec();
+        let json = spec.to_json().unwrap();
+        assert_eq!(BatchSpec::from_json(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn batch_reports_every_policy_and_the_upper_limit() {
+        let out = cmd_batch(&batch_spec()).unwrap();
+        for needle in ["maxsyseff", "mindilation", "fairshare", "upper limit"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        assert!(out.contains("3 seeds x 3 policies"));
+    }
+
+    #[test]
+    fn batch_aggregates_match_sequential_simulation() {
+        let spec = BatchSpec {
+            policies: vec!["maxsyseff".into()],
+            ..batch_spec()
+        };
+        let batch_out = cmd_batch(&spec).unwrap();
+        // Recompute the mean SysEfficiency sequentially.
+        let mut effs = Vec::new();
+        for &seed in &spec.seeds {
+            let file = cmd_generate(GenerateKind::Congested, "vesta", seed).unwrap();
+            let out = simulate(
+                &file.platform,
+                &file.apps,
+                policy_by_name("maxsyseff").unwrap().as_mut(),
+                &SimConfig::default(),
+            )
+            .unwrap();
+            effs.push(out.report.sys_efficiency);
+        }
+        let expected = format!("{:>13.2}%", stats::mean(&effs) * 100.0);
+        assert!(
+            batch_out.contains(&expected),
+            "expected mean '{expected}' in:\n{batch_out}"
+        );
+    }
+
+    #[test]
+    fn batch_rejects_bad_specs() {
+        let mut spec = batch_spec();
+        spec.seeds.clear();
+        assert!(cmd_batch(&spec).is_err());
+        let mut spec = batch_spec();
+        spec.policies = vec!["lottery".into()];
+        assert!(cmd_batch(&spec).is_err());
+        let mut spec = batch_spec();
+        spec.platform = "summit".into();
+        assert!(cmd_batch(&spec).is_err());
+        let mut spec = batch_spec();
+        spec.threads = Some(0);
+        assert!(cmd_batch(&spec).is_err(), "zero threads must not panic");
     }
 }

@@ -1,7 +1,8 @@
 //! `iosched` binary: thin argument parsing over [`iosched_cli`].
 
 use iosched_cli::{
-    cmd_generate, cmd_periodic, cmd_platforms, cmd_simulate, GenerateKind, ScenarioFile, USAGE,
+    cmd_batch, cmd_generate, cmd_periodic, cmd_platforms, cmd_simulate, BatchSpec, GenerateKind,
+    ScenarioFile, USAGE,
 };
 use std::process::ExitCode;
 
@@ -35,11 +36,9 @@ fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("platforms") => Ok(cmd_platforms()),
         Some("generate") => {
-            let kind = GenerateKind::parse(
-                &flag_value(args, "--kind").ok_or("generate needs --kind")?,
-            )?;
-            let platform =
-                flag_value(args, "--platform").ok_or("generate needs --platform")?;
+            let kind =
+                GenerateKind::parse(&flag_value(args, "--kind").ok_or("generate needs --kind")?)?;
+            let platform = flag_value(args, "--platform").ok_or("generate needs --platform")?;
             let seed: u64 = flag_value(args, "--seed")
                 .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
                 .transpose()?
@@ -79,6 +78,21 @@ fn run(args: &[String]) -> Result<String, String> {
                 .transpose()?
                 .unwrap_or(0.05);
             cmd_periodic(&scenario, &objective, epsilon)
+        }
+        Some("batch") => {
+            let path = args.get(1).ok_or("batch needs a batch spec file")?;
+            if path.starts_with("--") {
+                return Err("batch needs a batch spec file as its first argument".into());
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut spec = BatchSpec::from_json(&text)?;
+            if let Some(threads) = flag_value(args, "--threads") {
+                let n: usize = threads
+                    .parse()
+                    .map_err(|_| format!("bad thread count '{threads}'"))?;
+                spec.threads = Some(n);
+            }
+            cmd_batch(&spec)
         }
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'")),

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset the
+//! workspace's benches use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `sample_size`, the
+//! `criterion_group!`/`criterion_main!` macros). Each benchmark is
+//! auto-calibrated (iteration count doubles until the sample window
+//! exceeds ~60 ms), then reported as `mean ns/iter` over the samples on
+//! stdout, one line per benchmark:
+//!
+//! ```text
+//! bench sim_congested_moment/maxsyseff/42 ... 1234567 ns/iter (min 1.2e6, max 1.3e6, 20 samples)
+//! ```
+//!
+//! Under `cargo test` (the harness receives `--test`) every benchmark
+//! body runs exactly once, as a smoke check.
+
+use std::time::Instant;
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Top-level harness state.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Build from the process arguments (`--test` selects smoke mode).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            test_mode,
+            sample_size: 10,
+        }
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Bench directly on the harness (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&id.id, self.sample_size, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, self.test_mode, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, self.test_mode, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (formatting no-op in this stub).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, test_mode: bool, f: &mut F) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+        smoke: test_mode,
+    };
+    if test_mode {
+        f(&mut bencher);
+        println!("bench {id} ... ok (smoke)");
+        return;
+    }
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes at least ~60 ms (or the count is plainly large enough).
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed_ns >= 6e7 || bencher.iters >= 1 << 20 {
+            break;
+        }
+        bencher.iters *= 2;
+    }
+    let iters = bencher.iters;
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut bencher);
+        #[allow(clippy::cast_precision_loss)]
+        per_iter.push(bencher.elapsed_ns / iters as f64);
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "bench {id} ... {mean:.0} ns/iter (min {min:.0}, max {max:.0}, {} samples x {iters} iters)",
+        per_iter.len()
+    );
+}
+
+/// Timing context handed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let iters = if self.smoke { 1 } else { self.iters };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.elapsed_ns = start.elapsed().as_nanos() as f64;
+        }
+    }
+}
+
+/// Group benchmark functions under one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}

@@ -1,0 +1,347 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds on machines with no crates.io access, so the
+//! serialization layer is vendored: a small value-tree data model
+//! ([`Value`]), the [`Serialize`]/[`Deserialize`] traits over it, and
+//! derive macros re-exported from the sibling `serde_derive` stub. The
+//! public surface mirrors the subset of real serde the workspace uses
+//! (`derive(Serialize, Deserialize)`, `#[serde(transparent)]`), so
+//! swapping the real crates back in is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / a missing field / `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (field order preserved for stable output).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map if this is one.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence if this is one.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string if this is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Boolean value if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+/// Field lookup used by derived `Deserialize` impls; missing keys read as
+/// [`Value::Null`] so `Option` fields default to `None`.
+#[must_use]
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> &'a Value {
+    map.iter().find(|(k, _)| k == key).map_or(&NULL, |(_, v)| v)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// Attach location context (derived impls tag the struct.field path).
+    #[must_use]
+    pub fn at(mut self, context: &str) -> Self {
+        self.msg = format!("{context}: {}", self.msg);
+        self
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- Primitive impls. ---------------------------------------------------
+
+/// Largest magnitude (2^53) whose integers are all exactly representable
+/// in an `f64` — the precision limit of this stub's numeric data model.
+const MAX_SAFE_INT: f64 = 9_007_199_254_740_992.0;
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[allow(clippy::cast_precision_loss)]
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                // Reject anything outside the exactly-representable range
+                // *before* casting: saturating float→int casts would
+                // otherwise clamp boundary values (e.g. 2^64 → u64::MAX)
+                // instead of erroring, and integers above 2^53 have
+                // already lost precision in the f64 data model.
+                if n.fract() != 0.0 || n.abs() > MAX_SAFE_INT {
+                    return Err(Error::custom(format!(
+                        concat!("{} is not an exactly-representable ", stringify!($t)),
+                        n
+                    )));
+                }
+                #[allow(clippy::cast_lossless)]
+                let wide = n as i128;
+                #[allow(clippy::cast_lossless)]
+                if wide < (<$t>::MIN as i128) || wide > (<$t>::MAX as i128) {
+                    return Err(Error::custom(format!(
+                        concat!("{} is out of range for ", stringify!($t)),
+                        n
+                    )));
+                }
+                Ok(wide as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::custom("expected number"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::custom("expected tuple array"))?;
+                if s.len() != $n {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, got {} elements", $n, s.len()
+                    )));
+                }
+                Ok(($($t::from_value(&s[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip_within_the_safe_range() {
+        for x in [0u64, 1, 2_u64.pow(53)] {
+            let v = x.to_value();
+            assert_eq!(u64::from_value(&v).unwrap(), x);
+        }
+        assert_eq!(i64::from_value(&(-42i64).to_value()).unwrap(), -42);
+    }
+
+    #[test]
+    fn out_of_range_and_imprecise_integers_error_instead_of_clamping() {
+        // 2^64: the saturating cast would clamp this to u64::MAX whose
+        // f64 image is 2^64 again — must be rejected, not accepted.
+        assert!(u64::from_value(&Value::Num(18_446_744_073_709_551_616.0)).is_err());
+        // Above 2^53: silently imprecise in the f64 data model.
+        assert!(u64::from_value(&Value::Num(9_007_199_254_740_994.0)).is_err());
+        // Negative into unsigned, fractional, and narrow-type overflow.
+        assert!(u64::from_value(&Value::Num(-1.0)).is_err());
+        assert!(u32::from_value(&Value::Num(1.5)).is_err());
+        assert!(u8::from_value(&Value::Num(256.0)).is_err());
+        assert!(i8::from_value(&Value::Num(-129.0)).is_err());
+    }
+}

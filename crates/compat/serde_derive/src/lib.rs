@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde_derive`: derive macros for the vendored
+//! `serde` stub, written directly against `proc_macro` (no syn/quote —
+//! neither is reachable from this offline workspace).
+//!
+//! Supported item shapes (everything this workspace derives on):
+//!
+//! * structs with named fields → `Value::Map` keyed by field name,
+//! * tuple structs — one field (newtype, incl. `#[serde(transparent)]`)
+//!   serializes as the inner value; several fields as a `Value::Seq`,
+//! * unit structs → `Value::Null`,
+//! * enums, externally tagged like real serde: unit variants as the
+//!   variant-name string, newtype variants as `{"Name": value}`, tuple
+//!   variants as `{"Name": [..]}`, struct variants as `{"Name": {..}}`.
+//!
+//! Generic types are intentionally unsupported (the workspace has none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(&gen_serialize(&item))
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(&gen_deserialize(&item))
+}
+
+fn emit(code: &str) -> TokenStream {
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// --- A tiny item model. -------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields: just the count.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+// --- Parsing. -----------------------------------------------------------
+
+/// True when the attribute group tokens are `serde` `(` … `transparent` … `)`.
+fn attr_is_transparent(tokens: &[TokenTree]) -> bool {
+    match tokens {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Skip attributes (`#[...]`), reporting whether `#[serde(transparent)]`
+/// was among them.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut transparent = false;
+    while *pos + 1 < tokens.len() {
+        let (TokenTree::Punct(p), TokenTree::Group(g)) = (&tokens[*pos], &tokens[*pos + 1]) else {
+            break;
+        };
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        transparent |= attr_is_transparent(&inner);
+        *pos += 2;
+    }
+    transparent
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos], TokenTree::Ident(i) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let transparent = skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub does not support generic types ({name})");
+    }
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_fields(tokens.get(pos))),
+        "enum" => {
+            let TokenTree::Group(g) = &tokens[pos] else {
+                panic!("serde_derive: malformed enum {name}");
+            };
+            Body::Enum(parse_variants(g.stream()))
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        transparent,
+        body,
+    }
+}
+
+fn parse_struct_fields(tok: Option<&TokenTree>) -> Fields {
+    match tok {
+        None => Fields::Unit,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(other) => panic!("serde_derive: unexpected struct body {other}"),
+    }
+}
+
+/// Field names of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let TokenTree::Ident(field) = &tokens[pos] else {
+            panic!("serde_derive: expected field name, found {}", tokens[pos]);
+        };
+        fields.push(field.to_string());
+        pos += 1;
+        assert!(
+            matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive: expected ':' after field {}",
+            fields.last().unwrap()
+        );
+        pos += 1;
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `( ... )` field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not introduce a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!("serde_derive: expected variant name, found {}", tokens[pos]);
+        };
+        let name = name.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant and the trailing comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+    }
+    variants
+}
+
+// --- Codegen. -----------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(m)");
+            s
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\"\
+                             .to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            fields.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => format!("Ok({name})"),
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let m = v.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for {name}\"))?;\n"
+            );
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{f}\"))\
+                     .map_err(|e| e.at(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "Ok({name}(::serde::Deserialize::from_value(v).map_err(|e| e.at(\"{name}\"))?))"
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let mut s = format!(
+                "let s = v.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if s.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n"
+            );
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", elems.join(", ")));
+            s
+        }
+        Body::Enum(variants) => {
+            let mut s = String::from("if let Some(tag) = v.as_str() {\nmatch tag {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    s.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                }
+            }
+            s.push_str("_ => {}\n}\n}\n");
+            s.push_str(
+                "if let Some(m) = v.as_map() {\nif m.len() == 1 {\n\
+                 let (tag, inner) = &m[0];\nmatch tag.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        // Also accept `{"Name": null}`.
+                        s.push_str(&format!(
+                            "\"{vn}\" if matches!(inner, ::serde::Value::Null) => \
+                             return Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => s.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)\
+                         .map_err(|e| e.at(\"{name}::{vn}\"))?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        s.push_str(&format!(
+                            "\"{vn}\" => {{\nlet s = inner.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if s.len() != {n} {{ return Err(::serde::Error::custom(\
+                             \"wrong arity for {name}::{vn}\")); }}\n\
+                             return Ok({name}::{vn}({}));\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::map_get(mm, \"{f}\"))\
+                                     .map_err(|e| e.at(\"{name}::{vn}.{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "\"{vn}\" => {{\nlet mm = inner.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected map for {name}::{vn}\"))?;\n\
+                             return Ok({name}::{vn} {{ {} }});\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str("_ => {}\n}\n}\n}\n");
+            s.push_str(&format!(
+                "Err(::serde::Error::custom(\"unrecognized variant for {name}\"))"
+            ));
+            s
+        }
+    };
+    // `transparent` newtypes already deserialize from the inner value.
+    let _ = item.transparent;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -65,9 +65,15 @@ mod tests {
         let c = ctx(10.0, &pending);
         let alloc = MaxSysEff.allocate(&c);
         // Order: a1 (300), a2 (100), a0 (10) → 4 + 4 + 2.
-        assert!(alloc.granted(AppId(1)).approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
-        assert!(alloc.granted(AppId(2)).approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
-        assert!(alloc.granted(AppId(0)).approx_eq(iosched_model::Bw::gib_per_sec(2.0)));
+        assert!(alloc
+            .granted(AppId(1))
+            .approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
+        assert!(alloc
+            .granted(AppId(2))
+            .approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
+        assert!(alloc
+            .granted(AppId(0))
+            .approx_eq(iosched_model::Bw::gib_per_sec(2.0)));
     }
 
     #[test]

@@ -91,9 +91,15 @@ mod tests {
         let alloc = Priority::new(MaxSysEff).allocate(&c);
         // Started apps soak 8 GiB/s (a1 before a0 — inner order), the
         // newcomer gets the remaining 2 despite its top key.
-        assert!(alloc.granted(AppId(1)).approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
-        assert!(alloc.granted(AppId(0)).approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
-        assert!(alloc.granted(AppId(2)).approx_eq(iosched_model::Bw::gib_per_sec(2.0)));
+        assert!(alloc
+            .granted(AppId(1))
+            .approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
+        assert!(alloc
+            .granted(AppId(0))
+            .approx_eq(iosched_model::Bw::gib_per_sec(4.0)));
+        assert!(alloc
+            .granted(AppId(2))
+            .approx_eq(iosched_model::Bw::gib_per_sec(2.0)));
     }
 
     #[test]

@@ -25,7 +25,6 @@ pub mod policy;
 pub mod three_partition;
 
 pub use heuristics::{
-    standard_policies, BasePolicy, MaxSysEff, MinDilation, MinMax, PolicyKind, Priority,
-    RoundRobin,
+    standard_policies, BasePolicy, MaxSysEff, MinDilation, MinMax, PolicyKind, Priority, RoundRobin,
 };
 pub use policy::{Allocation, AppState, OnlinePolicy, SchedContext};

@@ -266,7 +266,10 @@ mod tests {
         let hog = PeriodicAppSpec::new(0, 50, Time::ZERO, Bytes::gib(50.0));
         let mut b = ScheduleBuilder::new(&p, &[hog, small], Time::secs(10.0));
         assert!(b.try_insert(0), "hog reserves 5 GiB/s over [0, 10)");
-        assert!(b.try_insert(1), "small app should fit in the leftover 5 GiB/s");
+        assert!(
+            b.try_insert(1),
+            "small app should fit in the leftover 5 GiB/s"
+        );
         let s = b.build();
         s.validate(&p).unwrap();
         let io = s.plans[1].instances[0];

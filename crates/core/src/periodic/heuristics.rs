@@ -63,13 +63,11 @@ pub fn build_schedule(
             let mut saturated = vec![false; apps.len()];
             loop {
                 // Most dilated first: smallest n_per · (w + time_io).
-                let next = (0..apps.len())
-                    .filter(|&i| !saturated[i])
-                    .min_by(|&x, &y| {
-                        let kx = builder.n_per(x) as f64 * apps[x].span(platform).as_secs();
-                        let ky = builder.n_per(y) as f64 * apps[y].span(platform).as_secs();
-                        kx.total_cmp(&ky).then_with(|| apps[x].id.cmp(&apps[y].id))
-                    });
+                let next = (0..apps.len()).filter(|&i| !saturated[i]).min_by(|&x, &y| {
+                    let kx = builder.n_per(x) as f64 * apps[x].span(platform).as_secs();
+                    let ky = builder.n_per(y) as f64 * apps[y].span(platform).as_secs();
+                    kx.total_cmp(&ky).then_with(|| apps[x].id.cmp(&apps[y].id))
+                });
                 let Some(idx) = next else { break };
                 if !builder.try_insert(idx) {
                     saturated[idx] = true;
@@ -161,7 +159,10 @@ mod tests {
                 )
             })
             .collect();
-        for h in [InsertionHeuristic::Throughput, InsertionHeuristic::Congestion] {
+        for h in [
+            InsertionHeuristic::Throughput,
+            InsertionHeuristic::Congestion,
+        ] {
             let s = build_schedule(&p, &apps, Time::secs(120.0), h);
             s.validate(&p).unwrap();
             let total: usize = s.plans.iter().map(|pl| pl.n_per()).sum();

@@ -21,5 +21,7 @@ mod search;
 pub use builder::{PeriodicAppSpec, ScheduleBuilder};
 pub use heuristics::{build_schedule, InsertionHeuristic};
 pub use profile::BandwidthProfile;
-pub use schedule::{AppPlan, PeriodicAppOutcome, PeriodicSchedule, PlannedInstance, SteadyStateReport};
+pub use schedule::{
+    AppPlan, PeriodicAppOutcome, PeriodicSchedule, PlannedInstance, SteadyStateReport,
+};
 pub use search::{PeriodSearch, PeriodicObjective, SearchResult};

@@ -196,7 +196,9 @@ mod tests {
     fn fresh_profile_is_flat() {
         let p = profile();
         assert_eq!(p.segment_count(), 1);
-        assert!(p.available_at(Time::secs(50.0)).approx_eq(Bw::gib_per_sec(10.0)));
+        assert!(p
+            .available_at(Time::secs(50.0))
+            .approx_eq(Bw::gib_per_sec(10.0)));
         assert!(p
             .min_available(Time::ZERO, Time::secs(100.0))
             .approx_eq(Bw::gib_per_sec(10.0)));
@@ -208,9 +210,15 @@ mod tests {
         p.reserve(Time::secs(10.0), Time::secs(20.0), Bw::gib_per_sec(4.0))
             .unwrap();
         assert_eq!(p.segment_count(), 3);
-        assert!(p.available_at(Time::secs(5.0)).approx_eq(Bw::gib_per_sec(10.0)));
-        assert!(p.available_at(Time::secs(15.0)).approx_eq(Bw::gib_per_sec(6.0)));
-        assert!(p.available_at(Time::secs(25.0)).approx_eq(Bw::gib_per_sec(10.0)));
+        assert!(p
+            .available_at(Time::secs(5.0))
+            .approx_eq(Bw::gib_per_sec(10.0)));
+        assert!(p
+            .available_at(Time::secs(15.0))
+            .approx_eq(Bw::gib_per_sec(6.0)));
+        assert!(p
+            .available_at(Time::secs(25.0))
+            .approx_eq(Bw::gib_per_sec(10.0)));
     }
 
     #[test]
@@ -220,9 +228,15 @@ mod tests {
             .unwrap();
         p.reserve(Time::secs(25.0), Time::secs(75.0), Bw::gib_per_sec(4.0))
             .unwrap();
-        assert!(p.available_at(Time::secs(10.0)).approx_eq(Bw::gib_per_sec(6.0)));
-        assert!(p.available_at(Time::secs(30.0)).approx_eq(Bw::gib_per_sec(2.0)));
-        assert!(p.available_at(Time::secs(60.0)).approx_eq(Bw::gib_per_sec(6.0)));
+        assert!(p
+            .available_at(Time::secs(10.0))
+            .approx_eq(Bw::gib_per_sec(6.0)));
+        assert!(p
+            .available_at(Time::secs(30.0))
+            .approx_eq(Bw::gib_per_sec(2.0)));
+        assert!(p
+            .available_at(Time::secs(60.0))
+            .approx_eq(Bw::gib_per_sec(6.0)));
         // A third overlapping reservation that would go negative must fail.
         let err = p.reserve(Time::secs(25.0), Time::secs(30.0), Bw::gib_per_sec(3.0));
         assert!(err.is_err());

@@ -225,7 +225,10 @@ mod tests {
         ];
         // With the *same* insertion heuristic, picking the best period for
         // each objective must dominate the other search on that objective.
-        for h in [InsertionHeuristic::Throughput, InsertionHeuristic::Congestion] {
+        for h in [
+            InsertionHeuristic::Throughput,
+            InsertionHeuristic::Congestion,
+        ] {
             let eff = PeriodSearch::new(PeriodicObjective::SysEfficiency)
                 .run(&p, &apps, h)
                 .unwrap();

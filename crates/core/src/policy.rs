@@ -102,10 +102,7 @@ impl Allocation {
                 return Err(format!("non-finite or negative grant for {id}: {bw}"));
             }
             if bw.approx_gt(app.max_bw) {
-                return Err(format!(
-                    "{id} granted {bw} above its cap {}",
-                    app.max_bw
-                ));
+                return Err(format!("{id} granted {bw} above its cap {}", app.max_bw));
             }
         }
         if self.total().approx_gt(ctx.total_bw) {
@@ -116,6 +113,74 @@ impl Allocation {
             ));
         }
         Ok(())
+    }
+}
+
+/// Reusable arena for the [`AppState`] snapshots a scheduler consumes.
+///
+/// Every driver of an [`OnlinePolicy`] — the fluid simulator, the IOR
+/// harness's scheduler thread — rebuilds the pending-application snapshot
+/// at each event. Allocating a fresh `Vec<AppState>` per event dominates
+/// the steady-state allocation profile of a simulation, so drivers keep
+/// one `StateBuffer` alive and refill it in place: [`clear`] + [`push`]
+/// reuse the existing capacity, and [`context`] borrows the snapshot as
+/// the [`SchedContext`] handed to the policy.
+///
+/// The driver is responsible for pushing snapshots in `AppId` order
+/// (policies tie-break on `AppId` and the shared grant loop assumes a
+/// deterministic pending order).
+///
+/// [`clear`]: StateBuffer::clear
+/// [`push`]: StateBuffer::push
+/// [`context`]: StateBuffer::context
+#[derive(Debug, Default)]
+pub struct StateBuffer {
+    states: Vec<AppState>,
+}
+
+impl StateBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the previous snapshot, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.states.clear();
+    }
+
+    /// Append one application snapshot.
+    pub fn push(&mut self, state: AppState) {
+        self.states.push(state);
+    }
+
+    /// The current snapshot.
+    #[must_use]
+    pub fn states(&self) -> &[AppState] {
+        &self.states
+    }
+
+    /// Number of pending applications in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when no application is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Borrow the snapshot as the context a policy allocates against.
+    #[must_use]
+    pub fn context(&self, now: Time, total_bw: Bw) -> SchedContext<'_> {
+        SchedContext {
+            now,
+            total_bw,
+            pending: &self.states,
+        }
     }
 }
 

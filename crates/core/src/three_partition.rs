@@ -38,9 +38,11 @@ impl ThreePartition {
     /// Validate and build an instance.
     pub fn new(target: u64, items: Vec<u64>) -> Result<Self, ModelError> {
         if target == 0 {
-            return Err(ModelError::InvalidApp("3-Partition target must be positive".into()));
+            return Err(ModelError::InvalidApp(
+                "3-Partition target must be positive".into(),
+            ));
         }
-        if items.is_empty() || items.len() % 3 != 0 {
+        if items.is_empty() || !items.len().is_multiple_of(3) {
             return Err(ModelError::InvalidApp(format!(
                 "3-Partition needs a positive multiple of 3 items, got {}",
                 items.len()
@@ -120,7 +122,15 @@ impl ThreePartition {
                 bins_sum[b] += a;
                 bins_cnt[b] += 1;
                 assignment[item] = b;
-                if place(pos + 1, order, items, target, bins_sum, bins_cnt, assignment) {
+                if place(
+                    pos + 1,
+                    order,
+                    items,
+                    target,
+                    bins_sum,
+                    bins_cnt,
+                    assignment,
+                ) {
                     return true;
                 }
                 bins_sum[b] -= a;

@@ -35,9 +35,7 @@ fn arb_app_state(id: usize) -> impl Strategy<Value = AppState> {
 }
 
 fn arb_pending() -> impl Strategy<Value = Vec<AppState>> {
-    (1usize..20).prop_flat_map(|n| {
-        (0..n).map(arb_app_state).collect::<Vec<_>>()
-    })
+    (1usize..20).prop_flat_map(|n| (0..n).map(arb_app_state).collect::<Vec<_>>())
 }
 
 proptest! {

@@ -17,7 +17,10 @@ impl SimClock {
     /// Panics unless `speedup > 0`.
     #[must_use]
     pub fn start(speedup: f64) -> Self {
-        assert!(speedup > 0.0 && speedup.is_finite(), "speedup must be positive");
+        assert!(
+            speedup > 0.0 && speedup.is_finite(),
+            "speedup must be positive"
+        );
         Self {
             origin: Instant::now(),
             speedup,

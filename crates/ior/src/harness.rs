@@ -55,7 +55,10 @@ pub struct IorOutcome {
 }
 
 /// Run the modified-IOR experiment with `policy` arbitrating I/O.
-pub fn run_ior(config: &IorConfig, policy: &mut dyn OnlinePolicy) -> Result<IorOutcome, ModelError> {
+pub fn run_ior(
+    config: &IorConfig,
+    policy: &mut dyn OnlinePolicy,
+) -> Result<IorOutcome, ModelError> {
     validate_scenario(&config.platform, &config.apps)?;
     if config.use_burst_buffer && config.platform.burst_buffer.is_none() {
         return Err(ModelError::InvalidPlatform(
@@ -93,9 +96,7 @@ pub fn run_ior(config: &IorConfig, policy: &mut dyn OnlinePolicy) -> Result<IorO
     let per_app: Vec<AppOutcome> = progress
         .iter()
         .map(|p| {
-            let d = p
-                .finish_time()
-                .unwrap_or_else(|| clock.now()); // defensive: unfinished app
+            let d = p.finish_time().unwrap_or_else(|| clock.now()); // defensive: unfinished app
             AppOutcome {
                 id: p.id(),
                 procs: p.procs(),

@@ -45,7 +45,14 @@ mod tests {
         };
         let copy = m;
         assert_eq!(m, copy);
-        let c = ToApp::Complete { at: Time::secs(9.0) };
-        assert_eq!(c, ToApp::Complete { at: Time::secs(9.0) });
+        let c = ToApp::Complete {
+            at: Time::secs(9.0),
+        };
+        assert_eq!(
+            c,
+            ToApp::Complete {
+                at: Time::secs(9.0)
+            }
+        );
     }
 }

@@ -12,7 +12,7 @@
 use crate::clock::SimClock;
 use crate::protocol::{ToApp, ToScheduler};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use iosched_core::policy::{AppState, OnlinePolicy, SchedContext};
+use iosched_core::policy::{AppState, OnlinePolicy, StateBuffer};
 use iosched_model::{AppProgress, AppSpec, Bw, Bytes, Platform, Time};
 use iosched_sim::burst_buffer::BurstBufferState;
 use std::time::Duration;
@@ -56,6 +56,11 @@ pub struct Scheduler<'a> {
     last_advance: Time,
     allow_all: bool,
     stats: SchedulerStats,
+    /// Reused policy-snapshot arena (same discipline as the fluid
+    /// simulator's engine: refilled in place at every re-allocation).
+    snapshot: StateBuffer,
+    /// Reused scratch: indices with an outstanding request.
+    pending: Vec<usize>,
 }
 
 impl<'a> Scheduler<'a> {
@@ -101,6 +106,8 @@ impl<'a> Scheduler<'a> {
             last_advance: Time::ZERO,
             allow_all,
             stats: SchedulerStats::default(),
+            snapshot: StateBuffer::new(),
+            pending: Vec::with_capacity(specs.len()),
         }
     }
 
@@ -153,12 +160,7 @@ impl<'a> Scheduler<'a> {
         if dt.get() <= 0.0 {
             return;
         }
-        let inflow: Bw = self
-            .outstanding
-            .iter()
-            .flatten()
-            .map(|o| o.rate)
-            .sum();
+        let inflow: Bw = self.outstanding.iter().flatten().map(|o| o.rate).sum();
         for slot in self.outstanding.iter_mut().flatten() {
             if slot.rate.get() > 0.0 {
                 slot.remaining = (slot.remaining - slot.rate * dt).max(Bytes::ZERO);
@@ -198,40 +200,45 @@ impl<'a> Scheduler<'a> {
             Some(b) => b.ingest_capacity(self.platform.total_bw),
             None => self.platform.total_bw,
         };
-        let pending: Vec<usize> = (0..self.outstanding.len())
-            .filter(|&i| self.outstanding[i].is_some())
-            .collect();
-        if pending.is_empty() {
-            self.drain_bw = self.platform.total_bw;
+        self.pending.clear();
+        self.pending
+            .extend((0..self.outstanding.len()).filter(|&i| self.outstanding[i].is_some()));
+        if self.pending.is_empty() {
+            // Same rule as the fluid engine: a burst buffer still draining
+            // the interleaved data of earlier writers contends on the disk
+            // tier even though nobody is ingesting.
+            self.drain_bw = match &mut self.bb {
+                Some(b) => {
+                    self.platform.total_bw * self.platform.interference.factor(b.note_streams(0))
+                }
+                None => self.platform.total_bw,
+            };
             return;
         }
-        let states: Vec<AppState> = pending
-            .iter()
-            .map(|&i| {
-                let o = self.outstanding[i].as_ref().expect("filtered Some");
-                AppState {
-                    id: self.progress[i].id(),
-                    procs: self.progress[i].procs(),
-                    dilation_ratio: self.progress[i].dilation_ratio(now),
-                    syseff_key: self.progress[i].syseff_key(now),
-                    last_io_end: self.last_io_end[i],
-                    io_requested_at: o.requested_at,
-                    started_io: o.started,
-                    max_bw: (self.platform.proc_bw * self.progress[i].procs() as f64)
-                        .min(capacity),
-                }
-            })
-            .collect();
+        self.snapshot.clear();
+        for &i in &self.pending {
+            let o = self.outstanding[i].as_ref().expect("filtered Some");
+            self.snapshot.push(AppState {
+                id: self.progress[i].id(),
+                procs: self.progress[i].procs(),
+                dilation_ratio: self.progress[i].dilation_ratio(now),
+                syseff_key: self.progress[i].syseff_key(now),
+                last_io_end: self.last_io_end[i],
+                io_requested_at: o.requested_at,
+                started_io: o.started,
+                max_bw: (self.platform.proc_bw * self.progress[i].procs() as f64).min(capacity),
+            });
+        }
         let grants: Vec<(iosched_model::AppId, Bw)> = if self.allow_all {
             // Overhead-measurement mode (§5.1): "the scheduler always
             // allows all requests to I/O" — everyone gets its card limit.
-            states.iter().map(|s| (s.id, s.max_bw)).collect()
+            self.snapshot
+                .states()
+                .iter()
+                .map(|s| (s.id, s.max_bw))
+                .collect()
         } else {
-            let ctx = SchedContext {
-                now,
-                total_bw: capacity,
-                pending: &states,
-            };
+            let ctx = self.snapshot.context(now, capacity);
             let alloc = policy.allocate(&ctx);
             debug_assert!(alloc.validate(&ctx).is_ok(), "invalid allocation");
             alloc.grants
@@ -242,16 +249,17 @@ impl<'a> Scheduler<'a> {
         let contended = self.platform.interference.factor(active);
         let ingest_factor = match &self.bb {
             Some(b) if !b.is_throttled() => 1.0,
-            Some(_) => contended,
-            None => contended,
+            _ => contended,
         };
-        self.drain_bw = if self.bb.is_some() {
-            self.platform.total_bw * contended
-        } else {
-            self.platform.total_bw
+        self.drain_bw = match &mut self.bb {
+            Some(b) => {
+                let streams = b.note_streams(active);
+                self.platform.total_bw * self.platform.interference.factor(streams)
+            }
+            None => self.platform.total_bw,
         };
-        for (rank, &i) in pending.iter().enumerate() {
-            let id = states[rank].id;
+        for (rank, &i) in self.pending.iter().enumerate() {
+            let id = self.snapshot.states()[rank].id;
             let granted = grants
                 .iter()
                 .find(|(a, _)| *a == id)

@@ -97,9 +97,7 @@ impl InstancePattern {
     pub fn is_periodic(&self) -> bool {
         match self {
             Self::Periodic { .. } => true,
-            Self::Explicit(v) => {
-                v.windows(2).all(|w| w[0] == w[1])
-            }
+            Self::Explicit(v) => v.windows(2).all(|w| w[0] == w[1]),
         }
     }
 
@@ -123,12 +121,7 @@ pub struct AppSpec {
 impl AppSpec {
     /// Construct an application with an arbitrary instance stream.
     #[must_use]
-    pub fn new(
-        id: impl Into<AppId>,
-        release: Time,
-        procs: u64,
-        pattern: InstancePattern,
-    ) -> Self {
+    pub fn new(id: impl Into<AppId>, release: Time, procs: u64, pattern: InstancePattern) -> Self {
         Self {
             id: id.into(),
             release,
@@ -338,10 +331,8 @@ mod tests {
 
     #[test]
     fn explicit_pattern_detects_periodicity() {
-        let same = InstancePattern::Explicit(vec![
-            Instance::new(Time::secs(1.0), Bytes::gib(1.0));
-            3
-        ]);
+        let same =
+            InstancePattern::Explicit(vec![Instance::new(Time::secs(1.0), Bytes::gib(1.0)); 3]);
         assert!(same.is_periodic());
         let diff = InstancePattern::Explicit(vec![
             Instance::new(Time::secs(1.0), Bytes::gib(1.0)),
@@ -377,18 +368,11 @@ mod tests {
         let no_procs = AppSpec::periodic(0, Time::ZERO, 0, Time::secs(1.0), Bytes::gib(1.0), 1);
         assert!(no_procs.validate().is_err());
 
-        let no_instances =
-            AppSpec::periodic(0, Time::ZERO, 1, Time::secs(1.0), Bytes::gib(1.0), 0);
+        let no_instances = AppSpec::periodic(0, Time::ZERO, 1, Time::secs(1.0), Bytes::gib(1.0), 0);
         assert!(no_instances.validate().is_err());
 
-        let negative_release = AppSpec::periodic(
-            0,
-            Time::secs(-1.0),
-            1,
-            Time::secs(1.0),
-            Bytes::gib(1.0),
-            1,
-        );
+        let negative_release =
+            AppSpec::periodic(0, Time::secs(-1.0), 1, Time::secs(1.0), Bytes::gib(1.0), 1);
         assert!(negative_release.validate().is_err());
 
         let empty_instance = AppSpec::periodic(0, Time::ZERO, 1, Time::ZERO, Bytes::ZERO, 1);

@@ -17,8 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Aggregate-bandwidth degradation as a function of concurrency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Interference {
     /// Ideal fluid sharing: `n` concurrent streams still deliver the full
     /// aggregate bandwidth. This is the model under which the paper's
@@ -72,7 +71,6 @@ impl Interference {
         !matches!(self, Self::None)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

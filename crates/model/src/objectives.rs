@@ -89,10 +89,16 @@ impl ObjectiveReport {
     /// Panics on an empty outcome list: objectives are undefined.
     #[must_use]
     pub fn from_outcomes(per_app: Vec<AppOutcome>) -> Self {
-        assert!(!per_app.is_empty(), "objectives need at least one application");
+        assert!(
+            !per_app.is_empty(),
+            "objectives need at least one application"
+        );
         let n: f64 = per_app.iter().map(|o| o.procs as f64).sum();
-        let sys_efficiency =
-            per_app.iter().map(|o| o.procs as f64 * o.rho_tilde).sum::<f64>() / n;
+        let sys_efficiency = per_app
+            .iter()
+            .map(|o| o.procs as f64 * o.rho_tilde)
+            .sum::<f64>()
+            / n;
         let upper_limit = per_app.iter().map(|o| o.procs as f64 * o.rho).sum::<f64>() / n;
         let dilation = per_app
             .iter()
@@ -172,10 +178,8 @@ mod tests {
 
     #[test]
     fn zero_progress_app_dominates_dilation() {
-        let r = ObjectiveReport::from_outcomes(vec![
-            outcome(0, 1, 0.8, 0.8),
-            outcome(1, 1, 0.8, 0.0),
-        ]);
+        let r =
+            ObjectiveReport::from_outcomes(vec![outcome(0, 1, 0.8, 0.8), outcome(1, 1, 0.8, 0.0)]);
         assert!(r.dilation.is_infinite());
     }
 

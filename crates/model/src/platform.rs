@@ -106,12 +106,7 @@ impl Platform {
     /// 32,768 compute cores). PFS bandwidth scaled as 2/48 of Mira's.
     #[must_use]
     pub fn vesta() -> Self {
-        Self::new(
-            "vesta",
-            2_048,
-            Bw::gib_per_sec(0.05),
-            Bw::gib_per_sec(10.0),
-        )
+        Self::new("vesta", 2_048, Bw::gib_per_sec(0.05), Bw::gib_per_sec(10.0))
     }
 
     /// Builder-style: attach a burst buffer tier.

@@ -31,6 +31,9 @@ pub struct BurstBufferState {
     spec: BurstBufferSpec,
     level: Bytes,
     throttled: bool,
+    /// Peak number of concurrent streams whose data interleaves in the
+    /// current buffer contents (resets when the buffer drains empty).
+    writers: usize,
 }
 
 impl BurstBufferState {
@@ -41,6 +44,7 @@ impl BurstBufferState {
             spec,
             level: Bytes::ZERO,
             throttled: false,
+            writers: 0,
         }
     }
 
@@ -64,6 +68,29 @@ impl BurstBufferState {
         } else {
             self.spec.absorb_bw
         }
+    }
+
+    /// Record how many application streams are currently writing into the
+    /// buffer. The buffered contents of `n` applications interleave on the
+    /// backing store, so the PFS *drain* of a non-empty buffer contends
+    /// like `n` concurrent disk streams even after every ingest stream
+    /// stopped — the count only resets once the buffer drains empty.
+    /// Returns the updated interleaved-stream count (always ≥ `active`),
+    /// which is the concurrency the PFS drain contends at.
+    pub fn note_streams(&mut self, active: usize) -> usize {
+        if self.level.is_zero() {
+            self.writers = active;
+        } else {
+            self.writers = self.writers.max(active);
+        }
+        self.writers
+    }
+
+    /// Number of distinct streams whose data interleaves in the current
+    /// buffer contents (see [`BurstBufferState::note_streams`]).
+    #[must_use]
+    pub fn interleaved_streams(&self) -> usize {
+        self.writers
     }
 
     /// Level the buffer must fall below to lift the throttle.
@@ -115,6 +142,9 @@ impl BurstBufferState {
         self.level = (self.level + net * dt).max(Bytes::ZERO).snap_zero();
         if self.level.get() < SUB_BYTE {
             self.level = Bytes::ZERO;
+        }
+        if self.level.is_zero() {
+            self.writers = 0;
         }
         if self.level.approx_ge(self.spec.capacity) {
             self.level = self.spec.capacity;
@@ -214,10 +244,29 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_streams_persist_until_empty() {
+        let mut bb = BurstBufferState::new(spec());
+        // 4 streams start writing into the empty buffer.
+        bb.note_streams(4);
+        assert_eq!(bb.interleaved_streams(), 4);
+        bb.advance(Time::secs(1.0), Bw::gib_per_sec(30.0), PFS); // level 20
+                                                                 // Fewer concurrent writers never un-mix the stored data.
+        bb.note_streams(2);
+        assert_eq!(bb.interleaved_streams(), 4);
+        // Ingest stops, but the buffered data of 4 apps still interleaves.
+        bb.note_streams(0);
+        assert_eq!(bb.interleaved_streams(), 4);
+        // Draining empty forgets the old contents.
+        bb.advance(Time::secs(4.0), Bw::ZERO, PFS);
+        assert!(bb.level().is_zero());
+        assert_eq!(bb.interleaved_streams(), 0);
+    }
+
+    #[test]
     fn balanced_flow_is_steady() {
         let mut bb = BurstBufferState::new(spec());
         bb.advance(Time::secs(1.0), Bw::gib_per_sec(30.0), PFS); // level 20
-        // inflow exactly 10 = drain → steady.
+                                                                 // inflow exactly 10 = drain → steady.
         assert!(bb.next_event_in(PFS, PFS).is_none());
         let flipped = bb.advance(Time::secs(10.0), PFS, PFS);
         assert!(!flipped);

@@ -15,6 +15,46 @@
 //! system […] then, based on a given strategy, it chooses a subset of
 //! applications and allows them to start or continue their I/O").
 //!
+//! ## Lifecycle
+//!
+//! The engine is an explicit state machine: [`Simulation::new`] validates
+//! the scenario and performs the initial allocation,
+//! [`Simulation::step`] advances to exactly one next event, and
+//! [`Simulation::run_to_completion`] drives steps until every application
+//! finished and assembles the [`SimOutcome`]. The free function
+//! [`simulate`] wraps the three for the common one-shot case; steppable
+//! use (debuggers, the IOR harness, future checkpointing) talks to the
+//! struct directly:
+//!
+//! ```
+//! use iosched_model::{AppSpec, Bytes, Platform, Time};
+//! use iosched_core::heuristics::MinDilation;
+//! use iosched_sim::engine::{SimConfig, Simulation};
+//!
+//! let platform = Platform::vesta();
+//! let apps = [AppSpec::periodic(0, Time::ZERO, 64, Time::secs(10.0), Bytes::gib(50.0), 3)];
+//! let mut policy = MinDilation;
+//! let config = SimConfig::default();
+//! let mut sim = Simulation::new(&platform, &apps, &mut policy, &config).unwrap();
+//! while !sim.is_finished() {
+//!     sim.step().unwrap(); // inspect sim.now(), sim.pending_apps(), …
+//! }
+//! let outcome = sim.into_outcome();
+//! assert!(outcome.report.dilation >= 1.0);
+//! ```
+//!
+//! ## Performance discipline
+//!
+//! The steady-state step path performs no per-event heap allocation on
+//! the engine side: the pending set (indices of applications that
+//! currently want I/O) is maintained incrementally across events instead
+//! of rescanned, releases live in a pre-sorted stack, compute completions
+//! in a binary heap, and the predicted-completion scratch plus the
+//! [`StateBuffer`] policy snapshot are reused across events. (Policies
+//! themselves return a fresh [`iosched_core::policy::Allocation`] per
+//! event — a handful of grant pairs.) Trace segments are only
+//! materialized when [`SimConfig::record_trace`] asks for them.
+//!
 //! ## Numerical discipline
 //!
 //! I/O completions are *predicted* (`remaining / rate`) while scanning for
@@ -29,8 +69,9 @@ use crate::external_load::ExternalLoad;
 use crate::outcome::SimOutcome;
 use crate::state::{AppRuntime, Phase};
 use crate::trace::{BandwidthTrace, TraceSegment};
-use iosched_core::policy::{AppState, OnlinePolicy, SchedContext};
-use iosched_model::{app::validate_scenario, AppSpec, Bw, Platform, Time};
+use iosched_core::policy::{AppState, OnlinePolicy, StateBuffer};
+use iosched_model::{app::validate_scenario, AppId, AppSpec, Bw, Platform, Time};
+use std::collections::BinaryHeap;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -80,126 +121,262 @@ impl SimConfig {
     }
 }
 
-/// Run `policy` over `apps` on `platform` until every application
-/// completes; returns the objective report (and optional trace).
-pub fn simulate(
-    platform: &Platform,
-    apps: &[AppSpec],
-    policy: &mut dyn OnlinePolicy,
-    config: &SimConfig,
-) -> Result<SimOutcome, SimError> {
-    validate_scenario(platform, apps).map_err(|e| SimError::InvalidScenario(e.to_string()))?;
-    if apps.is_empty() {
-        return Err(SimError::InvalidScenario(
-            "simulation needs at least one application".into(),
-        ));
+/// What one [`Simulation::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The engine advanced to the next event; more remain possible.
+    Advanced,
+    /// Every application has finished; the step was a no-op.
+    Finished,
+}
+
+/// Compute-completion entry in the event heap, ordered so that
+/// `BinaryHeap::peek` yields the *earliest* completion (ties broken by
+/// application index for determinism).
+#[derive(Debug, Clone, Copy)]
+struct ComputeEvent {
+    at: Time,
+    idx: usize,
+}
+
+impl PartialEq for ComputeEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
     }
-    let mut bb = if config.use_burst_buffer {
-        let spec = platform.burst_buffer.ok_or_else(|| {
-            SimError::InvalidScenario(
-                "use_burst_buffer requires a platform burst buffer".into(),
-            )
-        })?;
-        Some(BurstBufferState::new(spec))
-    } else {
-        None
-    };
-    if let Some(load) = &config.external_load {
-        load.validate()
-            .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
-        if bb.is_some() {
+}
+
+impl Eq for ComputeEvent {}
+
+impl PartialOrd for ComputeEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ComputeEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the max-heap surfaces the minimum time.
+        other
+            .at
+            .get()
+            .total_cmp(&self.at.get())
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// One in-flight fluid simulation: the explicit state machine behind
+/// [`simulate`].
+///
+/// See the [module docs](self) for the lifecycle and the buffer-reuse
+/// guarantees of the step path.
+pub struct Simulation<'a> {
+    platform: &'a Platform,
+    policy: &'a mut dyn OnlinePolicy,
+    config: &'a SimConfig,
+    rts: Vec<AppRuntime>,
+    bb: Option<BurstBufferState>,
+    now: Time,
+    events: usize,
+    finished: usize,
+    drain_bw: Bw,
+    /// Indices of applications currently in the `Io` phase, ascending
+    /// (= `AppId` order, which policies rely on). Maintained incrementally
+    /// by the transition handlers.
+    pending: Vec<usize>,
+    /// Future releases, sorted by release time *descending* so `pop()`
+    /// yields the earliest.
+    releases: Vec<(Time, usize)>,
+    /// Outstanding compute completions.
+    compute: BinaryHeap<ComputeEvent>,
+    /// Reused scratch: predicted I/O completions of the current step.
+    predicted: Vec<(usize, Time)>,
+    /// Reused policy-snapshot arena.
+    snapshot: StateBuffer,
+    trace: Option<BandwidthTrace>,
+    seg_start: Time,
+    seg_grants: Vec<(AppId, Bw)>,
+    seg_effective: Vec<(AppId, Bw)>,
+    seg_capacity: Bw,
+    debug: bool,
+}
+
+impl<'a> Simulation<'a> {
+    /// Validate the scenario, install the applications and perform the
+    /// initial allocation at `t = 0`.
+    pub fn new(
+        platform: &'a Platform,
+        apps: &[AppSpec],
+        policy: &'a mut dyn OnlinePolicy,
+        config: &'a SimConfig,
+    ) -> Result<Self, SimError> {
+        validate_scenario(platform, apps).map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+        if apps.is_empty() {
             return Err(SimError::InvalidScenario(
-                "external_load and use_burst_buffer are mutually exclusive".into(),
+                "simulation needs at least one application".into(),
             ));
         }
+        let bb = if config.use_burst_buffer {
+            let spec = platform.burst_buffer.ok_or_else(|| {
+                SimError::InvalidScenario(
+                    "use_burst_buffer requires a platform burst buffer".into(),
+                )
+            })?;
+            Some(BurstBufferState::new(spec))
+        } else {
+            None
+        };
+        if let Some(load) = &config.external_load {
+            load.validate()
+                .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+            if bb.is_some() {
+                return Err(SimError::InvalidScenario(
+                    "external_load and use_burst_buffer are mutually exclusive".into(),
+                ));
+            }
+        }
+
+        let rts: Vec<AppRuntime> = apps
+            .iter()
+            .map(|a| AppRuntime::new(a.clone(), platform))
+            .collect();
+        let mut releases: Vec<(Time, usize)> = rts
+            .iter()
+            .enumerate()
+            .map(|(i, rt)| (rt.spec.release(), i))
+            .collect();
+        releases.sort_by(|a, b| b.0.get().total_cmp(&a.0.get()).then(b.1.cmp(&a.1)));
+
+        let n = rts.len();
+        let mut sim = Self {
+            platform,
+            policy,
+            config,
+            rts,
+            bb,
+            now: Time::ZERO,
+            events: 0,
+            finished: 0,
+            drain_bw: platform.total_bw,
+            pending: Vec::with_capacity(n),
+            releases,
+            compute: BinaryHeap::with_capacity(n),
+            predicted: Vec::with_capacity(n),
+            snapshot: StateBuffer::new(),
+            trace: config.record_trace.then(BandwidthTrace::default),
+            seg_start: Time::ZERO,
+            seg_grants: Vec::new(),
+            seg_effective: Vec::new(),
+            seg_capacity: platform.total_bw,
+            debug: std::env::var_os("IOSCHED_SIM_DEBUG").is_some(),
+        };
+        sim.settle_transitions();
+        sim.allocate()?;
+        sim.snapshot_segment();
+        Ok(sim)
     }
 
-    let mut rts: Vec<AppRuntime> = apps
-        .iter()
-        .map(|a| AppRuntime::new(a.clone(), platform))
-        .collect();
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
 
-    let mut now = Time::ZERO;
-    let mut trace = config.record_trace.then(BandwidthTrace::default);
-    let mut seg_start = now;
-    let mut seg_grants: Vec<(iosched_model::AppId, Bw)> = Vec::new();
-    let mut seg_effective: Vec<(iosched_model::AppId, Bw)> = Vec::new();
-    let mut seg_capacity = platform.total_bw;
+    /// Scheduling events processed so far.
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.events
+    }
 
-    process_transitions(&mut rts, now);
-    let mut drain_bw = allocate(
-        platform,
-        policy,
-        &mut rts,
-        bb.as_ref(),
-        config.external_load.as_ref(),
-        now,
-    )?;
-    snapshot_segment(
-        &rts,
-        bb.as_ref(),
-        config.external_load.as_ref(),
-        now,
-        platform,
-        &mut seg_grants,
-        &mut seg_effective,
-        &mut seg_capacity,
-    );
+    /// True once every application completed its last instance.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished == self.rts.len()
+    }
 
-    let debug = std::env::var_os("IOSCHED_SIM_DEBUG").is_some();
-    let mut events: usize = 0;
-    while !rts.iter().all(AppRuntime::is_finished) {
-        events += 1;
-        if events > config.max_events {
+    /// Indices (= positions in the input `apps` slice) of applications
+    /// currently wanting I/O, ascending.
+    #[must_use]
+    pub fn pending_apps(&self) -> &[usize] {
+        &self.pending
+    }
+
+    /// Per-application runtime records (inspection hook for steppable
+    /// use; indices match the input `apps` slice).
+    #[must_use]
+    pub fn runtimes(&self) -> &[AppRuntime] {
+        &self.rts
+    }
+
+    /// Effective PFS drain bandwidth installed by the last allocation
+    /// (equals the platform bandwidth when no burst buffer is in use).
+    #[must_use]
+    pub fn drain_bw(&self) -> Bw {
+        self.drain_bw
+    }
+
+    /// Advance to the next scheduling event: pick the earliest event
+    /// time, move the fluid state there, fire the enabled transitions and
+    /// re-run the policy.
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
+        if self.is_finished() {
+            return Ok(StepStatus::Finished);
+        }
+        self.events += 1;
+        if self.events > self.config.max_events {
             return Err(SimError::EventLimitExceeded {
-                limit: config.max_events,
+                limit: self.config.max_events,
             });
         }
-        if debug && events % 100_000 == 0 {
-            let pending = rts.iter().filter(|r| r.wants_io()).count();
-            let done = rts.iter().filter(|r| r.is_finished()).count();
+        if self.debug && self.events.is_multiple_of(100_000) {
             eprintln!(
-                "[sim] event {events}: t={:.6}s pending={pending} finished={done} bb={:?}",
-                now.as_secs(),
-                bb.as_ref().map(|b| (b.level().as_gib(), b.is_throttled()))
+                "[sim] event {}: t={:.6}s pending={} finished={} bb={:?}",
+                self.events,
+                self.now.as_secs(),
+                self.pending.len(),
+                self.finished,
+                self.bb
+                    .as_ref()
+                    .map(|b| (b.level().as_gib(), b.is_throttled()))
             );
         }
 
         // --- Find the next event. ------------------------------------
         let mut t_next = Time::INFINITY;
-        // Predicted I/O completion per app index (to zero residues exactly).
-        let mut predicted: Vec<(usize, Time)> = Vec::new();
-        for (i, rt) in rts.iter().enumerate() {
-            match rt.phase {
-                Phase::NotReleased => t_next = t_next.min(rt.spec.release()),
-                Phase::Computing { done_at } => t_next = t_next.min(done_at),
-                Phase::Io { remaining, .. } => {
-                    if rt.effective_rate.get() > 0.0 {
-                        let done = now + remaining / rt.effective_rate;
-                        predicted.push((i, done));
-                        t_next = t_next.min(done);
-                    }
+        if let Some(&(t, _)) = self.releases.last() {
+            t_next = t_next.min(t);
+        }
+        if let Some(ev) = self.compute.peek() {
+            t_next = t_next.min(ev.at);
+        }
+        // Predicted I/O completions (to zero residues exactly).
+        self.predicted.clear();
+        for &i in &self.pending {
+            let rt = &self.rts[i];
+            if let Phase::Io { remaining, .. } = rt.phase {
+                if rt.effective_rate.get() > 0.0 {
+                    let done = self.now + remaining / rt.effective_rate;
+                    self.predicted.push((i, done));
+                    t_next = t_next.min(done);
                 }
-                Phase::Finished => {}
             }
         }
-        if let Some(b) = &bb {
-            let inflow = total_inflow(&rts);
-            if let Some(dt) = b.next_event_in(inflow, drain_bw) {
-                t_next = t_next.min(now + dt.max(Time::ZERO));
+        if let Some(b) = &self.bb {
+            let inflow = self.total_inflow();
+            if let Some(dt) = b.next_event_in(inflow, self.drain_bw) {
+                t_next = t_next.min(self.now + dt.max(Time::ZERO));
             }
         }
         // Timetable-style policies re-allocate at their own boundaries.
-        if let Some(t) = policy.next_wakeup(now) {
-            if t.approx_gt(now) {
+        if let Some(t) = self.policy.next_wakeup(self.now) {
+            if t.approx_gt(self.now) {
                 t_next = t_next.min(t);
             }
         }
         // Communication traffic changes the available capacity at its
         // busy/idle transitions.
-        if let Some(load) = &config.external_load {
-            if let Some(t) = load.next_boundary(now) {
-                if t.approx_gt(now) {
+        if let Some(load) = &self.config.external_load {
+            if let Some(t) = load.next_boundary(self.now) {
+                if t.approx_gt(self.now) {
                     t_next = t_next.min(t);
                 }
             }
@@ -207,16 +384,17 @@ pub fn simulate(
         if !t_next.is_finite() {
             // Applications remain but nothing can ever happen again.
             return Err(SimError::PolicyStalledSystem {
-                policy: policy.name(),
-                at: now.as_secs(),
+                policy: self.policy.name(),
+                at: self.now.as_secs(),
             });
         }
 
         // --- Advance the fluid state to t_next. -----------------------
-        let dt = (t_next - now).max(Time::ZERO);
-        let inflow = total_inflow(&rts);
-        for rt in &mut rts {
-            if let Phase::Io { remaining, started } = rt.phase {
+        let dt = (t_next - self.now).max(Time::ZERO);
+        let inflow = self.total_inflow();
+        for &i in &self.pending {
+            let rt = &mut self.rts[i];
+            if let Phase::Io { remaining, .. } = rt.phase {
                 if rt.effective_rate.get() > 0.0 && dt.get() > 0.0 {
                     let moved = rt.effective_rate * dt;
                     let new_remaining = (remaining - moved).max(iosched_model::Bytes::ZERO);
@@ -225,150 +403,219 @@ pub fn simulate(
                         remaining: new_remaining,
                         started: true,
                     };
-                } else {
-                    rt.phase = Phase::Io { remaining, started };
                 }
             }
         }
         // Zero the winners' residues exactly.
-        for &(i, done) in &predicted {
+        for k in 0..self.predicted.len() {
+            let (i, done) = self.predicted[k];
             if done.approx_le(t_next) {
-                if let Phase::Io { started, .. } = rts[i].phase {
-                    rts[i].phase = Phase::Io {
+                if let Phase::Io { started, .. } = self.rts[i].phase {
+                    self.rts[i].phase = Phase::Io {
                         remaining: iosched_model::Bytes::ZERO,
                         started,
                     };
                 }
             }
         }
-        if let Some(b) = &mut bb {
-            b.advance(dt, inflow, drain_bw);
+        if let Some(b) = &mut self.bb {
+            b.advance(dt, inflow, self.drain_bw);
         }
-        now = t_next;
+        self.now = t_next;
 
         // --- State transitions and re-allocation. ---------------------
-        process_transitions(&mut rts, now);
-        if let Some(t) = &mut trace {
+        self.settle_transitions();
+        if let Some(t) = &mut self.trace {
             t.push(TraceSegment {
-                start: seg_start,
-                end: now,
-                capacity: seg_capacity,
-                grants: seg_grants.clone(),
-                effective: seg_effective.clone(),
+                start: self.seg_start,
+                end: self.now,
+                capacity: self.seg_capacity,
+                grants: self.seg_grants.clone(),
+                effective: self.seg_effective.clone(),
             });
         }
-        drain_bw = allocate(
-            platform,
-            policy,
-            &mut rts,
-            bb.as_ref(),
-            config.external_load.as_ref(),
-            now,
-        )?;
-        seg_start = now;
-        snapshot_segment(
-            &rts,
-            bb.as_ref(),
-            config.external_load.as_ref(),
-            now,
-            platform,
-            &mut seg_grants,
-            &mut seg_effective,
-            &mut seg_capacity,
-        );
+        self.allocate()?;
+        self.snapshot_segment();
+        Ok(StepStatus::Advanced)
     }
 
-    Ok(SimOutcome::collect(platform, rts, trace, events, now))
-}
+    /// Drive [`Simulation::step`] until every application finished and
+    /// assemble the outcome.
+    pub fn run_to_completion(mut self) -> Result<SimOutcome, SimError> {
+        while !self.is_finished() {
+            self.step()?;
+        }
+        Ok(self.into_outcome())
+    }
 
-/// Aggregate effective inflow of all transferring applications.
-fn total_inflow(rts: &[AppRuntime]) -> Bw {
-    rts.iter()
-        .filter(|rt| rt.wants_io())
-        .map(|rt| rt.effective_rate)
-        .sum()
-}
+    /// Consume the engine and assemble the objective report for the work
+    /// completed so far (normally called once [`Simulation::is_finished`]).
+    #[must_use]
+    pub fn into_outcome(self) -> SimOutcome {
+        SimOutcome::collect(self.platform, self.rts, self.trace, self.events, self.now)
+    }
 
-/// Fire every transition enabled at `now`, repeatedly (a compute completion
-/// may expose a zero-volume I/O that immediately completes, etc.).
-fn process_transitions(rts: &mut [AppRuntime], now: Time) {
-    loop {
-        let mut changed = false;
-        for rt in rts.iter_mut() {
-            match rt.phase {
-                Phase::NotReleased => {
-                    if rt.spec.release().approx_le(now) {
-                        rt.start_instance(rt.spec.release().max(Time::ZERO));
-                        changed = true;
-                    }
-                }
-                Phase::Computing { done_at } => {
-                    if done_at.approx_le(now) {
-                        let inst = rt.spec.instance(rt.instance);
-                        rt.io_requested_at = now;
-                        rt.phase = Phase::Io {
-                            remaining: inst.vol,
-                            started: false,
-                        };
-                        changed = true;
-                    }
-                }
-                Phase::Io { remaining, .. } => {
-                    if remaining.is_zero() {
-                        rt.progress.complete_instance();
-                        rt.last_io_end = now;
-                        rt.rate = Bw::ZERO;
-                        rt.effective_rate = Bw::ZERO;
-                        rt.instance += 1;
-                        if rt.instance == rt.spec.instance_count() {
-                            rt.progress.finish(now);
-                            rt.phase = Phase::Finished;
-                        } else {
-                            rt.start_instance(now);
-                        }
-                        changed = true;
-                    }
-                }
-                Phase::Finished => {}
+    /// Aggregate effective inflow of all transferring applications.
+    fn total_inflow(&self) -> Bw {
+        self.pending
+            .iter()
+            .map(|&i| self.rts[i].effective_rate)
+            .sum()
+    }
+
+    fn pending_insert(&mut self, i: usize) {
+        if let Err(pos) = self.pending.binary_search(&i) {
+            self.pending.insert(pos, i);
+        }
+    }
+
+    fn pending_remove(&mut self, i: usize) {
+        if let Ok(pos) = self.pending.binary_search(&i) {
+            self.pending.remove(pos);
+        }
+    }
+
+    /// Fire every transition enabled at `self.now`. Transitions are
+    /// per-application (they depend only on that application's state and
+    /// the clock), so each source is drained once — no global fixpoint
+    /// loop over all applications:
+    ///
+    /// * due releases pop off the release stack,
+    /// * due compute completions pop off the compute heap,
+    /// * pending applications whose residual volume reached zero complete
+    ///   their instance (and may chain through zero-work/zero-volume
+    ///   instances within [`Simulation::settle_app`]).
+    fn settle_transitions(&mut self) {
+        while let Some(&(t, i)) = self.releases.last() {
+            if !t.approx_le(self.now) {
+                break;
+            }
+            self.releases.pop();
+            self.begin_instance(i, t.max(Time::ZERO));
+        }
+        while let Some(ev) = self.compute.peek() {
+            if !ev.at.approx_le(self.now) {
+                break;
+            }
+            let i = ev.idx;
+            self.compute.pop();
+            let rt = &mut self.rts[i];
+            let inst = rt.spec.instance(rt.instance);
+            rt.io_requested_at = self.now;
+            rt.phase = Phase::Io {
+                remaining: inst.vol,
+                started: false,
+            };
+            self.pending_insert(i);
+            self.settle_app(i);
+        }
+        // Walk the pending set; `settle_app` may remove the current entry,
+        // in which case the same position holds the next candidate.
+        let mut k = 0;
+        while k < self.pending.len() {
+            let i = self.pending[k];
+            self.settle_app(i);
+            if self.pending.get(k) == Some(&i) {
+                k += 1;
             }
         }
-        if !changed {
-            break;
+    }
+
+    /// Start application `i`'s current instance at `at` and register it
+    /// with the matching event source.
+    fn begin_instance(&mut self, i: usize, at: Time) {
+        self.rts[i].start_instance(at);
+        match self.rts[i].phase {
+            Phase::Computing { done_at } => self.compute.push(ComputeEvent {
+                at: done_at,
+                idx: i,
+            }),
+            Phase::Io { .. } => {
+                self.pending_insert(i);
+                self.settle_app(i);
+            }
+            _ => unreachable!("start_instance enters Computing or Io"),
         }
     }
-}
 
-/// Re-run the policy and install the granted/effective rates. Returns the
-/// effective PFS drain bandwidth for the burst buffer (equal to `B` when no
-/// buffer is in use).
-fn allocate(
-    platform: &Platform,
-    policy: &mut dyn OnlinePolicy,
-    rts: &mut [AppRuntime],
-    bb: Option<&BurstBufferState>,
-    external_load: Option<&ExternalLoad>,
-    now: Time,
-) -> Result<Bw, SimError> {
-    // Communication traffic (§7 extension) shrinks the shared pipe.
-    let load_factor = external_load.map_or(1.0, |l| l.capacity_factor(now));
-    let capacity = match bb {
-        Some(b) => b.ingest_capacity(platform.total_bw),
-        None => platform.total_bw * load_factor,
-    };
-    let pending_idx: Vec<usize> = (0..rts.len()).filter(|&i| rts[i].wants_io()).collect();
-    for rt in rts.iter_mut() {
-        rt.rate = Bw::ZERO;
-        rt.effective_rate = Bw::ZERO;
+    /// Chain through instance completions of one pending application:
+    /// a zero residual volume completes the instance, and the next
+    /// instance may immediately complete again (zero work and zero
+    /// volume), finish the application, or hand it to the compute heap.
+    fn settle_app(&mut self, i: usize) {
+        loop {
+            let rt = &mut self.rts[i];
+            let Phase::Io { remaining, .. } = rt.phase else {
+                return;
+            };
+            if !remaining.is_zero() {
+                return;
+            }
+            rt.progress.complete_instance();
+            rt.last_io_end = self.now;
+            rt.rate = Bw::ZERO;
+            rt.effective_rate = Bw::ZERO;
+            rt.instance += 1;
+            if rt.instance == rt.spec.instance_count() {
+                rt.progress.finish(self.now);
+                rt.phase = Phase::Finished;
+                self.finished += 1;
+                self.pending_remove(i);
+                return;
+            }
+            let now = self.now;
+            self.rts[i].start_instance(now);
+            if let Phase::Computing { done_at } = self.rts[i].phase {
+                self.compute.push(ComputeEvent {
+                    at: done_at,
+                    idx: i,
+                });
+                self.pending_remove(i);
+                return;
+            }
+            // Zero-work instance: straight back to Io; loop to catch a
+            // zero-volume transfer completing instantly.
+        }
     }
-    if pending_idx.is_empty() {
-        return Ok(platform.total_bw);
-    }
-    let states: Vec<AppState> = pending_idx
-        .iter()
-        .map(|&i| {
-            let rt = &rts[i];
+
+    /// Re-run the policy and install the granted/effective rates; records
+    /// the effective PFS drain bandwidth for the burst buffer (equal to
+    /// `B` when no buffer is in use).
+    fn allocate(&mut self) -> Result<(), SimError> {
+        let now = self.now;
+        // Communication traffic (§7 extension) shrinks the shared pipe.
+        let load_factor = self
+            .config
+            .external_load
+            .as_ref()
+            .map_or(1.0, |l| l.capacity_factor(now));
+        let capacity = match &self.bb {
+            Some(b) => b.ingest_capacity(self.platform.total_bw),
+            None => self.platform.total_bw * load_factor,
+        };
+        for &i in &self.pending {
+            self.rts[i].rate = Bw::ZERO;
+            self.rts[i].effective_rate = Bw::ZERO;
+        }
+        if self.pending.is_empty() {
+            // Nothing is ingesting, but a burst buffer may still be
+            // draining the interleaved data of earlier writers — that
+            // drain contends on the disk tier exactly like the live
+            // streams did (the Fig. 1 effect does not evaporate when the
+            // writers go idle).
+            self.drain_bw = match &mut self.bb {
+                Some(b) => {
+                    self.platform.total_bw * self.platform.interference.factor(b.note_streams(0))
+                }
+                None => self.platform.total_bw,
+            };
+            return Ok(());
+        }
+        self.snapshot.clear();
+        for &i in &self.pending {
+            let rt = &self.rts[i];
             let started = matches!(rt.phase, Phase::Io { started: true, .. });
-            AppState {
+            self.snapshot.push(AppState {
                 id: rt.spec.id(),
                 procs: rt.spec.procs(),
                 dilation_ratio: rt.progress.dilation_ratio(now),
@@ -376,87 +623,102 @@ fn allocate(
                 last_io_end: rt.last_io_end,
                 io_requested_at: rt.io_requested_at,
                 started_io: started,
-                max_bw: (platform.proc_bw * rt.spec.procs() as f64).min(capacity),
+                max_bw: (self.platform.proc_bw * rt.spec.procs() as f64).min(capacity),
+            });
+        }
+        let ctx = self.snapshot.context(now, capacity);
+        let alloc = self.policy.allocate(&ctx);
+        alloc
+            .validate(&ctx)
+            .map_err(|detail| SimError::InvalidAllocation {
+                policy: self.policy.name(),
+                detail,
+            })?;
+        // A policy that schedules its own wakeups (a timetable) may stall
+        // everyone between reservation windows; an event-driven policy that
+        // grants nothing would livelock the system.
+        if alloc.total().is_zero() && capacity.get() > 0.0 && self.policy.next_wakeup(now).is_none()
+        {
+            return Err(SimError::PolicyStalledSystem {
+                policy: self.policy.name(),
+                at: now.as_secs(),
+            });
+        }
+        let active = alloc.grants.iter().filter(|(_, b)| b.get() > 0.0).count();
+        // Disk-locality interference: `n` uncoordinated streams degrade the
+        // disk-backed tier's delivered bandwidth (Fig. 1). Without a burst
+        // buffer the penalty hits the application rates directly. With one,
+        // the SSD absorb tier itself is penalty-free (§3.1: "solid-state
+        // drives do not present the problem"), but the buffered data of `n`
+        // applications interleaves, so the PFS *drain* — and, under
+        // back-pressure once the buffer is full, the ingest too — runs at
+        // `B·factor(n)`. This is why "burst buffers cannot prevent congestion
+        // at all times" (§1): the penalty merely hides until the buffer fills.
+        let contended = self.platform.interference.factor(active);
+        let ingest_factor = match &self.bb {
+            Some(b) if !b.is_throttled() => 1.0,
+            _ => contended,
+        };
+        for &i in &self.pending {
+            let granted = alloc.granted(self.rts[i].spec.id());
+            self.rts[i].rate = granted;
+            self.rts[i].effective_rate = granted * ingest_factor;
+        }
+        self.drain_bw = match &mut self.bb {
+            Some(b) => {
+                let streams = b.note_streams(active);
+                self.platform.total_bw * self.platform.interference.factor(streams)
             }
-        })
-        .collect();
-    let ctx = SchedContext {
-        now,
-        total_bw: capacity,
-        pending: &states,
-    };
-    let alloc = policy.allocate(&ctx);
-    alloc.validate(&ctx).map_err(|detail| SimError::InvalidAllocation {
-        policy: policy.name(),
-        detail,
-    })?;
-    // A policy that schedules its own wakeups (a timetable) may stall
-    // everyone between reservation windows; an event-driven policy that
-    // grants nothing would livelock the system.
-    if alloc.total().is_zero() && capacity.get() > 0.0 && policy.next_wakeup(now).is_none() {
-        return Err(SimError::PolicyStalledSystem {
-            policy: policy.name(),
-            at: now.as_secs(),
-        });
+            None => self.platform.total_bw,
+        };
+        Ok(())
     }
-    let active = alloc.grants.iter().filter(|(_, b)| b.get() > 0.0).count();
-    // Disk-locality interference: `n` uncoordinated streams degrade the
-    // disk-backed tier's delivered bandwidth (Fig. 1). Without a burst
-    // buffer the penalty hits the application rates directly. With one,
-    // the SSD absorb tier itself is penalty-free (§3.1: "solid-state
-    // drives do not present the problem"), but the buffered data of `n`
-    // applications interleaves, so the PFS *drain* — and, under
-    // back-pressure once the buffer is full, the ingest too — runs at
-    // `B·factor(n)`. This is why "burst buffers cannot prevent congestion
-    // at all times" (§1): the penalty merely hides until the buffer fills.
-    let contended = platform.interference.factor(active);
-    let ingest_factor = match bb {
-        Some(b) if !b.is_throttled() => 1.0,
-        _ => contended,
-    };
-    for &i in &pending_idx {
-        let granted = alloc.granted(rts[i].spec.id());
-        rts[i].rate = granted;
-        rts[i].effective_rate = granted * ingest_factor;
-    }
-    let drain_bw = if bb.is_some() {
-        platform.total_bw * contended
-    } else {
-        platform.total_bw
-    };
-    Ok(drain_bw)
-}
 
-/// Capture the current allocation for the trace segment being built.
-fn snapshot_segment(
-    rts: &[AppRuntime],
-    bb: Option<&BurstBufferState>,
-    external_load: Option<&ExternalLoad>,
-    now: Time,
-    platform: &Platform,
-    grants: &mut Vec<(iosched_model::AppId, Bw)>,
-    effective: &mut Vec<(iosched_model::AppId, Bw)>,
-    capacity: &mut Bw,
-) {
-    grants.clear();
-    effective.clear();
-    let load_factor = external_load.map_or(1.0, |l| l.capacity_factor(now));
-    *capacity = match bb {
-        Some(b) => b.ingest_capacity(platform.total_bw),
-        None => platform.total_bw * load_factor,
-    };
-    for rt in rts {
-        if rt.rate.get() > 0.0 {
-            grants.push((rt.spec.id(), rt.rate));
-            effective.push((rt.spec.id(), rt.effective_rate));
+    /// Capture the current allocation for the trace segment being built
+    /// (skipped entirely when no trace was requested).
+    fn snapshot_segment(&mut self) {
+        self.seg_start = self.now;
+        if self.trace.is_none() {
+            return;
+        }
+        self.seg_grants.clear();
+        self.seg_effective.clear();
+        let load_factor = self
+            .config
+            .external_load
+            .as_ref()
+            .map_or(1.0, |l| l.capacity_factor(self.now));
+        self.seg_capacity = match &self.bb {
+            Some(b) => b.ingest_capacity(self.platform.total_bw),
+            None => self.platform.total_bw * load_factor,
+        };
+        for &i in &self.pending {
+            let rt = &self.rts[i];
+            if rt.rate.get() > 0.0 {
+                self.seg_grants.push((rt.spec.id(), rt.rate));
+                self.seg_effective.push((rt.spec.id(), rt.effective_rate));
+            }
         }
     }
 }
 
+/// Run `policy` over `apps` on `platform` until every application
+/// completes; returns the objective report (and optional trace).
+///
+/// One-shot wrapper over the [`Simulation`] lifecycle.
+pub fn simulate(
+    platform: &Platform,
+    apps: &[AppSpec],
+    policy: &mut dyn OnlinePolicy,
+    config: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    Simulation::new(platform, apps, policy, config)?.run_to_completion()
+}
 #[cfg(test)]
 mod tests {
     use super::*;
     use iosched_core::heuristics::{MaxSysEff, MinDilation, RoundRobin};
+    use iosched_core::policy::SchedContext;
     use iosched_model::{AppId, Bytes};
 
     fn platform() -> Platform {
@@ -478,13 +740,7 @@ mod tests {
     #[test]
     fn single_app_runs_at_dedicated_speed() {
         let p = platform();
-        let out = simulate(
-            &p,
-            &[app(0, 3)],
-            &mut RoundRobin,
-            &SimConfig::traced(),
-        )
-        .unwrap();
+        let out = simulate(&p, &[app(0, 3)], &mut RoundRobin, &SimConfig::traced()).unwrap();
         let o = out.report.app(AppId(0)).unwrap();
         assert!(o.finish.approx_eq(Time::secs(30.0)), "finish {}", o.finish);
         assert!((o.rho_tilde - 0.8).abs() < 1e-9);
@@ -575,13 +831,7 @@ mod tests {
         let p = platform().with_default_burst_buffer();
         let apps = [app(0, 2), app(1, 2), app(2, 2)];
         let without = simulate(&p, &apps, &mut RoundRobin, &SimConfig::default()).unwrap();
-        let with = simulate(
-            &p,
-            &apps,
-            &mut RoundRobin,
-            &SimConfig::with_burst_buffer(),
-        )
-        .unwrap();
+        let with = simulate(&p, &apps, &mut RoundRobin, &SimConfig::with_burst_buffer()).unwrap();
         assert!(
             with.report.sys_efficiency >= without.report.sys_efficiency - 1e-9,
             "BB must not hurt: {} vs {}",
@@ -706,7 +956,12 @@ mod tests {
             ..SimConfig::default()
         };
         let out = simulate(&p, &[app(0, 1)], &mut MaxSysEff, &quiet).unwrap();
-        assert!(out.report.app(AppId(0)).unwrap().finish.approx_eq(Time::secs(10.0)));
+        assert!(out
+            .report
+            .app(AppId(0))
+            .unwrap()
+            .finish
+            .approx_eq(Time::secs(10.0)));
     }
 
     #[test]
@@ -771,6 +1026,98 @@ mod tests {
             Err(SimError::PolicyStalledSystem { policy, .. }) => assert_eq!(policy, "silent"),
             other => panic!("expected PolicyStalledSystem, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stepping_matches_the_one_shot_run() {
+        let p = platform();
+        let apps = [app(0, 3), app(1, 2)];
+        let one_shot = simulate(&p, &apps, &mut MinDilation, &SimConfig::traced()).unwrap();
+
+        let config = SimConfig::traced();
+        let mut policy = MinDilation;
+        let mut sim = Simulation::new(&p, &apps, &mut policy, &config).unwrap();
+        let mut steps = 0;
+        while sim.step().unwrap() == StepStatus::Advanced {
+            steps += 1;
+            assert!(sim.now().approx_ge(Time::ZERO));
+            assert!(sim.pending_apps().len() <= apps.len());
+        }
+        assert!(sim.is_finished());
+        let stepped = sim.into_outcome();
+
+        assert_eq!(stepped.events, one_shot.events);
+        assert_eq!(steps, one_shot.events);
+        assert!(stepped.end_time.approx_eq(one_shot.end_time));
+        assert_eq!(
+            stepped.report.sys_efficiency.to_bits(),
+            one_shot.report.sys_efficiency.to_bits(),
+            "stepped and one-shot runs must agree bit-for-bit"
+        );
+        assert_eq!(
+            stepped.report.dilation.to_bits(),
+            one_shot.report.dilation.to_bits()
+        );
+        assert_eq!(
+            stepped.trace.as_ref().unwrap().segments.len(),
+            one_shot.trace.as_ref().unwrap().segments.len()
+        );
+    }
+
+    #[test]
+    fn step_after_finish_is_an_idempotent_no_op() {
+        let p = platform();
+        let apps = [app(0, 1)];
+        let config = SimConfig::default();
+        let mut policy = RoundRobin;
+        let mut sim = Simulation::new(&p, &apps, &mut policy, &config).unwrap();
+        while !sim.is_finished() {
+            sim.step().unwrap();
+        }
+        let events = sim.events();
+        assert_eq!(sim.step().unwrap(), StepStatus::Finished);
+        assert_eq!(sim.step().unwrap(), StepStatus::Finished);
+        assert_eq!(sim.events(), events, "no-op steps must not count events");
+    }
+
+    /// Regression: with no application ingesting, a burst buffer still
+    /// draining the interleaved data of `n` earlier writers must drain at
+    /// `B·factor(n)`, not the full `B` (the empty-pending early return
+    /// used to skip the contended-drain path entirely).
+    #[test]
+    fn idle_drain_of_buffered_data_stays_contended() {
+        use iosched_model::{Instance, InstancePattern, Interference};
+        let p = platform()
+            .with_interference(Interference::default_penalty())
+            .with_default_burst_buffer();
+        // Two apps dump a burst into the buffer, then compute for a long
+        // time: the buffer keeps draining while nobody ingests.
+        let burst_then_compute = |id: usize| {
+            AppSpec::new(
+                id,
+                Time::ZERO,
+                100,
+                InstancePattern::Explicit(vec![
+                    Instance::new(Time::ZERO, Bytes::gib(30.0)),
+                    Instance::new(Time::secs(1_000.0), Bytes::gib(1.0)),
+                ]),
+            )
+        };
+        let apps = [burst_then_compute(0), burst_then_compute(1)];
+        let config = SimConfig::with_burst_buffer();
+        let mut policy = RoundRobin;
+        let mut sim = Simulation::new(&p, &apps, &mut policy, &config).unwrap();
+        // Advance until both bursts were absorbed (no pending I/O left).
+        while !sim.pending_apps().is_empty() {
+            sim.step().unwrap();
+        }
+        let expected = p.total_bw * p.interference.factor(2);
+        assert!(
+            sim.drain_bw().approx_eq(expected),
+            "idle drain {} should contend like the 2 buffered writers ({})",
+            sim.drain_bw(),
+            expected
+        );
     }
 
     #[test]

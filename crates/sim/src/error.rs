@@ -23,7 +23,10 @@ impl fmt::Display for SimError {
         match self {
             Self::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
             Self::InvalidAllocation { policy, detail } => {
-                write!(f, "policy '{policy}' produced an invalid allocation: {detail}")
+                write!(
+                    f,
+                    "policy '{policy}' produced an invalid allocation: {detail}"
+                )
             }
             Self::PolicyStalledSystem { policy, at } => write!(
                 f,
@@ -45,7 +48,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SimError::InvalidScenario("x".into()).to_string().contains("x"));
+        assert!(SimError::InvalidScenario("x".into())
+            .to_string()
+            .contains("x"));
         assert!(SimError::EventLimitExceeded { limit: 7 }
             .to_string()
             .contains('7'));

@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn boundaries_advance_through_the_cycle() {
         let l = load();
-        assert!(l.next_boundary(Time::ZERO).unwrap().approx_eq(Time::secs(4.0)));
+        assert!(l
+            .next_boundary(Time::ZERO)
+            .unwrap()
+            .approx_eq(Time::secs(4.0)));
         assert!(l
             .next_boundary(Time::secs(4.0))
             .unwrap()

@@ -6,9 +6,11 @@
 //!
 //! The model is *fluid*: between two scheduling events each transferring
 //! application receives a constant bandwidth, remaining volumes decay
-//! linearly and event times are computed in closed form. The engine
-//! ([`engine::simulate`]) drives any [`iosched_core::policy::OnlinePolicy`]
-//! and optionally:
+//! linearly and event times are computed in closed form. The engine is an
+//! explicit state machine ([`engine::Simulation`]) with a
+//! `new()/step()/run_to_completion()` lifecycle — [`engine::simulate`] is
+//! the one-shot wrapper — that drives any
+//! [`iosched_core::policy::OnlinePolicy`] and optionally:
 //!
 //! * routes I/O through a **burst buffer** with fluid fill/drain dynamics
 //!   and back-pressure ([`burst_buffer::BurstBufferState`]) — used to model
@@ -42,7 +44,7 @@ pub mod periodic_exec;
 pub mod state;
 pub mod trace;
 
-pub use engine::{simulate, SimConfig};
+pub use engine::{simulate, SimConfig, Simulation, StepStatus};
 pub use error::SimError;
 pub use external_load::ExternalLoad;
 pub use outcome::SimOutcome;

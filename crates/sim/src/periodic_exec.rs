@@ -37,7 +37,11 @@ pub fn unroll_report(
         .map(|plan| {
             let tio = platform.dedicated_io_time(plan.procs, plan.vol);
             let span = plan.work + tio;
-            let rho = if span.get() <= 0.0 { 1.0 } else { plan.work / span };
+            let rho = if span.get() <= 0.0 {
+                1.0
+            } else {
+                plan.work / span
+            };
             let n_per = plan.n_per();
             if n_per == 0 {
                 // Never scheduled: no progress at the horizon end.
@@ -99,11 +103,7 @@ impl TimetablePolicy {
         let mut boundaries: Vec<Time> = schedule
             .plans
             .iter()
-            .flat_map(|p| {
-                p.instances
-                    .iter()
-                    .flat_map(|i| [i.io_start, i.io_end])
-            })
+            .flat_map(|p| p.instances.iter().flat_map(|i| [i.io_start, i.io_end]))
             .collect();
         boundaries.sort_by(|a, b| a.get().total_cmp(&b.get()));
         boundaries.dedup_by(|a, b| a.approx_eq(*b));

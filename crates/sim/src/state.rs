@@ -107,12 +107,7 @@ mod tests {
     use iosched_model::Platform;
 
     fn platform() -> Platform {
-        Platform::new(
-            "t",
-            1_000,
-            Bw::gib_per_sec(0.1),
-            Bw::gib_per_sec(10.0),
-        )
+        Platform::new("t", 1_000, Bw::gib_per_sec(0.1), Bw::gib_per_sec(10.0))
     }
 
     #[test]

@@ -104,9 +104,7 @@ impl BandwidthTrace {
                 };
                 let cap = platform.proc_bw * procs as f64;
                 if bw.approx_gt(cap) {
-                    return Err(format!(
-                        "segment {i}: {app} granted {bw} above β·b = {cap}"
-                    ));
+                    return Err(format!("segment {i}: {app} granted {bw} above β·b = {cap}"));
                 }
             }
             for &(app, eff) in &seg.effective {

@@ -166,9 +166,7 @@ mod tests {
     #[test]
     fn app_counts_vary_across_seeds() {
         let p = Platform::intrepid();
-        let counts: Vec<usize> = (0..20)
-            .map(|s| congested_moment(&p, s).len())
-            .collect();
+        let counts: Vec<usize> = (0..20).map(|s| congested_moment(&p, s).len()).collect();
         let min = counts.iter().min().unwrap();
         let max = counts.iter().max().unwrap();
         assert!(min < max, "all seeds produced {min} applications");

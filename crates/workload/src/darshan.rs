@@ -151,27 +151,25 @@ impl DarshanLog {
         let mut used_nodes: u64 = 0;
         let budget = (platform.procs as f64 * coverage_target) as u64;
 
-        let push = |rng: &mut StdRng,
-                        apps: &mut Vec<AppSpec>,
-                        used: &mut u64,
-                        rec: &DarshanRecord| {
-            if *used + rec.nodes > platform.procs || rec.n_phases == 0 {
-                return;
-            }
-            let n = rec.n_phases;
-            let w = ((rec.runtime() - rec.io_time) / n as f64).max(1.0);
-            let vol = Bytes::new(rec.total_bytes / n as f64);
-            let release = Time::secs(rng.gen_range(0.0..w + 1.0));
-            apps.push(AppSpec::periodic(
-                apps.len(),
-                release,
-                rec.nodes,
-                Time::secs(w),
-                vol,
-                n.min(32),
-            ));
-            *used += rec.nodes;
-        };
+        let push =
+            |rng: &mut StdRng, apps: &mut Vec<AppSpec>, used: &mut u64, rec: &DarshanRecord| {
+                if *used + rec.nodes > platform.procs || rec.n_phases == 0 {
+                    return;
+                }
+                let n = rec.n_phases;
+                let w = ((rec.runtime() - rec.io_time) / n as f64).max(1.0);
+                let vol = Bytes::new(rec.total_bytes / n as f64);
+                let release = Time::secs(rng.gen_range(0.0..w + 1.0));
+                apps.push(AppSpec::periodic(
+                    apps.len(),
+                    release,
+                    rec.nodes,
+                    Time::secs(w),
+                    vol,
+                    n.min(32),
+                ));
+                *used += rec.nodes;
+            };
 
         for rec in &jobs {
             push(&mut rng, &mut apps, &mut used_nodes, rec);
@@ -241,7 +239,10 @@ mod tests {
         assert!(!apps.is_empty());
         validate_scenario(&p, &apps).unwrap();
         for a in &apps {
-            assert!(a.pattern().is_periodic(), "reduction must enforce periodicity");
+            assert!(
+                a.pattern().is_periodic(),
+                "reduction must enforce periodicity"
+            );
         }
     }
 

@@ -99,7 +99,10 @@ impl MixConfig {
     /// Panics on an empty mix.
     #[must_use]
     pub fn generate(&self, platform: &Platform, seed: u64) -> Vec<AppSpec> {
-        assert!(self.count() > 0, "mix must contain at least one application");
+        assert!(
+            self.count() > 0,
+            "mix must contain at least one application"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut cats = Vec::with_capacity(self.count());
         cats.extend(std::iter::repeat_n(AppCategory::Small, self.small));
@@ -125,7 +128,9 @@ impl MixConfig {
                 let vol: Bytes = platform.app_max_bw(procs) * tio;
                 let count = rng.gen_range(self.instances.0..=self.instances.1);
                 let span = work + tio;
-                let release = Time::secs(rng.gen_range(0.0..=(span.as_secs() * self.release_jitter).max(f64::MIN_POSITIVE)));
+                let release = Time::secs(rng.gen_range(
+                    0.0..=(span.as_secs() * self.release_jitter).max(f64::MIN_POSITIVE),
+                ));
                 AppSpec::periodic(id, release, procs, work, vol, count)
             })
             .collect()

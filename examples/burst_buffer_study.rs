@@ -30,7 +30,14 @@ fn main() {
     println!("------------------------------------------------------");
     for secs in [0.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0] {
         let out = if secs == 0.0 {
-            run_native(&base, &apps, NativeConfig { burst_buffers: false }).unwrap()
+            run_native(
+                &base,
+                &apps,
+                NativeConfig {
+                    burst_buffers: false,
+                },
+            )
+            .unwrap()
         } else {
             let platform = base.clone().with_burst_buffer(BurstBufferSpec {
                 capacity: base.total_bw * Time::secs(secs),

@@ -28,8 +28,8 @@ fn main() {
     println!("------------------------------------------------");
     for kind in PolicyKind::fig6_roster() {
         let mut policy = kind.build();
-        let out = simulate(&platform, &apps, &mut policy, &SimConfig::default())
-            .expect("valid scenario");
+        let out =
+            simulate(&platform, &apps, &mut policy, &SimConfig::default()).expect("valid scenario");
         println!(
             "{:<22} {:>12.1}%  {:>8.2}",
             kind.name(),
@@ -46,6 +46,8 @@ fn main() {
     );
     println!(
         "{:<22} {:>12.1}%  {:>8.2}",
-        "upper limit", native.report.upper_limit * 100.0, 1.0
+        "upper limit",
+        native.report.upper_limit * 100.0,
+        1.0
     );
 }

@@ -25,7 +25,10 @@ fn main() {
 
     println!("== online heuristics (event-driven, no lookahead) ==");
     for (name, policy) in [
-        ("mindilation", &mut MinDilation as &mut dyn hpc_io_sched::core::policy::OnlinePolicy),
+        (
+            "mindilation",
+            &mut MinDilation as &mut dyn hpc_io_sched::core::policy::OnlinePolicy,
+        ),
         ("maxsyseff", &mut MaxSysEff),
     ] {
         let out = simulate(&platform, &apps, policy, &SimConfig::default()).unwrap();

@@ -32,12 +32,15 @@ fn main() {
     println!("policy        SysEfficiency   Dilation   makespan");
     println!("--------------------------------------------------");
     for (name, policy) in [
-        ("fairshare", &mut FairShare as &mut dyn hpc_io_sched::core::policy::OnlinePolicy),
+        (
+            "fairshare",
+            &mut FairShare as &mut dyn hpc_io_sched::core::policy::OnlinePolicy,
+        ),
         ("mindilation", &mut MinDilation),
         ("maxsyseff", &mut MaxSysEff),
     ] {
-        let out = simulate(&platform, &apps, policy, &SimConfig::default())
-            .expect("valid scenario");
+        let out =
+            simulate(&platform, &apps, policy, &SimConfig::default()).expect("valid scenario");
         println!(
             "{name:<12}  {:>12.1}%  {:>8.2}   {:>7.0}s",
             out.report.sys_efficiency * 100.0,
@@ -45,7 +48,8 @@ fn main() {
             out.report.makespan().as_secs(),
         );
     }
-    println!("\n(upper limit: {:.1}% — what a congestion-free oracle would reach)",
+    println!(
+        "\n(upper limit: {:.1}% — what a congestion-free oracle would reach)",
         simulate(&platform, &apps, &mut MinDilation, &SimConfig::default())
             .unwrap()
             .report

@@ -21,8 +21,8 @@ fn agreement_case(nodes: &[u64], policy_pair: (&mut dyn OnlinePolicy, &mut dyn O
     };
     let apps = scenario_apps(&scenario, &platform, params, 5);
 
-    let sim = simulate(&platform, &apps, policy_pair.0, &SimConfig::default())
-        .expect("valid scenario");
+    let sim =
+        simulate(&platform, &apps, policy_pair.0, &SimConfig::default()).expect("valid scenario");
 
     let mut cfg = IorConfig::new(platform.clone(), apps);
     cfg.speedup = 1_000.0;

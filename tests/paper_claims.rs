@@ -35,7 +35,14 @@ fn claim_congestion_costs_up_to_two_thirds_of_io_throughput() {
     let mut worst: f64 = 0.0;
     for &seed in intrepid_cases().iter().take(CASES) {
         let apps = congested_moment(&platform, seed);
-        let out = run_native(&platform, &apps, NativeConfig { burst_buffers: false }).unwrap();
+        let out = run_native(
+            &platform,
+            &apps,
+            NativeConfig {
+                burst_buffers: false,
+            },
+        )
+        .unwrap();
         for o in &out.report.per_app {
             worst = worst.max(o.io_throughput_decrease());
         }
@@ -57,7 +64,14 @@ fn claim_global_scheduler_increases_system_throughput() {
         (out.report.sys_efficiency, out.report.dilation)
     });
     let (native, _) = mean_over_cases(&platform, |apps| {
-        let out = run_native(&platform, apps, NativeConfig { burst_buffers: false }).unwrap();
+        let out = run_native(
+            &platform,
+            apps,
+            NativeConfig {
+                burst_buffers: false,
+            },
+        )
+        .unwrap();
         (out.report.sys_efficiency, out.report.dilation)
     });
     let gain = ours / native - 1.0;
@@ -88,8 +102,7 @@ fn claim_heuristics_without_bb_match_native_with_bb() {
         );
         // And MinDilation improves fairness over the native run.
         let (_, md_dil) = mean_over_cases(&platform, |apps| {
-            let out =
-                simulate(&platform, apps, &mut MinDilation, &SimConfig::default()).unwrap();
+            let out = simulate(&platform, apps, &mut MinDilation, &SimConfig::default()).unwrap();
             (out.report.sys_efficiency, out.report.dilation)
         });
         assert!(
@@ -171,10 +184,20 @@ fn claim_sensibility_has_almost_no_impact() {
     for seed in 0..6u64 {
         let periodic = mix.generate(&platform, seed);
         let perturbed = sensibility::perturb(&periodic, 0.30, 0.30, seed ^ 99);
-        let a = simulate(&platform, &periodic, &mut MinDilation, &SimConfig::default())
-            .unwrap();
-        let b = simulate(&platform, &perturbed, &mut MinDilation, &SimConfig::default())
-            .unwrap();
+        let a = simulate(
+            &platform,
+            &periodic,
+            &mut MinDilation,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let b = simulate(
+            &platform,
+            &perturbed,
+            &mut MinDilation,
+            &SimConfig::default(),
+        )
+        .unwrap();
         base_eff.push(a.report.sys_efficiency);
         pert_eff.push(b.report.sys_efficiency);
     }
@@ -209,10 +232,12 @@ fn claim_fig16_fairness_profile() {
     let md = simulate(&platform, &apps, &mut MinDilation, &SimConfig::default()).unwrap();
     let dil = |r: &iosched_model::ObjectiveReport, i: usize| r.per_app[i].dilation();
     // Under MaxSysEff the 32-node app fares worst.
-    let worst_ms = (0..4).max_by(|&a, &b| {
-        dil(&ms.report, a).total_cmp(&dil(&ms.report, b))
-    });
-    assert_eq!(worst_ms, Some(3), "MaxSysEff should sacrifice the 32-node app");
+    let worst_ms = (0..4).max_by(|&a, &b| dil(&ms.report, a).total_cmp(&dil(&ms.report, b)));
+    assert_eq!(
+        worst_ms,
+        Some(3),
+        "MaxSysEff should sacrifice the 32-node app"
+    );
     // MinDilation's max dilation beats MaxSysEff's.
     assert!(
         md.report.dilation <= ms.report.dilation + 1e-9,

@@ -13,11 +13,7 @@ use iosched_workload::congestion::congested_moment;
 use proptest::prelude::*;
 
 fn arb_periodic_apps() -> impl Strategy<Value = Vec<PeriodicAppSpec>> {
-    prop::collection::vec(
-        (1u64..400, 1.0f64..120.0, 0.1f64..80.0),
-        1..7,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((1u64..400, 1.0f64..120.0, 0.1f64..80.0), 1..7).prop_map(|raw| {
         raw.into_iter()
             .enumerate()
             .map(|(i, (procs, w, vol))| {
@@ -125,7 +121,10 @@ fn theorem1_reduction_end_to_end() {
         .iter()
         .map(|a| a.span(&platform))
         .fold(Time::ZERO, Time::max);
-    for heuristic in [InsertionHeuristic::Throughput, InsertionHeuristic::Congestion] {
+    for heuristic in [
+        InsertionHeuristic::Throughput,
+        InsertionHeuristic::Congestion,
+    ] {
         let schedule = build_schedule(&platform, &apps, t0 * 3.0, heuristic);
         schedule.validate(&platform).unwrap();
     }

@@ -1,0 +1,54 @@
+//! `RAYON_NUM_THREADS` handling of the `ScenarioRunner`.
+//!
+//! This lives in its own test binary on purpose: `std::env::set_var` is
+//! process-global and racy against concurrent `getenv` callers (the
+//! engine reads `IOSCHED_SIM_DEBUG` in `Simulation::new`), so the env
+//! mutation must not share a process with concurrently running tests.
+//! With a single `#[test]` here, nothing else runs while the
+//! environment changes.
+
+use iosched_bench::runner::ScenarioRunner;
+use iosched_bench::scenario::{PolicySpec, Scenario};
+use iosched_model::Platform;
+use iosched_workload::congestion::congested_moment;
+
+#[test]
+fn rayon_num_threads_env_is_honored_and_result_invariant() {
+    let vesta = Platform::vesta();
+    let scenarios: Vec<Scenario> = (0..6u64)
+        .map(|seed| {
+            Scenario::new(
+                format!("congested/{seed}"),
+                vesta.clone(),
+                congested_moment(&vesta, seed),
+                PolicySpec::parse(if seed % 2 == 0 {
+                    "maxsyseff"
+                } else {
+                    "mindilation"
+                })
+                .unwrap(),
+            )
+        })
+        .collect();
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single_runner = ScenarioRunner::new();
+    assert_eq!(single_runner.threads(), 1, "env override must win");
+    let single = single_runner.run_all(&scenarios);
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let default_runner = ScenarioRunner::new();
+    assert!(default_runner.threads() >= 1);
+    let default = default_runner.run_all(&scenarios);
+
+    for (s, d) in single.iter().zip(&default) {
+        let (s, d) = (s.as_ref().unwrap(), d.as_ref().unwrap());
+        assert_eq!(s.events, d.events);
+        assert_eq!(
+            s.report.sys_efficiency.to_bits(),
+            d.report.sys_efficiency.to_bits(),
+            "thread count changed a result"
+        );
+        assert_eq!(s.report.dilation.to_bits(), d.report.dilation.to_bits());
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration coverage for the `ScenarioRunner` batch layer: the
+//! parallel executor must be a pure, deterministic fan-out of the
+//! sequential engine — bit-identical outcomes, input-ordered, invariant
+//! under the worker-thread count.
+
+use iosched_baselines::native_platform;
+use iosched_bench::runner::ScenarioRunner;
+use iosched_bench::scenario::{PolicySpec, Scenario};
+use iosched_model::Platform;
+use iosched_sim::{simulate, SimConfig, SimOutcome};
+use iosched_workload::congestion::congested_moment;
+use iosched_workload::MixConfig;
+
+/// A mixed 20-scenario batch: two platforms, five policies, congested
+/// moments and Fig. 6 mixes, with and without burst buffers.
+fn mixed_batch() -> Vec<Scenario> {
+    let vesta = Platform::vesta();
+    let intrepid = Platform::intrepid();
+    let native_vesta = native_platform(vesta.clone());
+    let mut scenarios = Vec::new();
+    for seed in 0..5u64 {
+        let apps = congested_moment(&vesta, seed);
+        for policy in ["maxsyseff", "mindilation"] {
+            scenarios.push(Scenario::new(
+                format!("congested/{policy}/{seed}"),
+                vesta.clone(),
+                apps.clone(),
+                PolicySpec::parse(policy).unwrap(),
+            ));
+        }
+    }
+    for seed in 0..3u64 {
+        let apps = MixConfig::fig6a().generate(&intrepid, seed);
+        for policy in ["roundrobin", "priority-maxsyseff"] {
+            scenarios.push(Scenario::new(
+                format!("mix-a/{policy}/{seed}"),
+                intrepid.clone(),
+                apps.clone(),
+                PolicySpec::parse(policy).unwrap(),
+            ));
+        }
+    }
+    for seed in 0..3u64 {
+        scenarios.push(
+            Scenario::new(
+                format!("native/fairshare/{seed}"),
+                native_vesta.clone(),
+                congested_moment(&native_vesta, seed),
+                PolicySpec::parse("fairshare").unwrap(),
+            )
+            .with_config(SimConfig::with_burst_buffer()),
+        );
+    }
+    scenarios.push(Scenario::new(
+        "congested/fcfs/9",
+        vesta.clone(),
+        congested_moment(&vesta, 9),
+        PolicySpec::parse("fcfs").unwrap(),
+    ));
+    assert_eq!(scenarios.len(), 20);
+    scenarios
+}
+
+/// Bit-level equality of two outcomes (floats compared through their
+/// bit patterns: not approximately equal — *identical*).
+fn assert_bit_identical(a: &SimOutcome, b: &SimOutcome, label: &str) {
+    assert_eq!(a.events, b.events, "{label}: event counts differ");
+    assert_eq!(
+        a.end_time.get().to_bits(),
+        b.end_time.get().to_bits(),
+        "{label}: end times differ"
+    );
+    assert_eq!(
+        a.report.sys_efficiency.to_bits(),
+        b.report.sys_efficiency.to_bits(),
+        "{label}: SysEfficiency differs"
+    );
+    assert_eq!(
+        a.report.dilation.to_bits(),
+        b.report.dilation.to_bits(),
+        "{label}: Dilation differs"
+    );
+    assert_eq!(
+        a.report.upper_limit.to_bits(),
+        b.report.upper_limit.to_bits(),
+        "{label}: upper limit differs"
+    );
+    assert_eq!(a.report.per_app.len(), b.report.per_app.len());
+    for (x, y) in a.report.per_app.iter().zip(&b.report.per_app) {
+        assert_eq!(x.id, y.id, "{label}: app order differs");
+        assert_eq!(x.finish.get().to_bits(), y.finish.get().to_bits());
+        assert_eq!(x.rho.to_bits(), y.rho.to_bits());
+        assert_eq!(x.rho_tilde.to_bits(), y.rho_tilde.to_bits());
+    }
+    assert_eq!(a.per_app_bytes.len(), b.per_app_bytes.len());
+    for ((ia, ba), (ib, bb)) in a.per_app_bytes.iter().zip(&b.per_app_bytes) {
+        assert_eq!(ia, ib);
+        assert_eq!(
+            ba.get().to_bits(),
+            bb.get().to_bits(),
+            "{label}: bytes differ"
+        );
+    }
+}
+
+#[test]
+fn parallel_runner_matches_direct_sequential_simulate() {
+    let scenarios = mixed_batch();
+    let parallel = ScenarioRunner::with_threads(4).run_all(&scenarios);
+    assert_eq!(parallel.len(), scenarios.len());
+    for (scenario, result) in scenarios.iter().zip(&parallel) {
+        // The reference: a direct, sequential engine invocation.
+        let mut policy = scenario.policy.build();
+        let direct = simulate(
+            &scenario.platform,
+            &scenario.apps,
+            policy.as_mut(),
+            &scenario.config,
+        )
+        .expect("batch scenarios are valid");
+        let batched = result.as_ref().expect("batch scenarios are valid");
+        assert_bit_identical(batched, &direct, &scenario.label);
+    }
+}
+
+#[test]
+fn results_are_invariant_under_thread_count() {
+    let scenarios = mixed_batch();
+    let wide = ScenarioRunner::with_threads(8).run_all(&scenarios);
+    let narrow = ScenarioRunner::with_threads(1).run_all(&scenarios);
+    for ((scenario, w), n) in scenarios.iter().zip(&wide).zip(&narrow) {
+        assert_bit_identical(w.as_ref().unwrap(), n.as_ref().unwrap(), &scenario.label);
+    }
+}

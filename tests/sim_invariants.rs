@@ -28,10 +28,10 @@ fn arb_platform() -> impl Strategy<Value = Platform> {
 fn arb_app(max_procs: u64) -> impl Strategy<Value = (u64, f64, f64, usize, f64)> {
     (
         1u64..=max_procs,
-        1.0f64..300.0,   // work seconds
-        0.1f64..200.0,   // volume GiB
-        1usize..6,       // instances
-        0.0f64..100.0,   // release
+        1.0f64..300.0, // work seconds
+        0.1f64..200.0, // volume GiB
+        1usize..6,     // instances
+        0.0f64..100.0, // release
     )
 }
 
@@ -44,14 +44,7 @@ fn scenario() -> impl Strategy<Value = (Platform, Vec<AppSpec>)> {
                 .into_iter()
                 .enumerate()
                 .map(|(i, (procs, w, vol, n, rel))| {
-                    AppSpec::periodic(
-                        i,
-                        Time::secs(rel),
-                        procs,
-                        Time::secs(w),
-                        Bytes::gib(vol),
-                        n,
-                    )
+                    AppSpec::periodic(i, Time::secs(rel), procs, Time::secs(w), Bytes::gib(vol), n)
                 })
                 .collect();
             (platform, apps)
@@ -165,13 +158,8 @@ proptest! {
 /// than the plain run for the same fair-share policy.
 #[test]
 fn burst_buffer_conservation_fixed_cases() {
-    let platform = Platform::new(
-        "bb",
-        4_000,
-        Bw::gib_per_sec(0.05),
-        Bw::gib_per_sec(10.0),
-    )
-    .with_default_burst_buffer();
+    let platform = Platform::new("bb", 4_000, Bw::gib_per_sec(0.05), Bw::gib_per_sec(10.0))
+        .with_default_burst_buffer();
     for seed in 0..5u64 {
         let apps: Vec<AppSpec> = (0..4)
             .map(|i| {
@@ -195,8 +183,7 @@ fn burst_buffer_conservation_fixed_cases() {
         for app in &apps {
             let delivered = out.bytes_of(app.id()).unwrap();
             assert!(
-                (delivered.get() - app.total_vol().get()).abs()
-                    <= 1e-6 * app.total_vol().get(),
+                (delivered.get() - app.total_vol().get()).abs() <= 1e-6 * app.total_vol().get(),
                 "seed {seed} {}: {delivered} vs {}",
                 app.id(),
                 app.total_vol()
