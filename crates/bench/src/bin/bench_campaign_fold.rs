@@ -1,0 +1,133 @@
+//! Peak-allocation / throughput comparison of the two campaign execution
+//! strategies on a 1600-scenario sweep (1 platform × 1 congestion
+//! workload template × 8 policies × 200 seeds):
+//!
+//! * **collect-then-aggregate** — the pre-campaign shape every figure
+//!   runner used: materialize all `Scenario`s up front, `run_all` into a
+//!   `Vec<SimOutcome>`, then aggregate per cell;
+//! * **run_fold streaming** — `run_campaign`: scenarios expand lazily,
+//!   workloads materialize on the workers, outcomes fold into per-cell
+//!   `Summary` aggregates in input order and are dropped immediately.
+//!
+//! A counting global allocator reports the peak live-bytes delta of each
+//! phase; both paths are checked to produce bit-identical per-cell means
+//! before anything is reported. Results are recorded in `BENCH_PR2.json`.
+
+use iosched_bench::campaign::{run_campaign, CampaignSpec, PlatformSpec};
+use iosched_bench::runner::ScenarioRunner;
+use iosched_bench::scenario::{PolicySpec, Scenario};
+use iosched_core::heuristics::PolicyKind;
+use iosched_model::stats::Summary;
+use iosched_workload::WorkloadSpec;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// `System` wrapped with live-bytes and peak-live-bytes counters.
+struct TrackingAllocator;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// Reset the peak to the current live level and return a phase token.
+fn phase_start() -> (usize, Instant) {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    (live, Instant::now())
+}
+
+/// Peak bytes above the phase baseline and elapsed seconds.
+fn phase_end((baseline, t0): (usize, Instant)) -> (usize, f64) {
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+    (peak, t0.elapsed().as_secs_f64())
+}
+
+fn campaign() -> CampaignSpec {
+    CampaignSpec {
+        name: "bench-fold".into(),
+        platforms: vec![PlatformSpec::Preset("vesta".into())],
+        workloads: vec![WorkloadSpec::Congestion { seed: 0 }],
+        policies: PolicyKind::fig6_roster()
+            .into_iter()
+            .map(PolicySpec::Kind)
+            .collect(),
+        seeds: (0..200).collect(),
+        config: None,
+        threads: None,
+    }
+}
+
+fn main() {
+    let spec = campaign();
+    let runner = ScenarioRunner::new();
+    let rpc = spec.runs_per_cell();
+    println!(
+        "campaign: {} runs in {} cells, {} threads",
+        spec.total_runs(),
+        spec.cell_count(),
+        runner.threads()
+    );
+
+    // --- Path A: collect-then-aggregate (the pre-campaign shape). ------
+    let token = phase_start();
+    let scenarios: Vec<Scenario> = spec
+        .scenarios()
+        .map(|s| s.expect("campaign scenarios build"))
+        .collect();
+    let outcomes = runner.run_all(&scenarios);
+    let mut collect_means = Vec::with_capacity(spec.cell_count());
+    for chunk in outcomes.chunks(rpc) {
+        let effs: Vec<f64> = chunk
+            .iter()
+            .map(|r| r.as_ref().expect("valid scenario").report.sys_efficiency)
+            .collect();
+        collect_means.push(Summary::from_slice(&effs).expect("non-empty cell").mean);
+    }
+    drop(outcomes);
+    drop(scenarios);
+    let (collect_peak, collect_secs) = phase_end(token);
+
+    // --- Path B: run_fold streaming (run_campaign). ---------------------
+    let token = phase_start();
+    let result = run_campaign(&spec, &runner).expect("campaign runs");
+    let (fold_peak, fold_secs) = phase_end(token);
+    let fold_means: Vec<f64> = result.cells.iter().map(|c| c.sys_efficiency.mean).collect();
+
+    assert_eq!(collect_means.len(), fold_means.len());
+    for (a, b) in collect_means.iter().zip(&fold_means) {
+        assert_eq!(a.to_bits(), b.to_bits(), "paths diverged");
+    }
+
+    let runs = spec.total_runs() as f64;
+    println!(
+        "collect-then-aggregate: peak +{collect_peak} B, {collect_secs:.3} s ({:.0} runs/s)",
+        runs / collect_secs
+    );
+    println!(
+        "run_fold streaming:     peak +{fold_peak} B, {fold_secs:.3} s ({:.0} runs/s)",
+        runs / fold_secs
+    );
+    println!(
+        "peak-allocation ratio collect/fold: {:.2}x",
+        collect_peak as f64 / fold_peak.max(1) as f64
+    );
+}

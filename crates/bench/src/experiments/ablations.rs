@@ -1,17 +1,25 @@
 //! Ablations beyond the paper (DESIGN.md §6): fine-grained γ sweep,
 //! burst-buffer capacity sweep for the native baseline, and the
 //! period-search ε sensitivity.
+//!
+//! The two simulation sweeps are declarative [`CampaignSpec`]s — the γ
+//! sweep puts the gammas on the *policy* axis, the capacity sweep puts
+//! one custom platform per capacity on the *platform* axis — both
+//! aggregated per cell by the streaming [`run_campaign`]. The ε sweep is
+//! not a fluid simulation and rides on the runner's generic parallel map.
 
+use crate::campaign::{run_campaign, CampaignSpec, PlatformSpec};
 use crate::runner::ScenarioRunner;
-use crate::scenario::{PolicySpec, Scenario};
+use crate::scenario::PolicySpec;
 use iosched_baselines::native_platform;
 use iosched_core::heuristics::{BasePolicy, PolicyKind};
 use iosched_core::periodic::{
     InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
 };
-use iosched_model::{stats, BurstBufferSpec, Platform, Time};
+use iosched_model::{BurstBufferSpec, Platform, Time};
 use iosched_sim::SimConfig;
 use iosched_workload::congestion::congested_moment;
+use iosched_workload::WorkloadSpec;
 
 /// γ sweep: how MinMax-γ trades Dilation for SysEfficiency (extends
 /// Figures 9/12 from three γ values to a full curve).
@@ -25,45 +33,46 @@ pub struct GammaRow {
     pub dilation: f64,
 }
 
-/// Sweep γ over `steps` points on `cases` Intrepid congested moments
-/// (one flat `(γ × case)` batch on the parallel [`ScenarioRunner`]).
+/// The γ grid: `steps` points spanning `[0, 1]`.
+///
+/// # Panics
+/// Panics when `steps < 2` (both endpoints are required).
+#[must_use]
+pub fn gammas(steps: usize) -> Vec<f64> {
+    assert!(steps >= 2, "need at least the two endpoint gammas");
+    (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect()
+}
+
+/// The γ-sweep campaign: `native:intrepid × congestion × {MinMax-γ} ×
+/// cases`.
+#[must_use]
+pub fn gamma_campaign(steps: usize, cases: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "ablation-gamma".into(),
+        platforms: vec![PlatformSpec::Native("intrepid".into())],
+        workloads: vec![WorkloadSpec::Congestion { seed: 0 }],
+        policies: gammas(steps)
+            .into_iter()
+            .map(|gamma| PolicySpec::Kind(PolicyKind::plain(BasePolicy::MinMax(gamma))))
+            .collect(),
+        seeds: (0..cases as u64).collect(),
+        config: None,
+        threads: None,
+    }
+}
+
+/// Sweep γ over `steps` points on `cases` Intrepid congested moments.
 #[must_use]
 pub fn gamma_sweep(steps: usize, cases: usize) -> Vec<GammaRow> {
-    assert!(steps >= 2, "need at least the two endpoint gammas");
-    let platform = native_platform(Platform::intrepid());
-    let apps_per_seed: Vec<_> = (0..cases as u64)
-        .map(|seed| congested_moment(&platform, seed))
-        .collect();
-    let gammas: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
-    let mut scenarios = Vec::with_capacity(steps * cases);
-    for &gamma in &gammas {
-        for (seed, apps) in apps_per_seed.iter().enumerate() {
-            scenarios.push(Scenario::new(
-                format!("gamma/{gamma:.3}/{seed}"),
-                platform.clone(),
-                apps.clone(),
-                PolicySpec::Kind(PolicyKind::plain(BasePolicy::MinMax(gamma))),
-            ));
-        }
-    }
-    let results = ScenarioRunner::new().run_all(&scenarios);
-    gammas
-        .iter()
-        .zip(results.chunks(cases))
-        .map(|(&gamma, chunk)| {
-            let effs: Vec<f64> = chunk
-                .iter()
-                .map(|r| r.as_ref().expect("valid scenario").report.sys_efficiency)
-                .collect();
-            let dils: Vec<f64> = chunk
-                .iter()
-                .map(|r| r.as_ref().expect("valid scenario").report.dilation)
-                .collect();
-            GammaRow {
-                gamma,
-                sys_efficiency: stats::mean(&effs),
-                dilation: stats::mean(&dils),
-            }
+    let spec = gamma_campaign(steps, cases);
+    let result = run_campaign(&spec, &ScenarioRunner::new()).expect("gamma campaign is valid");
+    gammas(steps)
+        .into_iter()
+        .zip(&result.cells)
+        .map(|(gamma, cell)| GammaRow {
+            gamma,
+            sys_efficiency: cell.sys_efficiency.mean,
+            dilation: cell.dilation.mean,
         })
         .collect()
 }
@@ -78,43 +87,44 @@ pub struct BbCapacityRow {
     pub sys_efficiency: f64,
 }
 
-/// Sweep capacities (in seconds of `B`) on Intrepid congested moments
-/// (one flat `(capacity × case)` batch on the parallel
-/// [`ScenarioRunner`]).
+/// The capacity-sweep campaign: one custom platform per capacity on the
+/// platform axis, fair sharing with the buffer enabled.
+#[must_use]
+pub fn bb_capacity_campaign(capacities_secs: &[f64], cases: usize) -> CampaignSpec {
+    let base = native_platform(Platform::intrepid());
+    CampaignSpec {
+        name: "ablation-bb-capacity".into(),
+        platforms: capacities_secs
+            .iter()
+            .map(|&secs| {
+                let mut platform = base.clone().with_burst_buffer(BurstBufferSpec {
+                    capacity: base.total_bw * Time::secs(secs),
+                    absorb_bw: base.total_bw * 4.0,
+                });
+                platform.name = format!("{}-bb{secs}s", base.name);
+                PlatformSpec::Custom(platform)
+            })
+            .collect(),
+        workloads: vec![WorkloadSpec::Congestion { seed: 0 }],
+        policies: vec![PolicySpec::FairShare],
+        seeds: (0..cases as u64).collect(),
+        config: Some(SimConfig::with_burst_buffer()),
+        threads: None,
+    }
+}
+
+/// Sweep capacities (in seconds of `B`) on Intrepid congested moments.
 #[must_use]
 pub fn bb_capacity_sweep(capacities_secs: &[f64], cases: usize) -> Vec<BbCapacityRow> {
-    let base = native_platform(Platform::intrepid());
-    let mut scenarios = Vec::with_capacity(capacities_secs.len() * cases);
-    for &secs in capacities_secs {
-        let platform = base.clone().with_burst_buffer(BurstBufferSpec {
-            capacity: base.total_bw * Time::secs(secs),
-            absorb_bw: base.total_bw * 4.0,
-        });
-        for seed in 0..cases as u64 {
-            scenarios.push(
-                Scenario::new(
-                    format!("bb-capacity/{secs}/{seed}"),
-                    platform.clone(),
-                    congested_moment(&platform, seed),
-                    PolicySpec::FairShare,
-                )
-                .with_config(SimConfig::with_burst_buffer()),
-            );
-        }
-    }
-    let results = ScenarioRunner::new().run_all(&scenarios);
+    let spec = bb_capacity_campaign(capacities_secs, cases);
+    let result =
+        run_campaign(&spec, &ScenarioRunner::new()).expect("bb-capacity campaign is valid");
     capacities_secs
         .iter()
-        .zip(results.chunks(cases))
-        .map(|(&secs, chunk)| {
-            let effs: Vec<f64> = chunk
-                .iter()
-                .map(|r| r.as_ref().expect("valid scenario").report.sys_efficiency)
-                .collect();
-            BbCapacityRow {
-                capacity_secs: secs,
-                sys_efficiency: stats::mean(&effs),
-            }
+        .zip(&result.cells)
+        .map(|(&secs, cell)| BbCapacityRow {
+            capacity_secs: secs,
+            sys_efficiency: cell.sys_efficiency.mean,
         })
         .collect()
 }
@@ -186,5 +196,17 @@ mod tests {
         let rows = epsilon_sweep(&[0.5, 0.05]);
         assert!(rows[1].candidates > rows[0].candidates);
         assert!(rows[1].dilation <= rows[0].dilation + 1e-9);
+    }
+
+    #[test]
+    fn sweep_campaigns_are_valid_and_shaped_right() {
+        let gamma = gamma_campaign(5, 4);
+        gamma.validate().unwrap();
+        assert_eq!(gamma.cell_count(), 5);
+        assert_eq!(gamma.total_runs(), 20);
+        let bb = bb_capacity_campaign(&[1.0, 10.0], 3);
+        bb.validate().unwrap();
+        assert_eq!(bb.cell_count(), 2);
+        assert!(bb.config.as_ref().unwrap().use_burst_buffer);
     }
 }

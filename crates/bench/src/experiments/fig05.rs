@@ -32,7 +32,10 @@ const SHARDS: usize = 8;
 ///
 /// The year-long log is synthesized in [`SHARDS`] deterministic shards
 /// (seeded from `seed` and the shard index) fanned out on the
-/// [`ScenarioRunner`]'s generic parallel map, then merged in shard order.
+/// [`ScenarioRunner`]'s streaming fold: each shard's records are merged
+/// into the accumulating log as soon as the input-ordered fold reaches
+/// it, so only in-flight shards are alive at once — never the full list
+/// of shard logs.
 #[must_use]
 pub fn run(jobs: usize, seed: u64) -> Vec<CategoryRow> {
     let platform = Platform::intrepid();
@@ -46,12 +49,15 @@ pub fn run(jobs: usize, seed: u64) -> Vec<CategoryRow> {
             (shard_seed, n)
         })
         .collect();
-    let shards = ScenarioRunner::new().map(&shard_sizes, |_, &(shard_seed, n)| {
-        DarshanLog::synthesize_year(&platform, shard_seed, n)
-    });
-    let log = DarshanLog {
-        records: shards.into_iter().flat_map(|l| l.records).collect(),
-    };
+    let log = ScenarioRunner::new().fold(
+        shard_sizes,
+        |_, &(shard_seed, n)| DarshanLog::synthesize_year(&platform, shard_seed, n),
+        DarshanLog::default(),
+        |mut log, _, shard| {
+            log.records.extend(shard.records);
+            log
+        },
+    );
     let total_node_seconds: f64 = log
         .records
         .iter()

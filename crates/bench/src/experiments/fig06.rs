@@ -4,12 +4,18 @@
 //! over (a) 10 large @ 20 %, (b) 50 small + 5 large @ 20 %, and (c) 50
 //! small + 5 large @ 35 %. "Simulations were run 200 times on different
 //! application mixes and only the mean values are reported."
+//!
+//! The whole experiment is one declarative [`CampaignSpec`] — three mix
+//! templates × the Fig. 6 policy roster × a seed axis — executed through
+//! the streaming [`run_campaign`] aggregator. The identical sweep can be
+//! run from a JSON file via `iosched campaign`
+//! (`examples/campaign_fig6.json` is exactly `campaign(200)`).
 
+use crate::campaign::{run_campaign, CampaignSpec, PlatformSpec};
 use crate::runner::ScenarioRunner;
-use crate::scenario::{PolicySpec, Scenario};
+use crate::scenario::PolicySpec;
 use iosched_core::heuristics::PolicyKind;
-use iosched_model::{stats, Platform};
-use iosched_workload::MixConfig;
+use iosched_workload::{MixConfig, WorkloadSpec};
 
 /// Mean objectives of one policy on one mix.
 #[derive(Debug, Clone)]
@@ -36,60 +42,47 @@ pub fn mixes() -> Vec<(&'static str, MixConfig)> {
     ]
 }
 
-/// Run `runs` random mixes per configuration per policy (fanned out in
-/// parallel by the [`ScenarioRunner`]; results are input-ordered, so the
-/// reported means are independent of the thread count).
+/// The Fig. 6 sweep as data: `intrepid × {mix a, b, c} × the eight
+/// policies × runs seeds`.
+#[must_use]
+pub fn campaign(runs: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "fig06".into(),
+        platforms: vec![PlatformSpec::Preset("intrepid".into())],
+        workloads: mixes()
+            .iter()
+            .map(|&(_, config)| WorkloadSpec::Mix { config, seed: 0 })
+            .collect(),
+        policies: PolicyKind::fig6_roster()
+            .into_iter()
+            .map(PolicySpec::Kind)
+            .collect(),
+        seeds: (0..runs as u64).collect(),
+        config: None,
+        threads: None,
+    }
+}
+
+/// Run `runs` random mixes per configuration per policy (streamed through
+/// [`run_campaign`]; per-cell means are independent of the thread count).
 #[must_use]
 pub fn run(runs: usize) -> Vec<Fig06Row> {
-    let platform = Platform::intrepid();
-    let kinds = PolicyKind::fig6_roster();
+    let spec = campaign(runs);
+    let result = run_campaign(&spec, &ScenarioRunner::new()).expect("fig06 campaign is valid");
     let mixes = mixes();
-
-    // Describe the (mix × policy × seed) sweep declaratively; each seed's
-    // application mix is generated once and shared across policies.
-    let mut scenarios = Vec::with_capacity(mixes.len() * kinds.len() * runs);
-    for (label, mix) in &mixes {
-        let apps_per_seed: Vec<_> = (0..runs as u64)
-            .map(|seed| mix.generate(&platform, seed))
-            .collect();
-        for kind in &kinds {
-            for (seed, apps) in apps_per_seed.iter().enumerate() {
-                scenarios.push(Scenario::new(
-                    format!("fig06/{label}/{}/{seed}", kind.name()),
-                    platform.clone(),
-                    apps.clone(),
-                    PolicySpec::Kind(*kind),
-                ));
-            }
-        }
-    }
-    let results = ScenarioRunner::new().run_all(&scenarios);
-
-    // Chunk structurally: each (mix, policy) pair owns `runs` consecutive
-    // results, mirroring the construction order above.
-    let mut rows = Vec::new();
-    let mix_kind_pairs = mixes
+    let per_mix = spec.policies.len();
+    result
+        .cells
         .iter()
-        .flat_map(|&(label, _)| kinds.iter().map(move |kind| (label, kind)));
-    for ((label, kind), chunk) in mix_kind_pairs.zip(results.chunks(runs)) {
-        let mut effs = Vec::with_capacity(runs);
-        let mut dils = Vec::with_capacity(runs);
-        let mut uppers = Vec::with_capacity(runs);
-        for result in chunk {
-            let out = result.as_ref().expect("generated mixes are valid");
-            effs.push(out.report.sys_efficiency);
-            dils.push(out.report.dilation);
-            uppers.push(out.report.upper_limit);
-        }
-        rows.push(Fig06Row {
-            mix: label,
-            policy: kind.name(),
-            sys_efficiency: stats::mean(&effs),
-            dilation: stats::mean(&dils),
-            upper_limit: stats::mean(&uppers),
-        });
-    }
-    rows
+        .enumerate()
+        .map(|(i, cell)| Fig06Row {
+            mix: mixes[i / per_mix].0,
+            policy: cell.policy.clone(),
+            sys_efficiency: cell.sys_efficiency.mean,
+            dilation: cell.dilation.mean,
+            upper_limit: cell.upper_limit.mean,
+        })
+        .collect()
 }
 
 /// Look up a row by mix and policy name.
@@ -150,5 +143,16 @@ mod tests {
             prio_eff <= plain_eff + 0.05,
             "priority aggregate {prio_eff} should not beat plain {plain_eff}"
         );
+    }
+
+    #[test]
+    fn campaign_shape_is_fig6() {
+        let spec = campaign(200);
+        assert_eq!(spec.workloads.len(), 3);
+        assert_eq!(spec.policies.len(), 8);
+        assert_eq!(spec.seeds.len(), 200);
+        assert_eq!(spec.total_runs(), 3 * 8 * 200);
+        assert_eq!(spec.cell_count(), 24);
+        spec.validate().unwrap();
     }
 }

@@ -5,12 +5,17 @@
 //! work from `U[w, w(1+x)]` for x = 0…30 %; the paper finds "this
 //! parameter has almost no impact on the results" because the online
 //! heuristics only use information available at each event.
+//!
+//! The sweep is one [`CampaignSpec`]: seven [`WorkloadSpec::Perturbed`]
+//! templates (one per sensibility level, each wrapping the Fig. 6(b)
+//! mix) × three heuristics × a seed axis, aggregated per cell by the
+//! streaming [`run_campaign`].
 
+use crate::campaign::{run_campaign, CampaignSpec, PlatformSpec};
 use crate::runner::ScenarioRunner;
-use crate::scenario::{PolicySpec, Scenario};
+use crate::scenario::PolicySpec;
 use iosched_core::heuristics::{BasePolicy, PolicyKind};
-use iosched_model::{stats, Platform};
-use iosched_workload::{sensibility, MixConfig};
+use iosched_workload::{MixConfig, WorkloadSpec};
 
 /// Mean objectives at one sensibility level for one policy.
 #[derive(Debug, Clone)]
@@ -41,60 +46,55 @@ pub fn policies() -> Vec<PolicyKind> {
     ]
 }
 
-/// Run `runs` mixes per sensibility level per policy (batched through the
-/// parallel [`ScenarioRunner`]; input-ordered results keep the means
-/// thread-count independent).
+/// The Fig. 7 sweep as data: one perturbed-mix template per sensibility
+/// level (the campaign seed axis drives both the mix and, salted, the
+/// perturbation stream — see [`iosched_workload::spec::PERTURB_SEED_SALT`]).
+#[must_use]
+pub fn campaign(runs: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "fig07".into(),
+        platforms: vec![PlatformSpec::Preset("intrepid".into())],
+        workloads: sensibility_levels()
+            .iter()
+            .map(|&pct| {
+                let x = f64::from(pct) / 100.0;
+                WorkloadSpec::Perturbed {
+                    base: Box::new(WorkloadSpec::Mix {
+                        config: MixConfig::fig6b(),
+                        seed: 0,
+                    }),
+                    work_x: x,
+                    vol_x: x,
+                    seed: 0,
+                }
+            })
+            .collect(),
+        policies: policies().into_iter().map(PolicySpec::Kind).collect(),
+        seeds: (0..runs as u64).collect(),
+        config: None,
+        threads: None,
+    }
+}
+
+/// Run `runs` mixes per sensibility level per policy (streamed through
+/// [`run_campaign`]; per-cell means are thread-count independent).
 #[must_use]
 pub fn run(runs: usize) -> Vec<Fig07Row> {
-    let platform = Platform::intrepid();
-    let mix = MixConfig::fig6b();
+    let spec = campaign(runs);
+    let result = run_campaign(&spec, &ScenarioRunner::new()).expect("fig07 campaign is valid");
     let levels = sensibility_levels();
-    let kinds = policies();
-
-    let mut scenarios = Vec::with_capacity(levels.len() * kinds.len() * runs);
-    for &pct in &levels {
-        let x = f64::from(pct) / 100.0;
-        let apps_per_seed: Vec<_> = (0..runs as u64)
-            .map(|seed| {
-                let periodic = mix.generate(&platform, seed);
-                sensibility::perturb(&periodic, x, x, seed ^ 0xABCD)
-            })
-            .collect();
-        for kind in &kinds {
-            for (seed, apps) in apps_per_seed.iter().enumerate() {
-                scenarios.push(Scenario::new(
-                    format!("fig07/{pct}%/{}/{seed}", kind.name()),
-                    platform.clone(),
-                    apps.clone(),
-                    PolicySpec::Kind(*kind),
-                ));
-            }
-        }
-    }
-    let results = ScenarioRunner::new().run_all(&scenarios);
-
-    // Chunk structurally: each (level, policy) pair owns `runs`
-    // consecutive results, mirroring the construction order above.
-    let mut rows = Vec::new();
-    let level_kind_pairs = levels
+    let per_level = spec.policies.len();
+    result
+        .cells
         .iter()
-        .flat_map(|&pct| kinds.iter().map(move |kind| (pct, kind)));
-    for ((pct, kind), chunk) in level_kind_pairs.zip(results.chunks(runs)) {
-        let mut effs = Vec::with_capacity(runs);
-        let mut dils = Vec::with_capacity(runs);
-        for result in chunk {
-            let out = result.as_ref().expect("perturbed mixes are valid");
-            effs.push(out.report.sys_efficiency);
-            dils.push(out.report.dilation);
-        }
-        rows.push(Fig07Row {
-            sensibility_pct: pct,
-            policy: kind.name(),
-            sys_efficiency: stats::mean(&effs),
-            dilation: stats::mean(&dils),
-        });
-    }
-    rows
+        .enumerate()
+        .map(|(i, cell)| Fig07Row {
+            sensibility_pct: levels[i / per_level],
+            policy: cell.policy.clone(),
+            sys_efficiency: cell.sys_efficiency.mean,
+            dilation: cell.dilation.mean,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -119,5 +119,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn campaign_templates_cover_every_level() {
+        let spec = campaign(3);
+        assert_eq!(spec.workloads.len(), 7);
+        assert_eq!(spec.cell_count(), 21);
+        spec.validate().unwrap();
+        // Level 0 still wraps (a zero perturbation is the periodic mix).
+        assert!(matches!(
+            &spec.workloads[0],
+            WorkloadSpec::Perturbed { work_x, .. } if *work_x == 0.0
+        ));
     }
 }

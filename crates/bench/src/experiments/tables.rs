@@ -11,14 +11,24 @@
 //!
 //! Figures 8–13 are the per-case series of the same data; the tables are
 //! its averages.
+//!
+//! The sweep is expressed as two [`CampaignSpec`]s over the same
+//! congested-moment seed axis — the heuristics grid and the native
+//! (fair-share + burst-buffer) baseline, whose engine configuration
+//! differs — expanded lazily and streamed through the campaign layer's
+//! [`fold_outcomes`]: each case's apps are generated once and shared
+//! across all ten heuristics, and only the per-run objective triples are
+//! retained (they *are* the figure series), never the simulation
+//! outcomes.
 
+use crate::campaign::{fold_outcomes, CampaignSpec, PlatformSpec};
 use crate::runner::ScenarioRunner;
-use crate::scenario::{PolicySpec, Scenario};
-use iosched_baselines::native_platform;
+use crate::scenario::PolicySpec;
 use iosched_core::heuristics::PolicyKind;
 use iosched_model::{stats, Platform};
 use iosched_sim::SimConfig;
-use iosched_workload::congestion::{congested_moment, intrepid_cases, mira_cases};
+use iosched_workload::congestion::{intrepid_cases, mira_cases};
+use iosched_workload::WorkloadSpec;
 
 /// Which machine a run models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +58,8 @@ impl Machine {
         }
     }
 
-    /// Row label of the native scheduler in the tables.
+    /// Row label of the native scheduler in the tables (also the
+    /// platform-preset name).
     #[must_use]
     pub fn native_label(&self) -> &'static str {
         match self {
@@ -92,70 +103,97 @@ pub struct TablesResult {
     pub rows: Vec<TableRow>,
 }
 
+/// The two campaigns of one machine's comparison over `limit` cases:
+/// `(heuristics grid, native baseline)`. The heuristics run on the
+/// *penalized* platform without burst buffers (they serialize I/O, so the
+/// locality penalty rarely bites them, but it is the same disk model the
+/// native run sees); the native baseline is fair sharing *with* the
+/// buffer.
+#[must_use]
+pub fn campaigns(machine: Machine, limit: usize) -> (CampaignSpec, CampaignSpec) {
+    let label = machine.native_label();
+    let seeds: Vec<u64> = machine.cases().into_iter().take(limit).collect();
+    let heuristics = CampaignSpec {
+        name: format!("tables-{label}"),
+        platforms: vec![PlatformSpec::Native(label.into())],
+        workloads: vec![WorkloadSpec::Congestion { seed: 0 }],
+        policies: PolicyKind::tables_roster()
+            .into_iter()
+            .map(PolicySpec::Kind)
+            .collect(),
+        seeds: seeds.clone(),
+        config: None,
+        threads: None,
+    };
+    let native = CampaignSpec {
+        name: format!("tables-{label}-native"),
+        policies: vec![PolicySpec::FairShare],
+        config: Some(SimConfig::with_burst_buffer()),
+        seeds,
+        ..heuristics.clone()
+    };
+    (heuristics, native)
+}
+
+/// Per-run objective triples `(sys_efficiency, dilation, upper_limit)` of
+/// one campaign, indexed by run, streamed through the campaign layer's
+/// seed-block executor — each case's congested moment is generated once
+/// and shared across every policy, and the outcomes themselves are
+/// dropped as soon as their triple is folded in.
+fn objective_series(spec: &CampaignSpec, runner: &ScenarioRunner) -> Vec<(f64, f64, f64)> {
+    fold_outcomes(
+        spec,
+        runner,
+        vec![(0.0, 0.0, 0.0); spec.total_runs()],
+        |mut grid, idx, out| {
+            grid[idx] = (
+                out.report.sys_efficiency,
+                out.report.dilation,
+                out.report.upper_limit,
+            );
+            grid
+        },
+    )
+    .expect("congested moments simulate cleanly")
+}
+
 /// Run every scheduler over `limit` cases of `machine` (pass `usize::MAX`
 /// for the paper's full case count).
-///
-/// The whole `(case × scheduler)` grid is described as one flat batch and
-/// executed in parallel by the [`ScenarioRunner`]; the per-case series
-/// and table averages are assembled from the input-ordered results.
 #[must_use]
 pub fn run(machine: Machine, limit: usize) -> TablesResult {
-    let plain = machine.platform();
-    let native = native_platform(plain.clone());
+    let (heuristics, native) = campaigns(machine, limit);
     let kinds = PolicyKind::tables_roster();
-    let seeds: Vec<u64> = machine.cases().into_iter().take(limit).collect();
+    let n_cases = heuristics.runs_per_cell();
+    let runner = ScenarioRunner::new();
 
-    // Per case: the heuristics run on the *penalized* platform without
-    // burst buffers (they serialize I/O, so the locality penalty rarely
-    // bites them, but it is the same disk model the native run sees),
-    // followed by the native scheduler — fair sharing *with* the buffer.
-    let mut scenarios = Vec::with_capacity(seeds.len() * (kinds.len() + 1));
-    for (idx, &seed) in seeds.iter().enumerate() {
-        let apps = congested_moment(&native, seed);
-        for kind in &kinds {
-            scenarios.push(Scenario::new(
-                format!("{}/case{}/{}", machine.native_label(), idx + 1, kind.name()),
-                native.clone(),
-                apps.clone(),
-                PolicySpec::Kind(*kind),
-            ));
-        }
-        scenarios.push(
-            Scenario::new(
-                format!("{}/case{}/native", machine.native_label(), idx + 1),
-                native.clone(),
-                apps,
-                PolicySpec::FairShare,
-            )
-            .with_config(SimConfig::with_burst_buffer()),
-        );
-    }
-    let results = ScenarioRunner::new().run_all(&scenarios);
+    // Campaign run order is cell-major (policy), seed-minor (case):
+    // policy `p`'s observation for case `c` sits at `p * n_cases + c`.
+    let heuristic_grid = objective_series(&heuristics, &runner);
+    let native_series = objective_series(&native, &runner);
 
-    let mut cases = Vec::new();
-    let per_case = kinds.len() + 1;
-    for (idx, chunk) in results.chunks(per_case).enumerate() {
-        let case = idx + 1;
-        for (kind, result) in kinds.iter().zip(chunk) {
-            let out = result.as_ref().expect("congested moments are valid");
+    let mut cases = Vec::with_capacity(n_cases * (kinds.len() + 2));
+    for c in 0..n_cases {
+        let case = c + 1;
+        for (p, kind) in kinds.iter().enumerate() {
+            let (eff, dil, _) = heuristic_grid[p * n_cases + c];
             cases.push(CaseResult {
                 case,
                 scheduler: kind.name(),
-                sys_efficiency: out.report.sys_efficiency,
-                dilation: out.report.dilation,
+                sys_efficiency: eff,
+                dilation: dil,
             });
         }
-        let nat = chunk[kinds.len()].as_ref().expect("native run");
+        let (eff, dil, upper) = native_series[c];
         cases.push(CaseResult {
             case,
             scheduler: machine.native_label().into(),
-            sys_efficiency: nat.report.sys_efficiency,
-            dilation: nat.report.dilation,
+            sys_efficiency: eff,
+            dilation: dil,
         });
         cases.push(CaseResult {
             case,
             scheduler: "upper-limit".into(),
-            sys_efficiency: nat.report.upper_limit,
+            sys_efficiency: upper,
             dilation: 1.0,
         });
     }
@@ -234,5 +272,18 @@ mod tests {
         assert!(eff("minmax-0.25") >= eff("minmax-0.75") - 1.5);
         assert!(dil("mindilation") <= dil("minmax-0.25") + 0.3);
         assert!(dil("minmax-0.75") <= dil("minmax-0.25") + 0.3);
+    }
+
+    #[test]
+    fn campaign_pair_shares_the_seed_axis() {
+        let (heuristics, native) = campaigns(Machine::Mira, usize::MAX);
+        heuristics.validate().unwrap();
+        native.validate().unwrap();
+        assert_eq!(heuristics.seeds, native.seeds);
+        assert_eq!(heuristics.seeds.len(), 11);
+        assert_eq!(heuristics.policies.len(), 10);
+        assert_eq!(native.policies.len(), 1);
+        assert!(native.config.as_ref().unwrap().use_burst_buffer);
+        assert!(heuristics.config.is_none());
     }
 }

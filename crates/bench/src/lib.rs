@@ -14,11 +14,16 @@
 //! shown per experiment); the binaries also accept a single integer
 //! argument overriding it.
 
+pub mod campaign;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use campaign::{
+    fold_outcomes, platform_preset, run_campaign, CampaignResult, CampaignSpec, CellSummary,
+    PlatformSpec, ScenarioSpec,
+};
 pub use runner::ScenarioRunner;
 pub use scenario::{PolicySpec, Scenario};
 

@@ -92,6 +92,72 @@ impl ScenarioRunner {
         self.map(scenarios, |_, s| s.run())
     }
 
+    /// Streaming parallel execution: run every scenario of a (possibly
+    /// lazy) iterator and fold the outcomes into `init` **in input
+    /// order**, without ever materializing the full outcome vector.
+    ///
+    /// This is the campaign primitive: a 200-mix × 8-policy sweep holds
+    /// one chunk of outcomes (`O(threads)`) plus whatever the fold
+    /// accumulates (per-cell aggregates), not `O(runs)` simulation
+    /// outcomes. Because outcomes are folded in input order and each
+    /// outcome is a pure function of its scenario, the result is
+    /// bit-identical to a sequential `for` loop over `scenarios` — the
+    /// thread count only changes wall-clock time.
+    pub fn run_fold<A, F>(
+        &self,
+        scenarios: impl IntoIterator<Item = Scenario>,
+        init: A,
+        fold: F,
+    ) -> A
+    where
+        F: FnMut(A, usize, Result<SimOutcome, SimError>) -> A,
+    {
+        self.fold(scenarios, |_, s: &Scenario| s.run(), init, fold)
+    }
+
+    /// Generic streaming fold over a parallel map — the machinery behind
+    /// [`ScenarioRunner::run_fold`], also used by experiments whose unit
+    /// of work is not a fluid simulation (workload-synthesis shards).
+    ///
+    /// Items are pulled from the iterator in chunks of a few times the
+    /// worker count, each chunk is mapped in parallel (input-ordered, via
+    /// [`ScenarioRunner::map`]), and the results are folded sequentially
+    /// before the next chunk starts — so peak memory is `O(threads)`
+    /// items + results regardless of the sweep length, and the fold
+    /// observes exactly the order a sequential loop would produce.
+    pub fn fold<T, R, A, M, F>(
+        &self,
+        items: impl IntoIterator<Item = T>,
+        map: M,
+        init: A,
+        mut fold: F,
+    ) -> A
+    where
+        T: Sync,
+        R: Send,
+        M: Fn(usize, &T) -> R + Sync,
+        F: FnMut(A, usize, R) -> A,
+    {
+        // Large enough to amortize the per-chunk join barrier, small
+        // enough that a chunk of outcomes never dominates memory.
+        let chunk_len = self.threads.max(1) * 4;
+        let mut acc = init;
+        let mut base = 0usize;
+        let mut iter = items.into_iter();
+        loop {
+            let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let results = self.map(&chunk, |i, t| map(base + i, t));
+            for (offset, r) in results.into_iter().enumerate() {
+                acc = fold(acc, base + offset, r);
+            }
+            base += chunk.len();
+        }
+        acc
+    }
+
     /// Generic parallel map with input-ordered results — the batch
     /// primitive behind [`ScenarioRunner::run_all`], also used by
     /// experiments whose unit of work is not a fluid simulation (workload
@@ -202,6 +268,46 @@ mod tests {
         let out = runner.map(&items, |i, &x| i * 1000 + x);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * 1000 + i);
+        }
+    }
+
+    #[test]
+    fn fold_matches_sequential_fold_and_sees_input_order() {
+        let runner = ScenarioRunner::with_threads(4);
+        let items: Vec<usize> = (0..53).collect(); // not a chunk multiple
+        let mut seen = Vec::new();
+        let sum = runner.fold(
+            items.iter().copied(),
+            |i, &x| i * 7 + x,
+            0usize,
+            |acc, i, r| {
+                seen.push(i);
+                acc + r
+            },
+        );
+        let expected: usize = (0..53).map(|i| i * 7 + i).sum();
+        assert_eq!(sum, expected);
+        assert_eq!(seen, (0..53).collect::<Vec<_>>(), "fold order broken");
+    }
+
+    #[test]
+    fn run_fold_is_bit_identical_to_run_all() {
+        let scenarios = batch(10);
+        let collected = ScenarioRunner::with_threads(3).run_all(&scenarios);
+        let folded: Vec<f64> = ScenarioRunner::with_threads(3).run_fold(
+            scenarios.iter().cloned(),
+            Vec::new(),
+            |mut acc, _, r| {
+                acc.push(r.unwrap().report.sys_efficiency);
+                acc
+            },
+        );
+        assert_eq!(folded.len(), collected.len());
+        for (f, c) in folded.iter().zip(&collected) {
+            assert_eq!(
+                f.to_bits(),
+                c.as_ref().unwrap().report.sys_efficiency.to_bits()
+            );
         }
     }
 

@@ -15,6 +15,11 @@ use iosched_sim::{simulate, SimConfig, SimError, SimOutcome};
 
 /// Buildable description of an online policy — everything the runner can
 /// instantiate fresh inside a worker thread.
+///
+/// The policy-name grammar of [`PolicySpec::parse`]/[`PolicySpec::name`]
+/// is also the serde representation: a `PolicySpec` serializes as the
+/// plain string `"priority-minmax-0.25"`, so report keys, CLI arguments
+/// and campaign JSON all share one vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicySpec {
     /// One of the paper's heuristics (MaxSysEff, MinMax-γ, …, ± Priority).
@@ -83,6 +88,58 @@ impl PolicySpec {
                 )),
             },
         }
+    }
+
+    /// The serde string: [`PolicySpec::name`] when it parses back to this
+    /// exact spec (true for the whole paper roster), else a full-precision
+    /// spelling — `name()` rounds the MinMax γ to two decimals for
+    /// display, which would silently corrupt e.g. `γ = 1/3` on a
+    /// serialize → deserialize trip.
+    #[must_use]
+    pub fn serde_name(&self) -> String {
+        let display = self.name();
+        if Self::parse(&display).ok() == Some(*self) {
+            return display;
+        }
+        match self {
+            Self::Kind(kind) => {
+                let BasePolicy::MinMax(g) = kind.base else {
+                    unreachable!("only MinMax names are lossy");
+                };
+                let prefix = if kind.priority { "priority-" } else { "" };
+                format!("{prefix}minmax-{g}")
+            }
+            _ => display,
+        }
+    }
+
+    /// Every policy the paper's evaluation touches: the eight Fig. 6
+    /// heuristics plus the two uncoordinated baselines. The roster behind
+    /// the CLI's `--policy all`.
+    #[must_use]
+    pub fn full_roster() -> Vec<PolicySpec> {
+        let mut roster: Vec<PolicySpec> = PolicyKind::fig6_roster()
+            .into_iter()
+            .map(PolicySpec::Kind)
+            .collect();
+        roster.push(PolicySpec::FairShare);
+        roster.push(PolicySpec::Fcfs);
+        roster
+    }
+}
+
+impl serde::Serialize for PolicySpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.serde_name())
+    }
+}
+
+impl serde::Deserialize for PolicySpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected policy name string"))?;
+        Self::parse(name).map_err(serde::Error::custom)
     }
 }
 
@@ -158,6 +215,71 @@ mod tests {
         assert!(PolicySpec::parse("minmax-1.5").is_err());
         assert!(PolicySpec::parse("priority-fairshare").is_err());
         assert!(PolicySpec::parse("priority-fcfs").is_err());
+    }
+
+    #[test]
+    fn parse_name_serde_roundtrip_over_the_full_roster() {
+        // Every policy the evaluation touches: Fig. 6 roster + Tables 1–2
+        // roster + the baselines.
+        let mut roster = PolicySpec::full_roster();
+        roster.extend(
+            PolicyKind::tables_roster()
+                .into_iter()
+                .map(PolicySpec::Kind),
+        );
+        assert!(roster.len() >= 16);
+        for spec in roster {
+            // parse ↔ name.
+            let name = spec.name();
+            assert_eq!(
+                PolicySpec::parse(&name).unwrap_or_else(|e| panic!("{name}: {e}")),
+                spec,
+                "parse(name()) diverged for {name}"
+            );
+            // name ↔ serde: the serialized form *is* the name string.
+            let value = serde::Serialize::to_value(&spec);
+            assert_eq!(value, serde::Value::Str(name.clone()));
+            let json = serde_json::to_string(&spec).unwrap();
+            assert_eq!(json, format!("\"{name}\""));
+            let back: PolicySpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "serde roundtrip diverged for {name}");
+        }
+    }
+
+    #[test]
+    fn serde_preserves_gammas_the_display_name_rounds() {
+        let third = PolicySpec::Kind(PolicyKind::plain(BasePolicy::MinMax(1.0 / 3.0)));
+        assert_eq!(third.name(), "minmax-0.33"); // display rounds…
+        let json = serde_json::to_string(&third).unwrap();
+        let back: PolicySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, third, "…but serde must not");
+    }
+
+    #[test]
+    fn serde_rejects_invalid_policy_strings() {
+        for bad in [
+            "\"lottery\"",
+            "\"minmax-1.5\"",
+            "\"priority-fairshare\"",
+            "7",
+        ] {
+            assert!(
+                serde_json::from_str::<PolicySpec>(bad).is_err(),
+                "{bad} should not deserialize"
+            );
+        }
+    }
+
+    #[test]
+    fn full_roster_covers_heuristics_and_baselines() {
+        let names: Vec<String> = PolicySpec::full_roster()
+            .iter()
+            .map(PolicySpec::name)
+            .collect();
+        assert_eq!(names.len(), 10);
+        for needle in ["roundrobin", "priority-minmax-0.50", "fairshare", "fcfs"] {
+            assert!(names.contains(&needle.to_string()), "missing {needle}");
+        }
     }
 
     #[test]

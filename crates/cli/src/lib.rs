@@ -12,33 +12,37 @@
 //! iosched simulate scenario.json --policy priority-maxsyseff [--burst-buffer]
 //! iosched simulate scenario.json --policy all
 //! iosched periodic scenario.json --objective dilation --epsilon 0.05
-//! iosched batch batch.json [--threads N]
+//! iosched campaign campaign.json [--threads N]
 //! ```
 //!
 //! Scenario files are plain JSON (`serde`) holding the platform and the
 //! application list, so they can be authored by hand or produced by any
-//! external tool. Batch specs describe a whole `(seed × policy)` sweep
-//! that runs in parallel on the [`iosched_bench::ScenarioRunner`]:
+//! external tool. Campaign files describe a whole cartesian sweep —
+//! `platforms × workloads × policies × seeds` — that expands lazily and
+//! streams through the parallel [`iosched_bench::ScenarioRunner`] into
+//! per-cell aggregates (see the README's "Campaign files" section):
 //!
 //! ```json
 //! {
-//!   "platform": "intrepid",
-//!   "kind": "congested",
-//!   "seeds": [0, 1, 2, 3],
+//!   "name": "quick",
+//!   "platforms": ["intrepid"],
+//!   "workloads": [{"Congestion": {"seed": 0}}],
 //!   "policies": ["maxsyseff", "mindilation", "fairshare"],
-//!   "burst_buffer": false,
+//!   "seeds": [0, 1, 2, 3],
+//!   "config": null,
 //!   "threads": null
 //! }
 //! ```
 
+use iosched_bench::campaign::{run_campaign, CampaignSpec};
+use iosched_bench::report::Table;
 use iosched_bench::runner::ScenarioRunner;
-use iosched_bench::scenario::{PolicySpec, Scenario};
-use iosched_core::heuristics::PolicyKind;
+use iosched_bench::scenario::PolicySpec;
 use iosched_core::periodic::{
     InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
 };
 use iosched_core::policy::OnlinePolicy;
-use iosched_model::{app::validate_scenario, stats, AppSpec, Platform};
+use iosched_model::{app::validate_scenario, AppSpec, Platform};
 use iosched_sim::{simulate, SimConfig};
 use iosched_workload::congestion::congested_moment;
 use iosched_workload::MixConfig;
@@ -73,16 +77,11 @@ impl ScenarioFile {
     }
 }
 
-/// Resolve a platform preset by name.
+/// Resolve a platform preset by name. (The name table lives in
+/// [`iosched_bench::campaign::platform_preset`] so the CLI, campaign
+/// files and experiments agree on one vocabulary.)
 pub fn platform_by_name(name: &str) -> Result<Platform, String> {
-    match name {
-        "intrepid" => Ok(Platform::intrepid()),
-        "mira" => Ok(Platform::mira()),
-        "vesta" => Ok(Platform::vesta()),
-        other => Err(format!(
-            "unknown platform '{other}' (expected intrepid, mira or vesta)"
-        )),
-    }
+    iosched_bench::campaign::platform_preset(name)
 }
 
 /// Resolve a policy by the names used throughout the reports. `all` is
@@ -166,13 +165,10 @@ pub fn cmd_simulate(
         ..SimConfig::default()
     };
     let names: Vec<String> = if policy_name == "all" {
-        let mut v: Vec<String> = PolicyKind::fig6_roster()
+        PolicySpec::full_roster()
             .iter()
-            .map(PolicyKind::name)
-            .collect();
-        v.push("fairshare".into());
-        v.push("fcfs".into());
-        v
+            .map(PolicySpec::name)
+            .collect()
     } else {
         vec![policy_name.to_string()]
     };
@@ -273,132 +269,51 @@ pub fn cmd_periodic(
     Ok(out)
 }
 
-/// A batch file: one `(seed × policy)` sweep over generated scenarios,
-/// executed in parallel with deterministic aggregate output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct BatchSpec {
-    /// Platform preset name (`intrepid`, `mira`, `vesta`).
-    pub platform: String,
-    /// Scenario generator (`congested`, `mix-a`, `mix-b`, `mix-c`).
-    pub kind: String,
-    /// One generated scenario per seed.
-    pub seeds: Vec<u64>,
-    /// Policies to run over every seed.
-    pub policies: Vec<String>,
-    /// Route I/O through the platform burst buffer (default off).
-    pub burst_buffer: Option<bool>,
-    /// Worker-thread override (default: `RAYON_NUM_THREADS` / all cores).
-    pub threads: Option<usize>,
-}
-
-impl BatchSpec {
-    /// Parse from JSON.
-    pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
-    }
-
-    /// Serialize as pretty JSON.
-    pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
-    }
-}
-
-/// `iosched batch`: run a whole scenario sweep through the parallel
-/// [`ScenarioRunner`] and report per-policy aggregates (means over the
-/// seeds) plus the congestion-free upper limit.
-pub fn cmd_batch(spec: &BatchSpec) -> Result<String, String> {
-    let platform = platform_by_name(&spec.platform)?;
-    let kind = GenerateKind::parse(&spec.kind)?;
-    if spec.seeds.is_empty() {
-        return Err("batch needs at least one seed".into());
-    }
-    if spec.policies.is_empty() {
-        return Err("batch needs at least one policy".into());
-    }
-    let burst_buffer = spec.burst_buffer.unwrap_or(false);
-    let policies: Result<Vec<PolicySpec>, String> =
-        spec.policies.iter().map(|p| PolicySpec::parse(p)).collect();
-    let policies = policies?;
-    let config = SimConfig {
-        use_burst_buffer: burst_buffer,
-        ..SimConfig::default()
-    };
-
-    // Generate each seed's applications once, then sweep policies over it.
-    let mut scenarios = Vec::with_capacity(spec.seeds.len() * policies.len());
-    for &seed in &spec.seeds {
-        let file = cmd_generate(kind, &spec.platform, seed)?;
-        for policy in &policies {
-            scenarios.push(
-                Scenario::new(
-                    format!("{}/{}/{seed}", spec.platform, policy.name()),
-                    file.platform.clone(),
-                    file.apps.clone(),
-                    *policy,
-                )
-                .with_config(config.clone()),
-            );
-        }
-    }
+/// `iosched campaign`: run a declarative cartesian sweep
+/// (`platforms × workloads × policies × seeds`) from a
+/// [`CampaignSpec`] file through the streaming campaign runner and
+/// render the per-cell aggregates.
+pub fn cmd_campaign(spec: &CampaignSpec) -> Result<String, String> {
+    spec.validate()?;
     let runner = match spec.threads {
-        Some(0) => return Err("thread count must be at least 1".into()),
         Some(n) => ScenarioRunner::with_threads(n),
         None => ScenarioRunner::new(),
     };
-    let results = runner.run_all(&scenarios);
-
-    // Aggregate per policy: results are input-ordered as seed-major,
-    // policy-minor, so policy `p`'s outcomes sit at `i * len + p`.
+    let result = run_campaign(spec, &runner)?;
     let mut out = format!(
-        "batch: {} seeds x {} policies on {} ({} scenarios, {} threads{})\n\n",
-        spec.seeds.len(),
-        policies.len(),
-        platform.name,
-        scenarios.len(),
+        "campaign '{}': {} platform(s) x {} workload(s) x {} policies x {} seed(s) \
+         = {} runs in {} cells ({} threads)\n\n",
+        spec.name,
+        spec.platforms.len(),
+        spec.workloads.len(),
+        spec.policies.len(),
+        spec.runs_per_cell(),
+        result.total_runs,
+        result.cells.len(),
         runner.threads(),
-        if burst_buffer {
-            ", burst buffer on"
-        } else {
-            ""
-        },
     );
-    let _ = writeln!(
-        out,
-        "{:<22} {:>14} {:>10} {:>13}",
-        "policy", "SysEfficiency", "Dilation", "makespan"
-    );
-    let mut uppers = Vec::with_capacity(spec.seeds.len());
-    for (p, policy) in policies.iter().enumerate() {
-        let mut effs = Vec::with_capacity(spec.seeds.len());
-        let mut dils = Vec::with_capacity(spec.seeds.len());
-        let mut spans = Vec::with_capacity(spec.seeds.len());
-        for (i, &seed) in spec.seeds.iter().enumerate() {
-            let result = &results[i * policies.len() + p];
-            let outcome = result
-                .as_ref()
-                .map_err(|e| format!("seed {seed}, policy {}: {e}", policy.name()))?;
-            effs.push(outcome.report.sys_efficiency);
-            dils.push(outcome.report.dilation);
-            spans.push(outcome.report.makespan().as_secs());
-            if p == 0 {
-                uppers.push(outcome.report.upper_limit);
-            }
-        }
-        let _ = writeln!(
-            out,
-            "{:<22} {:>13.2}% {:>10.2} {:>12.0}s",
-            policy.name(),
-            stats::mean(&effs) * 100.0,
-            stats::mean(&dils),
-            stats::mean(&spans),
-        );
+    let mut table = Table::new([
+        "platform", "workload", "policy", "runs", "SysEff%", "±std", "Dilation", "makespan",
+        "upper%",
+    ]);
+    for cell in &result.cells {
+        table.row([
+            cell.platform.clone(),
+            cell.workload.clone(),
+            cell.policy.clone(),
+            cell.runs.to_string(),
+            format!("{:.2}", cell.sys_efficiency.mean * 100.0),
+            format!("{:.2}", cell.sys_efficiency.std * 100.0),
+            if cell.dilation.mean.is_finite() {
+                format!("{:.2}", cell.dilation.mean)
+            } else {
+                "inf".into()
+            },
+            format!("{:.0}s", cell.makespan_secs.mean),
+            format!("{:.2}", cell.upper_limit.mean * 100.0),
+        ]);
     }
-    let _ = writeln!(
-        out,
-        "{:<22} {:>13.2}%",
-        "upper limit",
-        stats::mean(&uppers) * 100.0
-    );
+    out.push_str(&table.render());
     Ok(out)
 }
 
@@ -412,14 +327,16 @@ USAGE:
                    --platform <intrepid|mira|vesta> [--seed N] [-o FILE]
   iosched simulate <scenario.json> --policy <name|all> [--burst-buffer]
   iosched periodic <scenario.json> [--objective <dilation|syseff>] [--epsilon E]
-  iosched batch <batch.json> [--threads N]
+  iosched campaign <campaign.json> [--threads N]
 
-BATCH FILES:
-  {\"platform\": \"intrepid\", \"kind\": \"congested\", \"seeds\": [0, 1, 2],
-   \"policies\": [\"maxsyseff\", \"fairshare\"], \"burst_buffer\": false,
-   \"threads\": null}
-  The (seed x policy) sweep runs in parallel with deterministic,
-  input-ordered aggregation.
+CAMPAIGN FILES (see README 'Campaign files' for the full format):
+  {\"name\": \"quick\", \"platforms\": [\"intrepid\"],
+   \"workloads\": [{\"Congestion\": {\"seed\": 0}}],
+   \"policies\": [\"maxsyseff\", \"fairshare\"], \"seeds\": [0, 1, 2],
+   \"config\": null, \"threads\": null}
+  The platforms x workloads x policies x seeds product expands lazily,
+  runs in parallel, and streams into deterministic per-cell aggregates.
+  examples/campaign_fig6.json reproduces the paper's Fig. 6 sweep.
 
 POLICIES:
   roundrobin, mindilation, maxsyseff, minmax-<gamma>, fairshare, fcfs,
@@ -539,73 +456,117 @@ mod tests {
         assert!(out.contains("intrepid") && out.contains("mira") && out.contains("vesta"));
     }
 
-    fn batch_spec() -> BatchSpec {
-        BatchSpec {
-            platform: "vesta".into(),
-            kind: "congested".into(),
-            seeds: vec![1, 2, 3],
-            policies: vec!["maxsyseff".into(), "mindilation".into(), "fairshare".into()],
-            burst_buffer: None,
-            threads: Some(2),
-        }
+    fn campaign_spec() -> CampaignSpec {
+        CampaignSpec::from_json(
+            r#"{
+                "name": "cli-test",
+                "platforms": ["vesta"],
+                "workloads": [{"Congestion": {"seed": 0}}],
+                "policies": ["maxsyseff", "mindilation", "fairshare"],
+                "seeds": [1, 2, 3],
+                "config": null,
+                "threads": 2
+            }"#,
+        )
+        .expect("test campaign parses")
     }
 
     #[test]
-    fn batch_spec_json_roundtrip() {
-        let spec = batch_spec();
+    fn campaign_spec_json_roundtrip() {
+        let spec = campaign_spec();
         let json = spec.to_json().unwrap();
-        assert_eq!(BatchSpec::from_json(&json).unwrap(), spec);
+        assert_eq!(CampaignSpec::from_json(&json).unwrap(), spec);
     }
 
     #[test]
-    fn batch_reports_every_policy_and_the_upper_limit() {
-        let out = cmd_batch(&batch_spec()).unwrap();
-        for needle in ["maxsyseff", "mindilation", "fairshare", "upper limit"] {
+    fn campaign_reports_every_cell() {
+        let out = cmd_campaign(&campaign_spec()).unwrap();
+        for needle in [
+            "maxsyseff",
+            "mindilation",
+            "fairshare",
+            "upper%",
+            "congestion",
+        ] {
             assert!(out.contains(needle), "missing {needle} in:\n{out}");
         }
-        assert!(out.contains("3 seeds x 3 policies"));
+        assert!(out.contains("3 policies x 3 seed(s) = 9 runs in 3 cells"));
     }
 
     #[test]
-    fn batch_aggregates_match_sequential_simulation() {
-        let spec = BatchSpec {
-            policies: vec!["maxsyseff".into()],
-            ..batch_spec()
-        };
-        let batch_out = cmd_batch(&spec).unwrap();
-        // Recompute the mean SysEfficiency sequentially.
+    fn campaign_aggregates_match_sequential_simulation() {
+        let spec = campaign_spec();
+        let out = cmd_campaign(&spec).unwrap();
+        // Recompute maxsyseff's mean SysEfficiency sequentially: the
+        // congestion workload at campaign seeds 1..3 on vesta.
+        let platform = platform_by_name("vesta").unwrap();
         let mut effs = Vec::new();
-        for &seed in &spec.seeds {
-            let file = cmd_generate(GenerateKind::Congested, "vesta", seed).unwrap();
-            let out = simulate(
-                &file.platform,
-                &file.apps,
+        for seed in [1, 2, 3] {
+            let apps = congested_moment(&platform, seed);
+            let result = simulate(
+                &platform,
+                &apps,
                 policy_by_name("maxsyseff").unwrap().as_mut(),
                 &SimConfig::default(),
             )
             .unwrap();
-            effs.push(out.report.sys_efficiency);
+            effs.push(result.report.sys_efficiency);
         }
-        let expected = format!("{:>13.2}%", stats::mean(&effs) * 100.0);
+        let expected = format!("{:.2}", iosched_model::stats::mean(&effs) * 100.0);
         assert!(
-            batch_out.contains(&expected),
-            "expected mean '{expected}' in:\n{batch_out}"
+            out.contains(&expected),
+            "expected mean '{expected}' in:\n{out}"
         );
     }
 
     #[test]
-    fn batch_rejects_bad_specs() {
-        let mut spec = batch_spec();
-        spec.seeds.clear();
-        assert!(cmd_batch(&spec).is_err());
-        let mut spec = batch_spec();
-        spec.policies = vec!["lottery".into()];
-        assert!(cmd_batch(&spec).is_err());
-        let mut spec = batch_spec();
-        spec.platform = "summit".into();
-        assert!(cmd_batch(&spec).is_err());
-        let mut spec = batch_spec();
+    fn campaign_rejects_bad_specs() {
+        let mut spec = campaign_spec();
+        spec.policies.clear();
+        assert!(cmd_campaign(&spec).is_err());
+        let mut spec = campaign_spec();
         spec.threads = Some(0);
-        assert!(cmd_batch(&spec).is_err(), "zero threads must not panic");
+        assert!(cmd_campaign(&spec).is_err(), "zero threads must not panic");
+        // Bad policy names and platforms are rejected at parse time.
+        assert!(CampaignSpec::from_json(
+            r#"{"name": "x", "platforms": ["vesta"],
+                "workloads": [{"Congestion": {"seed": 0}}],
+                "policies": ["lottery"], "seeds": [], "config": null, "threads": null}"#
+        )
+        .is_err());
+        assert!(CampaignSpec::from_json(
+            r#"{"name": "x", "platforms": ["summit"],
+                "workloads": [{"Congestion": {"seed": 0}}],
+                "policies": ["fcfs"], "seeds": [], "config": null, "threads": null}"#
+        )
+        .is_err());
+        // Empty mixes are rejected by workload validation.
+        assert!(CampaignSpec::from_json(
+            r#"{"name": "x", "platforms": ["vesta"],
+                "workloads": [{"Mix": {"config": {
+                    "small": 0, "large": 0, "very_large": 0, "io_ratio": 0.2,
+                    "work_range": [100.0, 400.0], "instances": [8, 12],
+                    "release_jitter": 1.0}, "seed": 0}}],
+                "policies": ["fcfs"], "seeds": [], "config": null, "threads": null}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn campaign_runs_a_fig6_shaped_mini_sweep() {
+        // The examples/campaign_fig6.json shape, shrunk for test speed:
+        // mixes x policies x seeds with every policy spelled as a string.
+        let spec = CampaignSpec {
+            seeds: vec![0, 1],
+            ..iosched_bench::experiments::fig06::campaign(2)
+        };
+        let out = cmd_campaign(&spec).unwrap();
+        assert!(
+            out.contains("24 cells") || out.contains("in 24 cells"),
+            "{out}"
+        );
+        for needle in ["roundrobin", "priority-minmax-0.50", "mix("] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
     }
 }

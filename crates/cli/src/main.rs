@@ -1,7 +1,8 @@
 //! `iosched` binary: thin argument parsing over [`iosched_cli`].
 
+use iosched_bench::campaign::CampaignSpec;
 use iosched_cli::{
-    cmd_batch, cmd_generate, cmd_periodic, cmd_platforms, cmd_simulate, BatchSpec, GenerateKind,
+    cmd_campaign, cmd_generate, cmd_periodic, cmd_platforms, cmd_simulate, GenerateKind,
     ScenarioFile, USAGE,
 };
 use std::process::ExitCode;
@@ -79,20 +80,20 @@ fn run(args: &[String]) -> Result<String, String> {
                 .unwrap_or(0.05);
             cmd_periodic(&scenario, &objective, epsilon)
         }
-        Some("batch") => {
-            let path = args.get(1).ok_or("batch needs a batch spec file")?;
+        Some("campaign") => {
+            let path = args.get(1).ok_or("campaign needs a campaign spec file")?;
             if path.starts_with("--") {
-                return Err("batch needs a batch spec file as its first argument".into());
+                return Err("campaign needs a campaign spec file as its first argument".into());
             }
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let mut spec = BatchSpec::from_json(&text)?;
+            let mut spec = CampaignSpec::from_json(&text)?;
             if let Some(threads) = flag_value(args, "--threads") {
                 let n: usize = threads
                     .parse()
                     .map_err(|_| format!("bad thread count '{threads}'"))?;
                 spec.threads = Some(n);
             }
-            cmd_batch(&spec)
+            cmd_campaign(&spec)
         }
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'")),

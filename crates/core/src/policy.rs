@@ -57,9 +57,18 @@ pub struct SchedContext<'a> {
 
 /// Bandwidth grants decided at one event: application-level bandwidths
 /// `β(k)·γ(k)`. Applications absent from `grants` are stalled (`γ = 0`).
+///
+/// **Invariant:** `grants` is sorted by ascending [`AppId`] with at most
+/// one entry per application. [`greedy_allocate`] establishes it, the
+/// in-tree policies that build grants directly emit pending order (which
+/// is `AppId` order by the [`StateBuffer`] contract), and
+/// [`Allocation::validate`] enforces it — so lookups can binary-search
+/// and drivers can merge-walk grants against their own `AppId`-ordered
+/// application lists instead of scanning per application.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Allocation {
-    /// `(app, application-aggregate bandwidth)` pairs; at most one per app.
+    /// `(app, application-aggregate bandwidth)` pairs, sorted by `AppId`;
+    /// at most one per app.
     pub grants: Vec<(AppId, Bw)>,
 }
 
@@ -70,13 +79,13 @@ impl Allocation {
         Self::default()
     }
 
-    /// Granted bandwidth for `id` (zero if stalled).
+    /// Granted bandwidth for `id` (zero if stalled). Binary search over
+    /// the `AppId`-sorted grants.
     #[must_use]
     pub fn granted(&self, id: AppId) -> Bw {
         self.grants
-            .iter()
-            .find(|(a, _)| *a == id)
-            .map_or(Bw::ZERO, |(_, bw)| *bw)
+            .binary_search_by_key(&id, |&(a, _)| a)
+            .map_or(Bw::ZERO, |i| self.grants[i].1)
     }
 
     /// Total granted bandwidth.
@@ -86,16 +95,33 @@ impl Allocation {
     }
 
     /// Check the §2.1 capacity rules against a context: per-application
-    /// `grant ≤ min(β·b, B)` and aggregate `Σ grants ≤ B`. Returns the
+    /// `grant ≤ min(β·b, B)` and aggregate `Σ grants ≤ B`, plus the
+    /// sortedness invariant documented on [`Allocation`]. Returns the
     /// first violation as a human-readable string.
+    ///
+    /// `ctx.pending` is in `AppId` order (the [`StateBuffer`] contract),
+    /// so one merge walk over `grants` and `pending` checks ordering,
+    /// duplicates and membership in `O(grants + pending)` instead of the
+    /// per-grant linear scans a naive check would need.
     pub fn validate(&self, ctx: &SchedContext<'_>) -> Result<(), String> {
-        let mut seen = Vec::with_capacity(self.grants.len());
+        let mut prev: Option<AppId> = None;
+        let mut pi = 0usize;
         for &(id, bw) in &self.grants {
-            if seen.contains(&id) {
-                return Err(format!("duplicate grant for {id}"));
+            match prev {
+                Some(p) if p == id => return Err(format!("duplicate grant for {id}")),
+                Some(p) if p > id => {
+                    return Err(format!(
+                        "grants not sorted by AppId ({p} precedes {id}); policies must \
+                         emit AppId-ordered grants"
+                    ));
+                }
+                _ => {}
             }
-            seen.push(id);
-            let Some(app) = ctx.pending.iter().find(|a| a.id == id) else {
+            prev = Some(id);
+            while pi < ctx.pending.len() && ctx.pending[pi].id < id {
+                pi += 1;
+            }
+            let Some(app) = ctx.pending.get(pi).filter(|a| a.id == id) else {
                 return Err(format!("grant for non-pending {id}"));
             };
             if !bw.is_finite() || bw.get() < 0.0 {
@@ -240,7 +266,9 @@ impl<P: OnlinePolicy + ?Sized> OnlinePolicy for Box<P> {
 ///
 /// This is exactly the paper's "favoring application App(k) means that
 /// App(k) is executed as fast as possible, with bandwidth
-/// `min(b·β(k), bw_avail)`".
+/// `min(b·β(k), bw_avail)`". The grants are returned in `AppId` order
+/// (the [`Allocation`] invariant), not preference order — the preference
+/// only decides *how much* each application gets.
 #[must_use]
 pub fn greedy_allocate(ctx: &SchedContext<'_>, order: &[usize]) -> Allocation {
     let mut remaining = ctx.total_bw;
@@ -257,6 +285,7 @@ pub fn greedy_allocate(ctx: &SchedContext<'_>, order: &[usize]) -> Allocation {
             remaining = remaining.snap_zero();
         }
     }
+    grants.sort_unstable_by_key(|&(id, _)| id);
     Allocation { grants }
 }
 
@@ -393,6 +422,31 @@ mod tests {
             grants: vec![(AppId(7), Bw::gib_per_sec(1.0))],
         };
         assert!(stranger.validate(&c).is_err());
+    }
+
+    #[test]
+    fn greedy_returns_grants_in_app_id_order() {
+        let pending = [app(0, 4.0), app(1, 4.0), app(2, 4.0)];
+        let c = ctx(10.0, &pending);
+        // Preference order 2, 0, 1 — grants still come back id-sorted.
+        let alloc = greedy_allocate(&c, &[2, 0, 1]);
+        let ids: Vec<usize> = alloc.grants.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        alloc.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_grants() {
+        let pending = [app(0, 2.0), app(1, 2.0)];
+        let c = ctx(10.0, &pending);
+        let unsorted = Allocation {
+            grants: vec![
+                (AppId(1), Bw::gib_per_sec(1.0)),
+                (AppId(0), Bw::gib_per_sec(1.0)),
+            ],
+        };
+        let err = unsorted.validate(&c).unwrap_err();
+        assert!(err.contains("sorted"), "unexpected error: {err}");
     }
 
     #[test]

@@ -74,7 +74,7 @@ use iosched_model::{app::validate_scenario, AppId, AppSpec, Bw, Platform, Time};
 use std::collections::BinaryHeap;
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Route application I/O through the platform's burst buffer (the
     /// platform must carry a [`iosched_model::BurstBufferSpec`]).
@@ -98,6 +98,58 @@ impl Default for SimConfig {
             max_events: 10_000_000,
             external_load: None,
         }
+    }
+}
+
+impl serde::Serialize for SimConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "use_burst_buffer".to_string(),
+                self.use_burst_buffer.to_value(),
+            ),
+            ("record_trace".to_string(), self.record_trace.to_value()),
+            ("max_events".to_string(), self.max_events.to_value()),
+            ("external_load".to_string(), self.external_load.to_value()),
+        ])
+    }
+}
+
+/// Deserializes leniently: absent fields keep their [`SimConfig::default`]
+/// values, so experiment specs only state what they change
+/// (`{"use_burst_buffer": true}`).
+impl serde::Deserialize for SimConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for SimConfig"))?;
+        let defaults = Self::default();
+        fn field<T: serde::Deserialize>(
+            m: &[(String, serde::Value)],
+            key: &str,
+            default: T,
+        ) -> Result<T, serde::Error> {
+            match serde::map_get(m, key) {
+                serde::Value::Null => Ok(default),
+                present => T::from_value(present).map_err(|e| e.at(key)),
+            }
+        }
+        for (key, _) in m {
+            if !matches!(
+                key.as_str(),
+                "use_burst_buffer" | "record_trace" | "max_events" | "external_load"
+            ) {
+                return Err(serde::Error::custom(format!(
+                    "unknown SimConfig field '{key}'"
+                )));
+            }
+        }
+        Ok(Self {
+            use_burst_buffer: field(m, "use_burst_buffer", defaults.use_burst_buffer)?,
+            record_trace: field(m, "record_trace", defaults.record_trace)?,
+            max_events: field(m, "max_events", defaults.max_events)?,
+            external_load: field(m, "external_load", defaults.external_load)?,
+        })
     }
 }
 
@@ -659,8 +711,20 @@ impl<'a> Simulation<'a> {
             Some(b) if !b.is_throttled() => 1.0,
             _ => contended,
         };
+        // Both `pending` and `alloc.grants` are in `AppId` order (the
+        // StateBuffer contract and the Allocation invariant), so one merge
+        // walk applies the grants in O(pending + grants) instead of a
+        // binary search per application.
+        let mut gi = 0;
         for &i in &self.pending {
-            let granted = alloc.granted(self.rts[i].spec.id());
+            let id = self.rts[i].spec.id();
+            while gi < alloc.grants.len() && alloc.grants[gi].0 < id {
+                gi += 1;
+            }
+            let granted = match alloc.grants.get(gi) {
+                Some(&(gid, bw)) if gid == id => bw,
+                _ => Bw::ZERO,
+            };
             self.rts[i].rate = granted;
             self.rts[i].effective_rate = granted * ingest_factor;
         }

@@ -19,7 +19,10 @@
 //! * [`sensibility`] — the §4.3 non-periodicity perturbation (Fig. 7),
 //! * [`darshan`] — a synthetic Darshan-like JSON log format, a year-long
 //!   log synthesizer and the paper's log→scenario reduction pipeline,
-//! * [`ior_profile`] — the Vesta node-split scenarios of Figs. 14–16.
+//! * [`ior_profile`] — the Vesta node-split scenarios of Figs. 14–16,
+//! * [`spec`] — the serializable [`WorkloadSpec`] description unifying
+//!   all of the above behind one `materialize(&Platform)` entry point
+//!   (the campaign layer's workload axis).
 
 pub mod categories;
 pub mod congestion;
@@ -27,9 +30,11 @@ pub mod darshan;
 pub mod generator;
 pub mod ior_profile;
 pub mod sensibility;
+pub mod spec;
 
 pub use categories::AppCategory;
 pub use congestion::{congested_moment, intrepid_cases, mira_cases};
 pub use darshan::{DarshanLog, DarshanRecord};
 pub use generator::MixConfig;
 pub use ior_profile::{scenario_apps, vesta_scenarios, VestaScenario};
+pub use spec::WorkloadSpec;

@@ -1,0 +1,25 @@
+//! Regenerate the checked-in campaign spec files under `examples/`.
+//!
+//! ```text
+//! cargo run --release --example export_campaigns
+//! ```
+//!
+//! `examples/campaign_fig6.json` is exactly
+//! `iosched_bench::experiments::fig06::campaign(200)` — the paper's
+//! Fig. 6 sweep (3 mixes × 8 policies × 200 seeds) as one declarative
+//! file for `iosched campaign`. An integration test pins the file to the
+//! in-code campaign, so edit the code and rerun this, not the JSON.
+
+use iosched_bench::experiments::fig06;
+
+fn main() {
+    let spec = fig06::campaign(200);
+    let json = spec.to_json().expect("fig06 campaign serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/campaign_fig6.json");
+    std::fs::write(path, json + "\n").expect("examples/ is writable");
+    println!(
+        "wrote {path}: {} runs in {} cells",
+        spec.total_runs(),
+        spec.cell_count()
+    );
+}

@@ -1,0 +1,68 @@
+//! The campaign layer's contract with the checked-in example spec:
+//! `examples/campaign_fig6.json` *is* the ported Fig. 6 experiment, and
+//! running a (seed-truncated) version of it through the generic campaign
+//! runner produces bit-identical per-cell summaries to the `fig06`
+//! experiment module — the same code path `iosched campaign` drives.
+
+use iosched_bench::campaign::{run_campaign, CampaignSpec};
+use iosched_bench::experiments::fig06;
+use iosched_bench::runner::ScenarioRunner;
+
+fn example_json() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/campaign_fig6.json");
+    std::fs::read_to_string(path).expect("examples/campaign_fig6.json is checked in")
+}
+
+#[test]
+fn example_file_is_exactly_the_fig6_campaign() {
+    let parsed = CampaignSpec::from_json(&example_json()).expect("example parses");
+    let reference = fig06::campaign(200);
+    assert_eq!(
+        parsed, reference,
+        "examples/campaign_fig6.json drifted; \
+        regenerate with `cargo run --release --example export_campaigns`"
+    );
+    // The paper's Fig. 6 shape: 3 mixes x 8 policies x 200 seeds.
+    assert_eq!(parsed.workloads.len(), 3);
+    assert_eq!(parsed.policies.len(), 8);
+    assert_eq!(parsed.seeds.len(), 200);
+    assert_eq!(parsed.total_runs(), 4800);
+}
+
+#[test]
+fn campaign_file_and_fig06_port_agree_bit_for_bit() {
+    // Truncate the seed axis so the test stays fast; the expansion logic
+    // and aggregation path are identical to the full 200-seed run.
+    let runs = 6;
+    let spec = CampaignSpec {
+        seeds: (0..runs as u64).collect(),
+        ..CampaignSpec::from_json(&example_json()).expect("example parses")
+    };
+    let from_file = run_campaign(&spec, &ScenarioRunner::new()).expect("campaign runs");
+    let from_port = fig06::run(runs);
+    assert_eq!(from_file.cells.len(), from_port.len());
+    for (cell, row) in from_file.cells.iter().zip(&from_port) {
+        assert_eq!(cell.policy, row.policy);
+        assert_eq!(
+            cell.sys_efficiency.mean.to_bits(),
+            row.sys_efficiency.to_bits(),
+            "SysEfficiency diverged for {}/{}",
+            cell.workload,
+            cell.policy
+        );
+        assert_eq!(
+            cell.dilation.mean.to_bits(),
+            row.dilation.to_bits(),
+            "Dilation diverged for {}/{}",
+            cell.workload,
+            cell.policy
+        );
+        assert_eq!(
+            cell.upper_limit.mean.to_bits(),
+            row.upper_limit.to_bits(),
+            "upper limit diverged for {}/{}",
+            cell.workload,
+            cell.policy
+        );
+    }
+}

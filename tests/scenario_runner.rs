@@ -4,12 +4,14 @@
 //! under the worker-thread count.
 
 use iosched_baselines::native_platform;
+use iosched_bench::campaign::{run_campaign, CampaignSpec, PlatformSpec};
 use iosched_bench::runner::ScenarioRunner;
 use iosched_bench::scenario::{PolicySpec, Scenario};
+use iosched_model::stats::Summary;
 use iosched_model::Platform;
 use iosched_sim::{simulate, SimConfig, SimOutcome};
 use iosched_workload::congestion::congested_moment;
-use iosched_workload::MixConfig;
+use iosched_workload::{MixConfig, WorkloadSpec};
 
 /// A mixed 20-scenario batch: two platforms, five policies, congested
 /// moments and Fig. 6 mixes, with and without burst buffers.
@@ -130,5 +132,99 @@ fn results_are_invariant_under_thread_count() {
     let narrow = ScenarioRunner::with_threads(1).run_all(&scenarios);
     for ((scenario, w), n) in scenarios.iter().zip(&wide).zip(&narrow) {
         assert_bit_identical(w.as_ref().unwrap(), n.as_ref().unwrap(), &scenario.label);
+    }
+}
+
+/// A small but heterogeneous campaign: two platforms, two workload
+/// families, three policies, four seeds → 24 cells-worth of runs.
+fn mixed_campaign() -> CampaignSpec {
+    CampaignSpec {
+        name: "itest".into(),
+        platforms: vec![
+            PlatformSpec::Preset("vesta".into()),
+            PlatformSpec::Native("intrepid".into()),
+        ],
+        workloads: vec![
+            WorkloadSpec::Congestion { seed: 0 },
+            WorkloadSpec::Mix {
+                config: MixConfig::fig6a(),
+                seed: 0,
+            },
+        ],
+        policies: vec![
+            PolicySpec::parse("maxsyseff").unwrap(),
+            PolicySpec::parse("priority-minmax-0.25").unwrap(),
+            PolicySpec::parse("fairshare").unwrap(),
+        ],
+        seeds: vec![3, 5, 8, 13],
+        config: None,
+        threads: None,
+    }
+}
+
+/// Campaign determinism: expanding a `CampaignSpec` and streaming it
+/// through the parallel `run_fold` is bit-identical to building every
+/// scenario sequentially, calling `Scenario::run` by hand and folding
+/// manually — and invariant under the worker-thread count.
+#[test]
+fn campaign_run_fold_matches_sequential_manual_fold() {
+    let spec = mixed_campaign();
+    let rpc = spec.runs_per_cell();
+
+    // Reference: strictly sequential expansion + per-cell manual fold.
+    let mut manual_cells: Vec<Vec<SimOutcome>> = Vec::new();
+    let mut current: Vec<SimOutcome> = Vec::new();
+    for (idx, scenario) in spec.scenarios().enumerate() {
+        let outcome = scenario
+            .expect("campaign scenarios build")
+            .run()
+            .expect("campaign scenarios simulate");
+        current.push(outcome);
+        if (idx + 1) % rpc == 0 {
+            manual_cells.push(std::mem::take(&mut current));
+        }
+    }
+    assert_eq!(manual_cells.len(), spec.cell_count());
+
+    // run_fold over the lazily expanded scenarios, folding outcomes per
+    // cell, on several thread counts.
+    for threads in [1, 4, 7] {
+        let folded: Vec<Vec<SimOutcome>> = {
+            let mut cells = Vec::new();
+            let mut buf = Vec::new();
+            ScenarioRunner::with_threads(threads).run_fold(
+                spec.scenarios()
+                    .map(|s| s.expect("campaign scenarios build")),
+                (),
+                |(), idx, result| {
+                    buf.push(result.expect("campaign scenarios simulate"));
+                    if (idx + 1) % rpc == 0 {
+                        cells.push(std::mem::take(&mut buf));
+                    }
+                },
+            );
+            cells
+        };
+        assert_eq!(folded.len(), manual_cells.len());
+        for (c, (fold_cell, manual_cell)) in folded.iter().zip(&manual_cells).enumerate() {
+            for (f, m) in fold_cell.iter().zip(manual_cell) {
+                assert_bit_identical(f, m, &format!("threads={threads} cell={c}"));
+            }
+        }
+    }
+
+    // And the per-cell Summary aggregates of run_campaign are exactly the
+    // summaries of the manual per-cell samples.
+    let result = run_campaign(&spec, &ScenarioRunner::with_threads(5)).unwrap();
+    for (cell, manual) in result.cells.iter().zip(&manual_cells) {
+        let effs: Vec<f64> = manual.iter().map(|o| o.report.sys_efficiency).collect();
+        let reference = Summary::from_slice(&effs).unwrap();
+        assert_eq!(cell.runs, rpc);
+        assert_eq!(cell.sys_efficiency.mean.to_bits(), reference.mean.to_bits());
+        assert_eq!(cell.sys_efficiency.std.to_bits(), reference.std.to_bits());
+        assert_eq!(
+            cell.sys_efficiency.median.to_bits(),
+            reference.median.to_bits()
+        );
     }
 }
