@@ -14,11 +14,15 @@
 //!   "Mira scheduler" and "Vesta scheduler" baselines: FairShare +
 //!   interference + burst buffers, exactly how the paper describes the
 //!   production systems it measures against.
+//!
+//! The `FairShare` and `Fcfs` policy types themselves live in
+//! [`iosched_core::baselines`] (re-exported here unchanged) so the
+//! scenario-aware policy registry
+//! ([`iosched_core::registry::PolicyFactory`]) can instantiate the whole
+//! roster without a dependency cycle; this crate keeps the
+//! platform-level native-scheduler modelling.
 
-pub mod fair_share;
-pub mod fcfs;
 pub mod native;
 
-pub use fair_share::FairShare;
-pub use fcfs::Fcfs;
+pub use iosched_core::baselines::{FairShare, Fcfs};
 pub use native::{native_platform, run_native, NativeConfig};

@@ -11,7 +11,7 @@
 //! * optionally the default burst buffer (absorb at 4×B, one minute of
 //!   full-PFS capacity), which hides the penalty while it has headroom.
 
-use crate::fair_share::FairShare;
+use crate::FairShare;
 use iosched_model::{Interference, Platform};
 use iosched_sim::{simulate, SimConfig, SimError, SimOutcome};
 

@@ -4,6 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iosched_baselines::FairShare;
 use iosched_core::heuristics::{MaxSysEff, MinDilation};
+use iosched_core::periodic::{
+    InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective, TimetablePolicy,
+};
 use iosched_model::Platform;
 use iosched_sim::{simulate, SimConfig};
 use iosched_workload::congestion::congested_moment;
@@ -59,6 +62,30 @@ fn bench_sim(c: &mut Criterion) {
                 black_box(&apps),
                 &mut FairShare,
                 &SimConfig::with_burst_buffer(),
+            )
+            .unwrap();
+            black_box(out.events)
+        });
+    });
+    // Offline timetable replay: the wakeup-driven event pattern whose
+    // confirm-the-running-allocation events exercise the engine's
+    // predicted-completion cache.
+    group.bench_function(BenchmarkId::new("timetable", apps.len()), |b| {
+        let specs: Vec<PeriodicAppSpec> = apps
+            .iter()
+            .map(|a| PeriodicAppSpec::from_app(a).expect("congested moments are periodic"))
+            .collect();
+        let schedule = PeriodSearch::new(PeriodicObjective::Dilation)
+            .run_complete(&platform, &specs, InsertionHeuristic::Congestion)
+            .expect("congested moment schedules cleanly")
+            .schedule;
+        b.iter(|| {
+            let mut policy = TimetablePolicy::new(schedule.clone());
+            let out = simulate(
+                &platform,
+                black_box(&apps),
+                &mut policy,
+                &SimConfig::default(),
             )
             .unwrap();
             black_box(out.events)

@@ -1,13 +1,15 @@
 //! Ablation: period-search ε granularity vs periodic schedule quality
 //! ("the larger Tmax and the smaller ε, the better the results, but the
-//! longer the execution time", §3.2.3).
+//! longer the execution time", §3.2.3). One campaign over
+//! `periodic:cong:eps=<ε>` policies: each winning timetable is replayed
+//! in the fluid engine on the same Intrepid congested moment.
 
 use iosched_bench::experiments::ablations::epsilon_sweep;
 use iosched_bench::report::{dil, Table};
 
 fn main() {
     let rows = epsilon_sweep(&[0.5, 0.2, 0.1, 0.05, 0.02, 0.01]);
-    let mut t = Table::new(["epsilon", "candidate periods", "best Dilation"]);
+    let mut t = Table::new(["epsilon", "candidate periods", "replayed Dilation"]);
     for r in &rows {
         t.row([
             format!("{:.2}", r.epsilon),

@@ -1,5 +1,9 @@
 //! Regenerates **Fig. 4**: a periodic schedule for the paper's four
-//! example applications, built by the §3.2.3 machinery.
+//! example applications, built by the §3.2.3 machinery — now driven as a
+//! campaign whose policy is the offline
+//! `periodic:cong:eps=0.02:tmax=1.5` registry factory, replayed in the
+//! fluid engine (`examples/campaign_fig4.json` is the same experiment as
+//! a file for `iosched campaign`).
 
 use iosched_bench::experiments::fig04;
 use iosched_bench::report::{dil, pct, Table};
@@ -7,10 +11,17 @@ use iosched_bench::report::{dil, pct, Table};
 fn main() {
     let result = fig04::run();
     println!(
-        "period T = {:.2} s   SysEfficiency = {}%   Dilation = {}",
+        "period T = {:.2} s   SysEfficiency = {}%   Dilation = {}   (steady state)",
         result.schedule.period.as_secs(),
         pct(result.report.sys_efficiency),
         dil(result.report.dilation),
+    );
+    println!(
+        "engine replay over {} periods ({}): SysEfficiency = {}%   Dilation = {}",
+        fig04::REPLAY_PERIODS,
+        result.simulated.policy,
+        pct(result.simulated.sys_efficiency.mean),
+        dil(result.simulated.dilation.mean),
     );
     let mut t = Table::new(["app", "instance", "compute", "I/O window", "bw (units/s)"]);
     const MAX_ROWS_PER_APP: usize = 5;

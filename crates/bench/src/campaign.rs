@@ -170,8 +170,13 @@ impl CampaignSpec {
         Ok(spec)
     }
 
-    /// Serialize as pretty JSON.
+    /// Serialize as pretty JSON. Validates first: a programmatically
+    /// built spec with degenerate periodic knobs would otherwise
+    /// serialize into a name string [`CampaignSpec::from_json`] rejects
+    /// — better to refuse at write time than to produce an unreadable
+    /// file.
     pub fn to_json(&self) -> Result<String, String> {
+        self.validate()?;
         serde_json::to_string_pretty(self).map_err(|e| e.to_string())
     }
 
@@ -197,6 +202,13 @@ impl CampaignSpec {
             workload
                 .validate()
                 .map_err(|e| format!("workload '{}': {e}", workload.label()))?;
+        }
+        for policy in &self.policies {
+            // Parsed policies are always valid; this catches
+            // programmatically built factories with degenerate periodic
+            // knobs before they serialize into an unreadable file or
+            // reach a worker.
+            policy.validate()?;
         }
         Ok(())
     }
@@ -462,7 +474,14 @@ where
                 spec.policies
                     .iter()
                     .map(|policy_spec| {
-                        let mut policy = policy_spec.build();
+                        // Scenario-aware instantiation (stage 2 of the
+                        // registry): offline `periodic:*` policies build
+                        // their schedule right here, against the one
+                        // workload materialization this seed block shares
+                        // across the whole policy axis.
+                        let mut policy = policy_spec
+                            .build(&platforms[p], &apps)
+                            .map_err(|e| format!("{}/{e}", block_label()))?;
                         simulate(&platforms[p], &apps, policy.as_mut(), &config).map_err(|e| {
                             format!("{}/{}: {e}", block_label(), policy_spec.serde_name())
                         })
@@ -714,6 +733,26 @@ mod tests {
         let mut spec = small_campaign();
         spec.workloads = vec![WorkloadSpec::Explicit(vec![])];
         assert!(spec.validate().is_err());
+        // Programmatically built periodic factories with degenerate
+        // search knobs (whose names would not parse back) are caught by
+        // validation, not first serialized into an unreadable file.
+        let mut spec = small_campaign();
+        spec.policies = vec![PolicySpec::Periodic(
+            iosched_bench_periodic_factory().with_epsilon(0.0),
+        )];
+        assert!(spec.validate().is_err());
+        assert!(spec.to_json().is_err(), "write path must validate too");
+        let mut spec = small_campaign();
+        spec.policies = vec![PolicySpec::Periodic(
+            iosched_bench_periodic_factory().with_max_factor(0.5),
+        )];
+        assert!(spec.validate().is_err());
+    }
+
+    fn iosched_bench_periodic_factory() -> crate::scenario::PeriodicFactory {
+        crate::scenario::PeriodicFactory::new(
+            iosched_core::periodic::InsertionHeuristic::Congestion,
+        )
     }
 
     #[test]

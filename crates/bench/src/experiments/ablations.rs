@@ -2,20 +2,22 @@
 //! burst-buffer capacity sweep for the native baseline, and the
 //! period-search ε sensitivity.
 //!
-//! The two simulation sweeps are declarative [`CampaignSpec`]s — the γ
-//! sweep puts the gammas on the *policy* axis, the capacity sweep puts
-//! one custom platform per capacity on the *platform* axis — both
-//! aggregated per cell by the streaming [`run_campaign`]. The ε sweep is
-//! not a fluid simulation and rides on the runner's generic parallel map.
+//! All three sweeps are declarative [`CampaignSpec`]s aggregated per cell
+//! by the streaming [`run_campaign`]: the γ sweep puts the gammas on the
+//! *policy* axis, the capacity sweep puts one custom platform per
+//! capacity on the *platform* axis, and — since the scenario-aware
+//! registry made offline schedules roster members — the ε sweep puts one
+//! `periodic:cong:eps=<ε>` factory per step on the policy axis, so every
+//! candidate search runs against the same materialized congested moment
+//! and its winning timetable is scored *in the fluid engine* instead of
+//! only on paper.
 
 use crate::campaign::{run_campaign, CampaignSpec, PlatformSpec};
 use crate::runner::ScenarioRunner;
-use crate::scenario::PolicySpec;
+use crate::scenario::{PeriodicFactory, PolicySpec};
 use iosched_baselines::native_platform;
 use iosched_core::heuristics::{BasePolicy, PolicyKind};
-use iosched_core::periodic::{
-    InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
-};
+use iosched_core::periodic::{InsertionHeuristic, PeriodicAppSpec};
 use iosched_model::{BurstBufferSpec, Platform, Time};
 use iosched_sim::SimConfig;
 use iosched_workload::congestion::congested_moment;
@@ -134,33 +136,70 @@ pub fn bb_capacity_sweep(capacities_secs: &[f64], cases: usize) -> Vec<BbCapacit
 pub struct EpsilonRow {
     /// Search step ε.
     pub epsilon: f64,
-    /// Candidate periods evaluated.
+    /// Candidate periods the search evaluates at this ε.
     pub candidates: usize,
-    /// Best steady-state dilation found.
+    /// Dilation of the winning schedule *replayed in the fluid engine*
+    /// over the congested moment (was: analytic steady state, before the
+    /// sweep became a campaign).
     pub dilation: f64,
 }
 
-/// Sweep ε on a fixed periodic application set. Period searches are not
-/// fluid simulations, so they ride on the runner's generic parallel map
-/// (one search per worker, results input-ordered).
+/// The fixed Intrepid congested moment the ε sweep schedules (case 17,
+/// as in the pre-campaign hand-rolled sweep).
+pub const EPSILON_CASE_SEED: u64 = 17;
+
+/// The ε-sweep campaign: `intrepid × congestion(case 17) ×
+/// {periodic:cong:eps=ε}` — one offline factory per sweep point on the
+/// policy axis. Every factory's period search runs against the same
+/// materialized workload (one materialization per seed block, shared
+/// across the whole policy axis).
+#[must_use]
+pub fn epsilon_campaign(epsilons: &[f64]) -> CampaignSpec {
+    CampaignSpec {
+        name: "ablation-epsilon".into(),
+        platforms: vec![PlatformSpec::Preset("intrepid".into())],
+        workloads: vec![WorkloadSpec::Congestion { seed: 0 }],
+        policies: epsilons
+            .iter()
+            .map(|&epsilon| {
+                PolicySpec::Periodic(
+                    PeriodicFactory::new(InsertionHeuristic::Congestion).with_epsilon(epsilon),
+                )
+            })
+            .collect(),
+        seeds: vec![EPSILON_CASE_SEED],
+        config: None,
+        threads: None,
+    }
+}
+
+/// Sweep ε on the fixed congested moment. Schedule quality comes from
+/// the campaign (engine replay of each winning timetable); the candidate
+/// counts come from the search progression itself, which
+/// [`iosched_core::periodic::PeriodSearch::candidate_count`] replays
+/// without building a single schedule.
 #[must_use]
 pub fn epsilon_sweep(epsilons: &[f64]) -> Vec<EpsilonRow> {
+    let spec = epsilon_campaign(epsilons);
+    let result = run_campaign(&spec, &ScenarioRunner::new()).expect("epsilon campaign is valid");
     let platform = Platform::intrepid();
-    let apps: Vec<PeriodicAppSpec> = congested_moment(&platform, 17)
+    let apps: Vec<PeriodicAppSpec> = congested_moment(&platform, EPSILON_CASE_SEED)
         .iter()
         .map(|a| PeriodicAppSpec::from_app(a).expect("generator emits periodic apps"))
         .collect();
-    ScenarioRunner::new().map(epsilons, |_, &epsilon| {
-        let result = PeriodSearch::new(PeriodicObjective::Dilation)
-            .with_epsilon(epsilon)
-            .run(&platform, &apps, InsertionHeuristic::Congestion)
-            .expect("non-empty set");
-        EpsilonRow {
+    epsilons
+        .iter()
+        .zip(&result.cells)
+        .map(|(&epsilon, cell)| EpsilonRow {
             epsilon,
-            candidates: result.candidates_tried,
-            dilation: result.report.dilation,
-        }
-    })
+            candidates: PeriodicFactory::new(InsertionHeuristic::Congestion)
+                .with_epsilon(epsilon)
+                .search()
+                .expect("positive epsilon")
+                .candidate_count(&platform, &apps),
+            dilation: cell.dilation.mean,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -195,7 +234,17 @@ mod tests {
     fn finer_epsilon_tries_more_candidates_and_is_no_worse() {
         let rows = epsilon_sweep(&[0.5, 0.05]);
         assert!(rows[1].candidates > rows[0].candidates);
-        assert!(rows[1].dilation <= rows[0].dilation + 1e-9);
+        // The finer search wins on the analytic objective it optimizes;
+        // the engine replay adds finite-horizon effects (releases,
+        // partial last periods), so allow a small tolerance around the
+        // "no worse" claim.
+        assert!(rows.iter().all(|r| r.dilation.is_finite()));
+        assert!(
+            rows[1].dilation <= rows[0].dilation + 0.25,
+            "eps 0.05 dilation {} should not lose to eps 0.5 ({})",
+            rows[1].dilation,
+            rows[0].dilation
+        );
     }
 
     #[test]
@@ -208,5 +257,10 @@ mod tests {
         bb.validate().unwrap();
         assert_eq!(bb.cell_count(), 2);
         assert!(bb.config.as_ref().unwrap().use_burst_buffer);
+        let eps = epsilon_campaign(&[0.5, 0.1]);
+        eps.validate().unwrap();
+        assert_eq!(eps.cell_count(), 2);
+        assert!(eps.policies.iter().all(PolicySpec::is_offline));
+        assert_eq!(eps.policies[1].name(), "periodic:cong:eps=0.1");
     }
 }

@@ -1,147 +1,30 @@
 //! Declarative description of one simulate-one-scenario unit of work.
 //!
-//! The paper's whole evaluation (Figs. 5–16, Tables 1–2) is thousands of
+//! The paper's whole evaluation (Figs. 4–16, Tables 1–2) is thousands of
 //! independent `simulate()` calls differing only in platform, application
 //! mix, policy and engine configuration. A [`Scenario`] captures exactly
 //! that tuple as data, so experiment code *describes* its sweep and hands
 //! the batch to a [`crate::runner::ScenarioRunner`] instead of hand-rolling
 //! a sequential loop per figure.
+//!
+//! The policy half of the tuple is the scenario-aware registry of
+//! [`iosched_core::registry`]: [`PolicySpec`] is that crate's
+//! [`PolicyFactory`] under its historical name. The policy-name grammar
+//! of [`PolicySpec::parse`]/[`PolicySpec::name`] is also the serde
+//! representation — a `PolicySpec` serializes as the plain string
+//! `"priority-minmax-0.25"` or `"periodic:cong"` — so report keys, CLI
+//! arguments and campaign JSON all share one vocabulary, and the same
+//! roster covers the §3.1 online heuristics, the uncoordinated baselines
+//! *and* the §3.2 offline periodic schedules (built per scenario by
+//! [`PolicySpec::build`], which receives the platform and the
+//! materialized applications).
+//!
+//! [`PolicyFactory`]: iosched_core::registry::PolicyFactory
 
-use iosched_baselines::{FairShare, Fcfs};
-use iosched_core::heuristics::{BasePolicy, PolicyKind};
-use iosched_core::policy::OnlinePolicy;
 use iosched_model::{AppSpec, Platform};
 use iosched_sim::{simulate, SimConfig, SimError, SimOutcome};
 
-/// Buildable description of an online policy — everything the runner can
-/// instantiate fresh inside a worker thread.
-///
-/// The policy-name grammar of [`PolicySpec::parse`]/[`PolicySpec::name`]
-/// is also the serde representation: a `PolicySpec` serializes as the
-/// plain string `"priority-minmax-0.25"`, so report keys, CLI arguments
-/// and campaign JSON all share one vocabulary.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum PolicySpec {
-    /// One of the paper's heuristics (MaxSysEff, MinMax-γ, …, ± Priority).
-    Kind(PolicyKind),
-    /// Uncoordinated max–min fair sharing (the native baseline's policy).
-    FairShare,
-    /// Strict first-come-first-served.
-    Fcfs,
-}
-
-impl PolicySpec {
-    /// Instantiate the policy.
-    #[must_use]
-    pub fn build(&self) -> Box<dyn OnlinePolicy> {
-        match self {
-            Self::Kind(kind) => kind.build(),
-            Self::FairShare => Box::new(FairShare),
-            Self::Fcfs => Box::new(Fcfs),
-        }
-    }
-
-    /// The report name of the built policy.
-    #[must_use]
-    pub fn name(&self) -> String {
-        match self {
-            Self::Kind(kind) => kind.name(),
-            Self::FairShare => "fairshare".into(),
-            Self::Fcfs => "fcfs".into(),
-        }
-    }
-
-    /// Parse the names used throughout the reports and the CLI:
-    /// `roundrobin`, `mindilation`, `maxsyseff`, `minmax-<γ>`,
-    /// `fairshare`, `fcfs`, plus `priority-` variants of the heuristics.
-    pub fn parse(name: &str) -> Result<Self, String> {
-        let (prio, bare) = match name.strip_prefix("priority-") {
-            Some(rest) => (true, rest),
-            None => (false, name),
-        };
-        let kind = |base: BasePolicy| {
-            Ok(Self::Kind(if prio {
-                PolicyKind::with_priority(base)
-            } else {
-                PolicyKind::plain(base)
-            }))
-        };
-        match bare {
-            "roundrobin" => kind(BasePolicy::RoundRobin),
-            "mindilation" => kind(BasePolicy::MinDilation),
-            "maxsyseff" => kind(BasePolicy::MaxSysEff),
-            "fairshare" if !prio => Ok(Self::FairShare),
-            "fcfs" if !prio => Ok(Self::Fcfs),
-            other => match other.strip_prefix("minmax-") {
-                Some(gamma) => {
-                    let g: f64 = gamma
-                        .parse()
-                        .map_err(|_| format!("bad MinMax threshold '{gamma}'"))?;
-                    if !(0.0..=1.0).contains(&g) {
-                        return Err(format!("MinMax threshold {g} outside [0, 1]"));
-                    }
-                    kind(BasePolicy::MinMax(g))
-                }
-                None => Err(format!(
-                    "unknown policy '{name}' (try roundrobin, mindilation, maxsyseff, \
-                     minmax-<γ>, fairshare, fcfs, or a priority- prefix)"
-                )),
-            },
-        }
-    }
-
-    /// The serde string: [`PolicySpec::name`] when it parses back to this
-    /// exact spec (true for the whole paper roster), else a full-precision
-    /// spelling — `name()` rounds the MinMax γ to two decimals for
-    /// display, which would silently corrupt e.g. `γ = 1/3` on a
-    /// serialize → deserialize trip.
-    #[must_use]
-    pub fn serde_name(&self) -> String {
-        let display = self.name();
-        if Self::parse(&display).ok() == Some(*self) {
-            return display;
-        }
-        match self {
-            Self::Kind(kind) => {
-                let BasePolicy::MinMax(g) = kind.base else {
-                    unreachable!("only MinMax names are lossy");
-                };
-                let prefix = if kind.priority { "priority-" } else { "" };
-                format!("{prefix}minmax-{g}")
-            }
-            _ => display,
-        }
-    }
-
-    /// Every policy the paper's evaluation touches: the eight Fig. 6
-    /// heuristics plus the two uncoordinated baselines. The roster behind
-    /// the CLI's `--policy all`.
-    #[must_use]
-    pub fn full_roster() -> Vec<PolicySpec> {
-        let mut roster: Vec<PolicySpec> = PolicyKind::fig6_roster()
-            .into_iter()
-            .map(PolicySpec::Kind)
-            .collect();
-        roster.push(PolicySpec::FairShare);
-        roster.push(PolicySpec::Fcfs);
-        roster
-    }
-}
-
-impl serde::Serialize for PolicySpec {
-    fn to_value(&self) -> serde::Value {
-        serde::Value::Str(self.serde_name())
-    }
-}
-
-impl serde::Deserialize for PolicySpec {
-    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        let name = v
-            .as_str()
-            .ok_or_else(|| serde::Error::custom("expected policy name string"))?;
-        Self::parse(name).map_err(serde::Error::custom)
-    }
-}
+pub use iosched_core::registry::{PeriodicFactory, PolicyFactory as PolicySpec};
 
 /// One unit of batch work: a platform, its applications, the policy to
 /// drive them and the engine configuration.
@@ -184,9 +67,14 @@ impl Scenario {
     }
 
     /// Execute this scenario to completion (the sequential unit the
-    /// parallel runner fans out).
+    /// parallel runner fans out). The policy is instantiated *for this
+    /// scenario* — an offline `periodic:*` policy builds its schedule
+    /// from `self.apps` here, on the worker that runs it.
     pub fn run(&self) -> Result<SimOutcome, SimError> {
-        let mut policy = self.policy.build();
+        let mut policy = self
+            .policy
+            .build(&self.platform, &self.apps)
+            .map_err(SimError::InvalidScenario)?;
         simulate(&self.platform, &self.apps, policy.as_mut(), &self.config)
     }
 }
@@ -194,6 +82,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iosched_core::heuristics::{BasePolicy, PolicyKind};
     use iosched_model::{Bytes, Time};
 
     #[test]
@@ -207,27 +96,38 @@ mod tests {
             "priority-maxsyseff",
             "fairshare",
             "fcfs",
+            "periodic:cong",
+            "periodic:throu",
+            "periodic:cong:eps=0.02:tmax=1.5",
         ] {
-            let spec = PolicySpec::parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert!(!spec.build().name().is_empty());
+            assert!(
+                PolicySpec::parse(name).is_ok(),
+                "{name} should parse into the roster"
+            );
         }
         assert!(PolicySpec::parse("lottery").is_err());
         assert!(PolicySpec::parse("minmax-1.5").is_err());
         assert!(PolicySpec::parse("priority-fairshare").is_err());
         assert!(PolicySpec::parse("priority-fcfs").is_err());
+        assert!(PolicySpec::parse("periodic:best").is_err());
     }
 
     #[test]
-    fn parse_name_serde_roundtrip_over_the_full_roster() {
+    fn parse_name_serde_roundtrip_over_the_complete_roster() {
         // Every policy the evaluation touches: Fig. 6 roster + Tables 1–2
-        // roster + the baselines.
-        let mut roster = PolicySpec::full_roster();
+        // roster + the baselines + the §3.2 offline periodic forms.
+        let mut roster = PolicySpec::complete_roster();
         roster.extend(
             PolicyKind::tables_roster()
                 .into_iter()
                 .map(PolicySpec::Kind),
         );
-        assert!(roster.len() >= 16);
+        roster.push(PolicySpec::Periodic(
+            PeriodicFactory::new(iosched_core::periodic::InsertionHeuristic::Congestion)
+                .with_epsilon(0.02)
+                .with_max_factor(1.5),
+        ));
+        assert!(roster.len() >= 19);
         for spec in roster {
             // parse ↔ name.
             let name = spec.name();
@@ -261,6 +161,7 @@ mod tests {
             "\"lottery\"",
             "\"minmax-1.5\"",
             "\"priority-fairshare\"",
+            "\"periodic:cong:eps=-1\"",
             "7",
         ] {
             assert!(
@@ -280,6 +181,13 @@ mod tests {
         for needle in ["roundrobin", "priority-minmax-0.50", "fairshare", "fcfs"] {
             assert!(names.contains(&needle.to_string()), "missing {needle}");
         }
+        // The offline branch extends, not replaces, the paper roster.
+        let complete: Vec<String> = PolicySpec::complete_roster()
+            .iter()
+            .map(PolicySpec::name)
+            .collect();
+        assert!(complete.contains(&"periodic:cong".to_string()));
+        assert!(complete.contains(&"periodic:throu".to_string()));
     }
 
     #[test]
@@ -312,5 +220,23 @@ mod tests {
             out.report.sys_efficiency.to_bits(),
             direct.report.sys_efficiency.to_bits()
         );
+    }
+
+    #[test]
+    fn scenario_runs_an_offline_periodic_policy() {
+        let platform = Platform::vesta();
+        let apps = vec![
+            AppSpec::periodic(0, Time::ZERO, 256, Time::secs(60.0), Bytes::gib(100.0), 3),
+            AppSpec::periodic(1, Time::ZERO, 512, Time::secs(45.0), Bytes::gib(150.0), 3),
+        ];
+        let scenario = Scenario::new(
+            "unit-periodic",
+            platform,
+            apps,
+            PolicySpec::parse("periodic:cong").unwrap(),
+        );
+        let out = scenario.run().unwrap();
+        assert!(out.report.sys_efficiency > 0.0);
+        assert!(out.report.dilation >= 1.0);
     }
 }

@@ -7,9 +7,11 @@
 //!
 //! ```text
 //! iosched platforms
+//! iosched policies
 //! iosched generate --kind congested --platform intrepid --seed 7 -o scenario.json
 //! iosched generate --kind mix-b     --platform intrepid --seed 3 -o mix.json
 //! iosched simulate scenario.json --policy priority-maxsyseff [--burst-buffer]
+//! iosched simulate scenario.json --policy periodic:cong
 //! iosched simulate scenario.json --policy all
 //! iosched periodic scenario.json --objective dilation --epsilon 0.05
 //! iosched campaign campaign.json [--threads N]
@@ -84,12 +86,19 @@ pub fn platform_by_name(name: &str) -> Result<Platform, String> {
     iosched_bench::campaign::platform_preset(name)
 }
 
-/// Resolve a policy by the names used throughout the reports. `all` is
-/// handled by the caller. (Name resolution lives in
-/// [`iosched_bench::scenario::PolicySpec`] so the CLI, the batch layer
+/// Resolve a policy by the names used throughout the reports and
+/// instantiate it *for a scenario* — the registry's two-stage build.
+/// `all` is handled by the caller. Online policies ignore the scenario;
+/// offline `periodic:*` policies run their §3.2 schedule search over it.
+/// (Name resolution lives in
+/// [`iosched_core::registry::PolicyFactory`] — re-exported as
+/// [`iosched_bench::scenario::PolicySpec`] — so the CLI, the batch layer
 /// and the experiment runners agree on one vocabulary.)
-pub fn policy_by_name(name: &str) -> Result<Box<dyn OnlinePolicy>, String> {
-    PolicySpec::parse(name).map(|spec| spec.build())
+pub fn policy_for_scenario(
+    name: &str,
+    scenario: &ScenarioFile,
+) -> Result<Box<dyn OnlinePolicy>, String> {
+    PolicySpec::parse(name)?.build(&scenario.platform, &scenario.apps)
 }
 
 /// Scenario kinds `generate` can produce.
@@ -185,29 +194,90 @@ pub fn cmd_simulate(
     );
     let _ = writeln!(
         out,
-        "{:<22} {:>14} {:>10} {:>12}",
+        "{:<30} {:>14} {:>10} {:>12}",
         "policy", "SysEfficiency", "Dilation", "makespan"
     );
     for name in names {
-        let mut policy = policy_by_name(&name)?;
+        let mut policy = policy_for_scenario(&name, scenario)?;
         let result = simulate(&scenario.platform, &scenario.apps, policy.as_mut(), &config)
             .map_err(|e| e.to_string())?;
         let _ = writeln!(
             out,
-            "{:<22} {:>13.2}% {:>10.2} {:>11.0}s",
+            "{:<30} {:>13.2}% {:>10.2} {:>11.0}s",
             name,
             result.report.sys_efficiency * 100.0,
             result.report.dilation,
             result.report.makespan().as_secs(),
         );
     }
-    let mut first = policy_by_name("roundrobin")?;
+    let mut first = policy_for_scenario("roundrobin", scenario)?;
     let upper = simulate(&scenario.platform, &scenario.apps, first.as_mut(), &config)
         .map_err(|e| e.to_string())?
         .report
         .upper_limit;
-    let _ = writeln!(out, "{:<22} {:>13.2}%", "upper limit", upper * 100.0);
+    let _ = writeln!(out, "{:<30} {:>13.2}%", "upper limit", upper * 100.0);
     Ok(out)
+}
+
+/// One-line description of a roster member for `iosched policies`.
+fn describe_policy(spec: &PolicySpec) -> String {
+    use iosched_core::heuristics::BasePolicy;
+    match spec {
+        PolicySpec::Kind(kind) => {
+            let base = match kind.base {
+                BasePolicy::RoundRobin => "FCFS + fairness heuristic (§3.1)",
+                BasePolicy::MinDilation => "Dilation-oriented heuristic (§3.1)",
+                BasePolicy::MaxSysEff => "SysEfficiency-oriented heuristic (§3.1)",
+                BasePolicy::MinMax(_) => "threshold trade-off heuristic (§3.1)",
+            };
+            if kind.priority {
+                format!("{base}, disk-locality Priority wrapper; Fig. 6, Tables 1-2")
+            } else {
+                format!("{base}; Fig. 6, Tables 1-2")
+            }
+        }
+        PolicySpec::FairShare => {
+            "uncoordinated max-min sharing (native-scheduler baseline; Figs. 8-13)".into()
+        }
+        PolicySpec::Fcfs => "strict first-come-first-served baseline (§1)".into(),
+        PolicySpec::Periodic(p) => {
+            let (heuristic, used_by) = match p.heuristic {
+                iosched_core::periodic::InsertionHeuristic::Congestion => {
+                    ("Insert-In-Schedule-Cong", "Fig. 4, eps ablation")
+                }
+                iosched_core::periodic::InsertionHeuristic::Throughput => {
+                    ("Insert-In-Schedule-Throu", "§7 outlook sweeps")
+                }
+            };
+            format!("periodic schedule, {heuristic} + (1+eps) period search (§3.2); {used_by}")
+        }
+    }
+}
+
+/// `iosched policies`: the complete registry roster — every serde name
+/// the CLI, scenario files and campaign JSON accept, online and offline.
+#[must_use]
+pub fn cmd_policies() -> String {
+    let mut table = Table::new(["policy", "stage", "description"]);
+    for spec in PolicySpec::complete_roster() {
+        table.row([
+            spec.serde_name(),
+            if spec.is_offline() {
+                "offline".into()
+            } else {
+                "online".into()
+            },
+            describe_policy(&spec),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nGrammar: minmax-<gamma in [0,1]>, priority-<heuristic>, and\n\
+         periodic:<cong|throu>[:<dilation|syseff>][:eps=E][:tmax=F]\n\
+         (offline policies build their schedule per scenario: the workload\n\
+         must be periodic, i.e. w(k,i) = w(k) for every instance).\n",
+    );
+    out
 }
 
 /// `iosched periodic`: run the §3.2 period search over a scenario of
@@ -323,6 +393,7 @@ iosched — global HPC I/O scheduling (IPDPS'15 reproduction)
 
 USAGE:
   iosched platforms
+  iosched policies
   iosched generate --kind <congested|mix-a|mix-b|mix-c>
                    --platform <intrepid|mira|vesta> [--seed N] [-o FILE]
   iosched simulate <scenario.json> --policy <name|all> [--burst-buffer]
@@ -332,15 +403,19 @@ USAGE:
 CAMPAIGN FILES (see README 'Campaign files' for the full format):
   {\"name\": \"quick\", \"platforms\": [\"intrepid\"],
    \"workloads\": [{\"Congestion\": {\"seed\": 0}}],
-   \"policies\": [\"maxsyseff\", \"fairshare\"], \"seeds\": [0, 1, 2],
-   \"config\": null, \"threads\": null}
+   \"policies\": [\"maxsyseff\", \"fairshare\", \"periodic:cong\"],
+   \"seeds\": [0, 1, 2], \"config\": null, \"threads\": null}
   The platforms x workloads x policies x seeds product expands lazily,
   runs in parallel, and streams into deterministic per-cell aggregates.
-  examples/campaign_fig6.json reproduces the paper's Fig. 6 sweep.
+  examples/campaign_fig6.json reproduces the paper's Fig. 6 sweep;
+  examples/campaign_fig4.json replays the Fig. 4 periodic schedule.
 
-POLICIES:
-  roundrobin, mindilation, maxsyseff, minmax-<gamma>, fairshare, fcfs,
-  and priority-<name> variants (e.g. priority-maxsyseff).
+POLICIES (`iosched policies` lists the whole roster):
+  online:  roundrobin, mindilation, maxsyseff, minmax-<gamma>, fairshare,
+           fcfs, and priority-<name> variants (e.g. priority-maxsyseff);
+  offline: periodic:<cong|throu>[:<dilation|syseff>][:eps=E][:tmax=F] —
+           a §3.2 periodic schedule searched per scenario and replayed
+           as a timetable.
 ";
 
 #[cfg(test)]
@@ -361,6 +436,7 @@ mod tests {
 
     #[test]
     fn policy_lookup_covers_the_roster() {
+        let s = scenario();
         for name in [
             "roundrobin",
             "mindilation",
@@ -371,12 +447,100 @@ mod tests {
             "fairshare",
             "fcfs",
         ] {
-            let p = policy_by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let p = policy_for_scenario(name, &s).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(!p.name().is_empty());
         }
-        assert!(policy_by_name("lottery").is_err());
-        assert!(policy_by_name("minmax-1.5").is_err());
-        assert!(policy_by_name("priority-fairshare").is_err());
+        // The offline branch builds a schedule for the scenario, so give
+        // it one that both insertion heuristics can pack fully.
+        let platform = platform_by_name("vesta").unwrap();
+        let mild = ScenarioFile {
+            apps: vec![
+                iosched_model::AppSpec::periodic(
+                    0,
+                    iosched_model::Time::ZERO,
+                    256,
+                    iosched_model::Time::secs(60.0),
+                    iosched_model::Bytes::gib(100.0),
+                    3,
+                ),
+                iosched_model::AppSpec::periodic(
+                    1,
+                    iosched_model::Time::ZERO,
+                    512,
+                    iosched_model::Time::secs(45.0),
+                    iosched_model::Bytes::gib(150.0),
+                    3,
+                ),
+            ],
+            platform,
+        };
+        for name in ["periodic:cong", "periodic:throu"] {
+            let p = policy_for_scenario(name, &mild).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p.name(), name);
+        }
+        assert!(policy_for_scenario("lottery", &s).is_err());
+        assert!(policy_for_scenario("minmax-1.5", &s).is_err());
+        assert!(policy_for_scenario("priority-fairshare", &s).is_err());
+        // A starving schedule surfaces as a labeled error, not a hang:
+        // two pure-I/O hogs each need the whole PFS for the entire
+        // single candidate period (tmax = 1), so the second one cannot
+        // be placed at any bandwidth-ladder rung.
+        let starving = ScenarioFile {
+            platform: iosched_model::Platform::new(
+                "t",
+                1_000,
+                iosched_model::Bw::gib_per_sec(0.01),
+                iosched_model::Bw::gib_per_sec(0.5),
+            ),
+            apps: vec![
+                iosched_model::AppSpec::periodic(
+                    0,
+                    iosched_model::Time::ZERO,
+                    50,
+                    iosched_model::Time::secs(1_000.0),
+                    iosched_model::Bytes::gib(0.1),
+                    1,
+                ),
+                iosched_model::AppSpec::periodic(
+                    1,
+                    iosched_model::Time::ZERO,
+                    50,
+                    iosched_model::Time::secs(0.0),
+                    iosched_model::Bytes::gib(500.0),
+                    1,
+                ),
+                iosched_model::AppSpec::periodic(
+                    2,
+                    iosched_model::Time::ZERO,
+                    50,
+                    iosched_model::Time::secs(0.0),
+                    iosched_model::Bytes::gib(500.0),
+                    1,
+                ),
+            ],
+        };
+        let Err(err) = policy_for_scenario("periodic:throu:tmax=1", &starving) else {
+            panic!("the second hog cannot be scheduled");
+        };
+        assert!(err.contains("periodic:throu"), "{err}");
+        assert!(err.contains("starves"), "{err}");
+    }
+
+    #[test]
+    fn policies_listing_spans_online_and_offline() {
+        let out = cmd_policies();
+        for needle in [
+            "roundrobin",
+            "priority-minmax-0.50",
+            "fairshare",
+            "fcfs",
+            "periodic:cong",
+            "periodic:throu",
+            "offline",
+            "online",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
     }
 
     #[test]
@@ -429,6 +593,16 @@ mod tests {
         for name in ["roundrobin", "priority-maxsyseff", "fairshare", "fcfs"] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
+    }
+
+    #[test]
+    fn simulate_runs_an_offline_periodic_policy() {
+        // Congested-moment scenarios are periodic, so the offline branch
+        // of the roster works through plain `iosched simulate` too.
+        let s = scenario();
+        let out = cmd_simulate(&s, "periodic:cong", false).unwrap();
+        assert!(out.contains("periodic:cong"), "{out}");
+        assert!(out.contains("upper limit"));
     }
 
     #[test]
@@ -506,7 +680,11 @@ mod tests {
             let result = simulate(
                 &platform,
                 &apps,
-                policy_by_name("maxsyseff").unwrap().as_mut(),
+                PolicySpec::parse("maxsyseff")
+                    .unwrap()
+                    .build(&platform, &apps)
+                    .unwrap()
+                    .as_mut(),
                 &SimConfig::default(),
             )
             .unwrap();

@@ -2,8 +2,8 @@
 
 use iosched_bench::campaign::CampaignSpec;
 use iosched_cli::{
-    cmd_campaign, cmd_generate, cmd_periodic, cmd_platforms, cmd_simulate, GenerateKind,
-    ScenarioFile, USAGE,
+    cmd_campaign, cmd_generate, cmd_periodic, cmd_platforms, cmd_policies, cmd_simulate,
+    GenerateKind, ScenarioFile, USAGE,
 };
 use std::process::ExitCode;
 
@@ -36,6 +36,7 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("platforms") => Ok(cmd_platforms()),
+        Some("policies") => Ok(cmd_policies()),
         Some("generate") => {
             let kind =
                 GenerateKind::parse(&flag_value(args, "--kind").ok_or("generate needs --kind")?)?;

@@ -1,17 +1,28 @@
-//! Max–min fair bandwidth sharing — the "no global scheduler" baseline.
+//! The uncoordinated baseline schedulers the paper compares against.
 //!
-//! Every application that wants I/O transfers concurrently; the PFS
-//! bandwidth is split by progressive water-filling: applications whose
-//! card limit `β·b` is below the equal share keep their limit, the
-//! leftover is redistributed among the rest. This is the fluid idealization
-//! of what a parallel file system does when nobody coordinates — and the
-//! state in which the disk-locality interference penalty of Fig. 1 bites
-//! hardest, because *all* K applications stream at once.
+//! These live in `iosched_core` (rather than the `iosched-baselines`
+//! facade crate, which re-exports them) so the scenario-aware policy
+//! registry ([`crate::registry::PolicyFactory`]) can instantiate the
+//! *entire* roster — §3.1 heuristics, baselines and §3.2 periodic
+//! timetables — from one place.
+//!
+//! * [`FairShare`] — max–min fair bandwidth sharing: the fluid
+//!   idealization of a parallel file system with no global scheduler
+//!   (every application streams at once — the regime where the Fig. 1
+//!   disk-locality interference penalty bites hardest).
+//! * [`Fcfs`] — strict first-come-first-served: the oldest outstanding
+//!   I/O request owns the PFS (§1 cites this as the simplest policy used
+//!   by server-side HPC I/O schedulers).
 
-use iosched_core::policy::{Allocation, OnlinePolicy, SchedContext};
+use crate::policy::{order_by_key_asc, Allocation, OnlinePolicy, SchedContext};
 use iosched_model::Bw;
 
 /// Uncoordinated concurrent access with max–min fairness.
+///
+/// Every application that wants I/O transfers concurrently; the PFS
+/// bandwidth is split by progressive water-filling: applications whose
+/// card limit `β·b` is below the equal share keep their limit, the
+/// leftover is redistributed among the rest.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FairShare;
 
@@ -57,11 +68,26 @@ impl OnlinePolicy for FairShare {
     }
 }
 
+/// Oldest-request-first baseline (leftover card capacity cascades to the
+/// next-oldest, as in the shared greedy grant loop).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl OnlinePolicy for Fcfs {
+    fn name(&self) -> String {
+        "fcfs".into()
+    }
+
+    fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
+        order_by_key_asc(ctx, |a| a.io_requested_at.as_secs())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iosched_core::policy::test_support::{app, ctx};
-    use iosched_model::AppId;
+    use crate::policy::test_support::{app, ctx};
+    use iosched_model::{AppId, Time};
 
     #[test]
     fn equal_demands_split_equally() {
@@ -102,7 +128,7 @@ mod tests {
 
     #[test]
     fn empty_pending_grants_nothing() {
-        let pending: [iosched_core::policy::AppState; 0] = [];
+        let pending: [crate::policy::AppState; 0] = [];
         let c = ctx(10.0, &pending);
         assert!(FairShare.allocate(&c).grants.is_empty());
     }
@@ -117,5 +143,42 @@ mod tests {
             assert!(alloc.granted(AppId(i)).get() > 0.0, "app {i} starved");
         }
         assert!(alloc.total().approx_eq(c.total_bw));
+    }
+
+    #[test]
+    fn oldest_request_owns_the_disk() {
+        let mut a0 = app(0, 10.0);
+        a0.io_requested_at = Time::secs(20.0);
+        let mut a1 = app(1, 10.0);
+        a1.io_requested_at = Time::secs(5.0);
+        let pending = [a0, a1];
+        let c = ctx(10.0, &pending);
+        let alloc = Fcfs.allocate(&c);
+        assert!(alloc.granted(AppId(1)).approx_eq(c.total_bw));
+        assert!(alloc.granted(AppId(0)).is_zero());
+    }
+
+    #[test]
+    fn leftover_cascades_to_next_oldest() {
+        let mut a0 = app(0, 4.0);
+        a0.io_requested_at = Time::secs(1.0);
+        let mut a1 = app(1, 4.0);
+        a1.io_requested_at = Time::secs(2.0);
+        let mut a2 = app(2, 4.0);
+        a2.io_requested_at = Time::secs(3.0);
+        let pending = [a0, a1, a2];
+        let c = ctx(10.0, &pending);
+        let alloc = Fcfs.allocate(&c);
+        assert!(alloc.granted(AppId(0)).approx_eq(Bw::gib_per_sec(4.0)));
+        assert!(alloc.granted(AppId(1)).approx_eq(Bw::gib_per_sec(4.0)));
+        assert!(alloc.granted(AppId(2)).approx_eq(Bw::gib_per_sec(2.0)));
+    }
+
+    #[test]
+    fn fcfs_ties_break_by_id() {
+        let pending = [app(1, 10.0), app(0, 10.0)];
+        let c = ctx(10.0, &pending);
+        let alloc = Fcfs.allocate(&c);
+        assert!(alloc.granted(AppId(0)).approx_eq(c.total_bw));
     }
 }

@@ -15,16 +15,31 @@
 //!   Insert-In-Schedule-Throu / Insert-In-Schedule-Cong
 //!   ([`periodic::InsertionHeuristic`]) and the `(1+ε)` period search
 //!   ([`periodic::PeriodSearch`]);
+//! * the **uncoordinated baselines** the paper compares against
+//!   ([`baselines::FairShare`], [`baselines::Fcfs`]) — hosted here (and
+//!   re-exported by `iosched-baselines`) so the roster below can build
+//!   them;
+//! * the **scenario-aware policy registry** ([`registry::PolicyFactory`]):
+//!   one serializable roster spanning the online heuristics, the
+//!   baselines and the offline periodic schedules, with a two-stage
+//!   parse-name → instantiate-for-scenario build
+//!   (`build(&Platform, &[AppSpec])`) so policies that precompute
+//!   per-workload state — a periodic timetable — are first-class roster
+//!   members;
 //! * the **NP-completeness machinery** of Theorem 1: an executable
 //!   3-Partition reduction with a brute-force reference solver
 //!   ([`three_partition`]).
 
+pub mod baselines;
 pub mod heuristics;
 pub mod periodic;
 pub mod policy;
+pub mod registry;
 pub mod three_partition;
 
+pub use baselines::{FairShare, Fcfs};
 pub use heuristics::{
     standard_policies, BasePolicy, MaxSysEff, MinDilation, MinMax, PolicyKind, Priority, RoundRobin,
 };
 pub use policy::{Allocation, AppState, OnlinePolicy, SchedContext};
+pub use registry::{PeriodicFactory, PolicyFactory};

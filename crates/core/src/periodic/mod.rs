@@ -17,6 +17,7 @@ mod heuristics;
 mod profile;
 mod schedule;
 mod search;
+mod timetable;
 
 pub use builder::{PeriodicAppSpec, ScheduleBuilder};
 pub use heuristics::{build_schedule, InsertionHeuristic};
@@ -25,3 +26,4 @@ pub use schedule::{
     AppPlan, PeriodicAppOutcome, PeriodicSchedule, PlannedInstance, SteadyStateReport,
 };
 pub use search::{PeriodSearch, PeriodicObjective, SearchResult};
+pub use timetable::TimetablePolicy;

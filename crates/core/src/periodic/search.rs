@@ -35,12 +35,17 @@ pub struct PeriodSearch {
 }
 
 impl PeriodSearch {
+    /// Paper-flavoured default ε.
+    pub const DEFAULT_EPSILON: f64 = 0.05;
+    /// Paper-flavoured default `Tmax/T₀`.
+    pub const DEFAULT_MAX_FACTOR: f64 = 10.0;
+
     /// Paper-flavoured defaults: ε = 0.05, Tmax = 10·T₀.
     #[must_use]
     pub fn new(objective: PeriodicObjective) -> Self {
         Self {
-            epsilon: 0.05,
-            max_factor: 10.0,
+            epsilon: Self::DEFAULT_EPSILON,
+            max_factor: Self::DEFAULT_MAX_FACTOR,
             objective,
         }
     }
@@ -67,6 +72,52 @@ impl PeriodSearch {
         self
     }
 
+    /// `T₀ = max_k (w + time_io)`: the smallest candidate period ("it
+    /// makes sense to consider only periods large enough so that one
+    /// instance of each application can take place if there were no
+    /// contention"). Zero for an empty application set.
+    #[must_use]
+    pub fn t0(platform: &Platform, apps: &[PeriodicAppSpec]) -> Time {
+        apps.iter()
+            .map(|a| a.span(platform))
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// How many candidate periods [`PeriodSearch::run`] will evaluate for
+    /// `apps` on `platform` — the same `(1+ε)` progression, without
+    /// building any schedule. Used by reports that quote search cost
+    /// (e.g. the ε ablation) next to campaign-simulated quality.
+    #[must_use]
+    pub fn candidate_count(&self, platform: &Platform, apps: &[PeriodicAppSpec]) -> usize {
+        if apps.is_empty() {
+            return 0;
+        }
+        self.candidate_periods(Self::t0(platform, apps)).count()
+    }
+
+    /// The `(1+ε)` candidate-period progression, shared by
+    /// [`PeriodSearch::candidate_count`] and the search loop so the two
+    /// can never drift. Ends at `Tmax` — and, defensively, right after a
+    /// period the progression fails to grow past (an ε small enough that
+    /// `1 + ε` rounds to 1), so no caller can loop forever on degenerate
+    /// knobs.
+    fn candidate_periods(&self, t0: Time) -> impl Iterator<Item = Time> {
+        let t_max = t0 * self.max_factor;
+        let epsilon = self.epsilon;
+        let mut period = t0;
+        let mut stalled = false;
+        std::iter::from_fn(move || {
+            if stalled || !period.approx_le(t_max) {
+                return None;
+            }
+            let current = period;
+            let next = period * (1.0 + epsilon);
+            stalled = next.get() <= period.get();
+            period = next;
+            Some(current)
+        })
+    }
+
     /// Run the search with `heuristic` filling each candidate period.
     ///
     /// Returns `None` only for an empty application set.
@@ -77,26 +128,51 @@ impl PeriodSearch {
         apps: &[PeriodicAppSpec],
         heuristic: InsertionHeuristic,
     ) -> Option<SearchResult> {
+        self.run_with(platform, apps, heuristic, false)
+    }
+
+    /// Like [`PeriodSearch::run`], but only *complete* candidates —
+    /// schedules giving every application at least one instance per
+    /// period — compete; returns `None` for an empty set or when every
+    /// candidate starves someone. The Dilation objective avoids starving
+    /// schedules by itself (a starved application has infinite
+    /// dilation), but SysEfficiency happily trades a small application's
+    /// existence for aggregate throughput — unacceptable when the winner
+    /// is to be *executed* (a timetable that never grants an application
+    /// cannot terminate), which is why the scenario-aware registry
+    /// builds through this entry point.
+    #[must_use]
+    pub fn run_complete(
+        &self,
+        platform: &Platform,
+        apps: &[PeriodicAppSpec],
+        heuristic: InsertionHeuristic,
+    ) -> Option<SearchResult> {
+        self.run_with(platform, apps, heuristic, true)
+    }
+
+    fn run_with(
+        &self,
+        platform: &Platform,
+        apps: &[PeriodicAppSpec],
+        heuristic: InsertionHeuristic,
+        skip_starved: bool,
+    ) -> Option<SearchResult> {
         if apps.is_empty() {
             return None;
         }
-        // T₀ = max_k (w + time_io): "it makes sense to consider only
-        // periods large enough so that one instance of each application
-        // can take place if there were no contention".
-        let t0 = apps
-            .iter()
-            .map(|a| a.span(platform))
-            .fold(Time::ZERO, Time::max);
+        let t0 = Self::t0(platform, apps);
         debug_assert!(t0.get() > 0.0, "validated apps have positive span");
-        let t_max = t0 * self.max_factor;
 
         let mut best: Option<SearchResult> = None;
-        let mut period = t0;
         let mut candidates = 0_usize;
-        while period.approx_le(t_max) {
+        for period in self.candidate_periods(t0) {
             let schedule = build_schedule(platform, apps, period, heuristic);
-            let report = schedule.steady_state(platform);
             candidates += 1;
+            if skip_starved && schedule.plans.iter().any(|p| p.n_per() == 0) {
+                continue;
+            }
+            let report = schedule.steady_state(platform);
             let better = match &best {
                 None => true,
                 Some(b) => match self.objective {
@@ -113,7 +189,6 @@ impl PeriodSearch {
                     candidates_tried: candidates,
                 });
             }
-            period = period * (1.0 + self.epsilon);
         }
         if let Some(b) = &mut best {
             b.candidates_tried = candidates;
@@ -202,6 +277,32 @@ mod tests {
         let n0 = result.schedule.n_per(iosched_model::AppId(0));
         let n1 = result.schedule.n_per(iosched_model::AppId(1));
         assert!((n0 as i64 - n1 as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn candidate_count_matches_the_search_progression() {
+        let p = platform();
+        let apps = [
+            PeriodicAppSpec::new(0, 100, Time::secs(8.0), Bytes::gib(20.0)),
+            PeriodicAppSpec::new(1, 200, Time::secs(15.0), Bytes::gib(40.0)),
+        ];
+        for (eps, factor) in [(0.25, 4.0), (0.05, 10.0), (0.5, 1.5)] {
+            let search = PeriodSearch::new(PeriodicObjective::Dilation)
+                .with_epsilon(eps)
+                .with_max_factor(factor);
+            let result = search
+                .run(&p, &apps, InsertionHeuristic::Congestion)
+                .unwrap();
+            assert_eq!(
+                search.candidate_count(&p, &apps),
+                result.candidates_tried,
+                "eps {eps} factor {factor}"
+            );
+        }
+        assert_eq!(
+            PeriodSearch::new(PeriodicObjective::Dilation).candidate_count(&p, &[]),
+            0
+        );
     }
 
     #[test]

@@ -50,7 +50,13 @@
 //! currently want I/O) is maintained incrementally across events instead
 //! of rescanned, releases live in a pre-sorted stack, compute completions
 //! in a binary heap, and the predicted-completion scratch plus the
-//! [`StateBuffer`] policy snapshot are reused across events. (Policies
+//! [`StateBuffer`] policy snapshot are reused across events. The
+//! predicted completions themselves are cached as absolute times behind a
+//! dirty flag — a transfer at constant rate finishes at the same instant
+//! no matter when it is predicted — so events that change no grant,
+//! capacity or phase (burst-buffer level crossings, timetable wakeups
+//! that confirm the running allocation, external-load boundaries) skip
+//! the per-event rescan of the pending set entirely. (Policies
 //! themselves return a fresh [`iosched_core::policy::Allocation`] per
 //! event — a handful of grant pairs.) Trace segments are only
 //! materialized when [`SimConfig::record_trace`] asks for them.
@@ -240,8 +246,17 @@ pub struct Simulation<'a> {
     releases: Vec<(Time, usize)>,
     /// Outstanding compute completions.
     compute: BinaryHeap<ComputeEvent>,
-    /// Reused scratch: predicted I/O completions of the current step.
+    /// Reused scratch: predicted I/O completions, as *absolute* times.
+    /// Valid across events as long as no grant, capacity or phase
+    /// changed: a transfer at constant rate completes at the same
+    /// absolute instant no matter when it is predicted, so the per-event
+    /// rescan of all pending applications is skipped until
+    /// `predicted_dirty` says otherwise.
     predicted: Vec<(usize, Time)>,
+    /// Set by every mutation that can move a predicted completion: a
+    /// pending-set change, an instance completion, or an allocation that
+    /// installed a different rate for any application.
+    predicted_dirty: bool,
     /// Reused policy-snapshot arena.
     snapshot: StateBuffer,
     trace: Option<BandwidthTrace>,
@@ -313,6 +328,7 @@ impl<'a> Simulation<'a> {
             releases,
             compute: BinaryHeap::with_capacity(n),
             predicted: Vec::with_capacity(n),
+            predicted_dirty: true,
             snapshot: StateBuffer::new(),
             trace: config.record_trace.then(BandwidthTrace::default),
             seg_start: Time::ZERO,
@@ -400,17 +416,25 @@ impl<'a> Simulation<'a> {
         if let Some(ev) = self.compute.peek() {
             t_next = t_next.min(ev.at);
         }
-        // Predicted I/O completions (to zero residues exactly).
-        self.predicted.clear();
-        for &i in &self.pending {
-            let rt = &self.rts[i];
-            if let Phase::Io { remaining, .. } = rt.phase {
-                if rt.effective_rate.get() > 0.0 {
-                    let done = self.now + remaining / rt.effective_rate;
-                    self.predicted.push((i, done));
-                    t_next = t_next.min(done);
+        // Predicted I/O completions (to zero residues exactly). The
+        // absolute completion instants only move when a rate, the
+        // pending set or a phase changed, so the scan is skipped while
+        // the cached predictions are still valid.
+        if self.predicted_dirty {
+            self.predicted.clear();
+            for &i in &self.pending {
+                let rt = &self.rts[i];
+                if let Phase::Io { remaining, .. } = rt.phase {
+                    if rt.effective_rate.get() > 0.0 {
+                        let done = self.now + remaining / rt.effective_rate;
+                        self.predicted.push((i, done));
+                    }
                 }
             }
+            self.predicted_dirty = false;
+        }
+        for &(_, done) in &self.predicted {
+            t_next = t_next.min(done);
         }
         if let Some(b) = &self.bb {
             let inflow = self.total_inflow();
@@ -518,12 +542,14 @@ impl<'a> Simulation<'a> {
     fn pending_insert(&mut self, i: usize) {
         if let Err(pos) = self.pending.binary_search(&i) {
             self.pending.insert(pos, i);
+            self.predicted_dirty = true;
         }
     }
 
     fn pending_remove(&mut self, i: usize) {
         if let Ok(pos) = self.pending.binary_search(&i) {
             self.pending.remove(pos);
+            self.predicted_dirty = true;
         }
     }
 
@@ -596,13 +622,16 @@ impl<'a> Simulation<'a> {
     /// volume), finish the application, or hand it to the compute heap.
     fn settle_app(&mut self, i: usize) {
         loop {
-            let rt = &mut self.rts[i];
-            let Phase::Io { remaining, .. } = rt.phase else {
+            let Phase::Io { remaining, .. } = self.rts[i].phase else {
                 return;
             };
             if !remaining.is_zero() {
                 return;
             }
+            // The completion invalidates this application's predicted
+            // entry even when it stays pending (zero-work chaining).
+            self.predicted_dirty = true;
+            let rt = &mut self.rts[i];
             rt.progress.complete_instance();
             rt.last_io_end = self.now;
             rt.rate = Bw::ZERO;
@@ -645,10 +674,6 @@ impl<'a> Simulation<'a> {
             Some(b) => b.ingest_capacity(self.platform.total_bw),
             None => self.platform.total_bw * load_factor,
         };
-        for &i in &self.pending {
-            self.rts[i].rate = Bw::ZERO;
-            self.rts[i].effective_rate = Bw::ZERO;
-        }
         if self.pending.is_empty() {
             // Nothing is ingesting, but a burst buffer may still be
             // draining the interleaved data of earlier writers — that
@@ -714,7 +739,9 @@ impl<'a> Simulation<'a> {
         // Both `pending` and `alloc.grants` are in `AppId` order (the
         // StateBuffer contract and the Allocation invariant), so one merge
         // walk applies the grants in O(pending + grants) instead of a
-        // binary search per application.
+        // binary search per application. Every pending application is
+        // visited (non-granted ones install zero), so the walk doubles as
+        // the change detector for the predicted-completion cache.
         let mut gi = 0;
         for &i in &self.pending {
             let id = self.rts[i].spec.id();
@@ -725,8 +752,12 @@ impl<'a> Simulation<'a> {
                 Some(&(gid, bw)) if gid == id => bw,
                 _ => Bw::ZERO,
             };
+            let effective = granted * ingest_factor;
+            if self.rts[i].effective_rate.get().to_bits() != effective.get().to_bits() {
+                self.predicted_dirty = true;
+            }
             self.rts[i].rate = granted;
-            self.rts[i].effective_rate = granted * ingest_factor;
+            self.rts[i].effective_rate = effective;
         }
         self.drain_bw = match &mut self.bb {
             Some(b) => {

@@ -48,5 +48,5 @@ pub use engine::{simulate, SimConfig, Simulation, StepStatus};
 pub use error::SimError;
 pub use external_load::ExternalLoad;
 pub use outcome::SimOutcome;
-pub use periodic_exec::{unroll_report, TimetablePolicy};
+pub use periodic_exec::{replay_apps, unroll_report, TimetablePolicy};
 pub use trace::{BandwidthTrace, TraceSegment};

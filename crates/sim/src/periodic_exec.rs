@@ -6,15 +6,24 @@
 //!    (§3.2 footnote 1): the steady state is `ρ̃ = n_per·w/T` and the
 //!    finite-horizon value converges to it as `n → ∞`;
 //! 2. [`TimetablePolicy`] — replays the schedule *inside the fluid
-//!    simulator* as an [`OnlinePolicy`]: at any instant each application
-//!    is granted exactly the bandwidth its reservation window prescribes,
-//!    and the policy wakes the engine at every window boundary. Running
-//!    applications shaped like the plans through the engine under this
-//!    policy must reproduce the analytic numbers exactly — tested below.
+//!    simulator* as an [`iosched_core::policy::OnlinePolicy`]: at any
+//!    instant each application is granted exactly the bandwidth its
+//!    reservation window prescribes, and the policy wakes the engine at
+//!    every window boundary. Running applications shaped like the plans
+//!    through the engine under this policy must reproduce the analytic
+//!    numbers exactly — tested below.
+//!
+//! The policy itself lives in [`iosched_core::periodic`] (re-exported
+//! here), where the scenario-aware registry
+//! ([`iosched_core::registry::PolicyFactory`]) builds it for any
+//! campaign; this module keeps the analytic unroller and the
+//! engine-level cross-validation that only the simulator crate can
+//! perform.
+
+pub use iosched_core::periodic::TimetablePolicy;
 
 use iosched_core::periodic::PeriodicSchedule;
-use iosched_core::policy::{Allocation, OnlinePolicy, SchedContext};
-use iosched_model::{AppOutcome, Bw, ObjectiveReport, Platform, Time};
+use iosched_model::{AppOutcome, ObjectiveReport, Platform, Time};
 
 /// Execute `schedule` for `periods` regular periods (all applications
 /// released at t = 0) and report the exact objectives at each
@@ -77,100 +86,28 @@ pub fn unroll_report(
     ObjectiveReport::from_outcomes(per_app)
 }
 
-/// Replay a [`PeriodicSchedule`] inside the fluid simulator.
-///
-/// The timetable repeats forever: at simulation time `t`, application `k`
-/// receives its planned bandwidth iff `t mod T` falls inside one of its
-/// reservation windows (and it actually has an outstanding transfer). The
-/// policy wakes the engine at every window boundary via
-/// [`OnlinePolicy::next_wakeup`], so grants change exactly when the
-/// timetable says they should.
-#[derive(Debug, Clone)]
-pub struct TimetablePolicy {
-    schedule: PeriodicSchedule,
-    /// Sorted window boundaries within `[0, T)`.
-    boundaries: Vec<Time>,
-}
-
-impl TimetablePolicy {
-    /// Wrap a schedule for execution.
-    ///
-    /// # Panics
-    /// Panics on a schedule with a non-positive period.
-    #[must_use]
-    pub fn new(schedule: PeriodicSchedule) -> Self {
-        assert!(schedule.period.get() > 0.0, "period must be positive");
-        let mut boundaries: Vec<Time> = schedule
-            .plans
-            .iter()
-            .flat_map(|p| p.instances.iter().flat_map(|i| [i.io_start, i.io_end]))
-            .collect();
-        boundaries.sort_by(|a, b| a.get().total_cmp(&b.get()));
-        boundaries.dedup_by(|a, b| a.approx_eq(*b));
-        Self {
-            schedule,
-            boundaries,
-        }
-    }
-
-    /// Offset of `t` within the repeating period.
-    fn offset(&self, t: Time) -> Time {
-        let period = self.schedule.period.as_secs();
-        Time::secs(t.as_secs().rem_euclid(period))
-    }
-
-    /// Planned bandwidth of application `id` at period offset `offset`.
-    fn planned_bw(&self, id: iosched_model::AppId, offset: Time) -> Bw {
-        self.schedule
-            .plans
-            .iter()
-            .find(|p| p.app == id)
-            .map_or(Bw::ZERO, |plan| {
-                plan.instances
-                    .iter()
-                    .find(|i| offset.approx_ge(i.io_start) && offset.approx_lt(i.io_end))
-                    .map_or(Bw::ZERO, |i| i.io_bw)
-            })
-    }
-}
-
-impl OnlinePolicy for TimetablePolicy {
-    fn name(&self) -> String {
-        "timetable".into()
-    }
-
-    fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
-        // Ordering is irrelevant — allocate is overridden — but must be a
-        // permutation for trait contract purposes.
-        (0..ctx.pending.len()).collect()
-    }
-
-    fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
-        let offset = self.offset(ctx.now);
-        let grants = ctx
-            .pending
-            .iter()
-            .filter_map(|app| {
-                let bw = self.planned_bw(app.id, offset).min(app.max_bw);
-                (bw.get() > 0.0).then_some((app.id, bw))
-            })
-            .collect();
-        Allocation { grants }
-    }
-
-    fn next_wakeup(&self, now: Time) -> Option<Time> {
-        let period = self.schedule.period;
-        let offset = self.offset(now);
-        let base = now - offset;
-        for &b in &self.boundaries {
-            if b.approx_gt(offset) {
-                return Some(base + b);
-            }
-        }
-        // Wrap to the first boundary of the next period (or its start).
-        let first = self.boundaries.first().copied().unwrap_or(Time::ZERO);
-        Some(base + period + first)
-    }
+/// Applications shaped exactly like `schedule`'s plans, each running
+/// `n_per · periods` instances from `t = 0` — the workload whose
+/// execution under [`TimetablePolicy`] reproduces
+/// [`unroll_report`]`(schedule, _, periods)`. Plans with `n_per = 0` are
+/// skipped (they would never be granted bandwidth).
+#[must_use]
+pub fn replay_apps(schedule: &PeriodicSchedule, periods: usize) -> Vec<iosched_model::AppSpec> {
+    schedule
+        .plans
+        .iter()
+        .filter(|plan| plan.n_per() > 0)
+        .map(|plan| {
+            iosched_model::AppSpec::periodic(
+                plan.app.0,
+                Time::ZERO,
+                plan.procs,
+                plan.work,
+                plan.vol,
+                plan.n_per() * periods,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,7 +115,7 @@ mod tests {
     use super::*;
     use crate::{simulate, SimConfig};
     use iosched_core::periodic::{build_schedule, InsertionHeuristic, PeriodicAppSpec};
-    use iosched_model::{AppSpec, Bytes};
+    use iosched_model::{Bw, Bytes};
 
     fn platform() -> Platform {
         Platform::new("t", 1_000, Bw::gib_per_sec(0.1), Bw::gib_per_sec(10.0))
@@ -225,6 +162,9 @@ mod tests {
         });
         let r = unroll_report(&s, &p, 10);
         assert!(r.dilation.is_infinite());
+        // …and the replay workload skips the starved plan.
+        let apps = replay_apps(&s, 3);
+        assert_eq!(apps.len(), 2);
     }
 
     #[test]
@@ -233,49 +173,6 @@ mod tests {
         let p = platform();
         let s = schedule();
         let _ = unroll_report(&s, &p, 0);
-    }
-
-    #[test]
-    fn timetable_policy_grants_follow_the_plan() {
-        let s = schedule();
-        let mut policy = TimetablePolicy::new(s.clone());
-        // Probe the middle of the first app's first I/O window.
-        let plan = &s.plans[0];
-        let inst = &plan.instances[0];
-        let mid = (inst.io_start + inst.io_end) / 2.0;
-        let pending = [iosched_core::policy::test_support::app(plan.app.0, 100.0)];
-        let ctx = SchedContext {
-            now: mid,
-            total_bw: Bw::gib_per_sec(10.0),
-            pending: &pending,
-        };
-        let alloc = policy.allocate(&ctx);
-        assert!(alloc.granted(plan.app).approx_eq(inst.io_bw));
-        // And mid-compute (before the window) it grants nothing.
-        let ctx2 = SchedContext {
-            now: inst.io_start - Time::secs(0.5),
-            ..ctx
-        };
-        assert!(policy.allocate(&ctx2).granted(plan.app).is_zero());
-    }
-
-    #[test]
-    fn timetable_wakeups_hit_every_boundary() {
-        let s = schedule();
-        let policy = TimetablePolicy::new(s.clone());
-        let first = policy.next_wakeup(Time::ZERO).unwrap();
-        assert!(first.approx_gt(Time::ZERO));
-        // Wakeups advance strictly and wrap to the next period.
-        let mut t = Time::ZERO;
-        let mut steps = 0;
-        while t.approx_lt(s.period * 2.0) {
-            let next = policy.next_wakeup(t).unwrap();
-            assert!(next.approx_gt(t), "wakeup {next} not after {t}");
-            t = next;
-            steps += 1;
-            assert!(steps < 1_000, "wakeups must make progress");
-        }
-        assert!(steps >= 4, "two periods should contain several boundaries");
     }
 
     /// The cross-validation at the heart of this module: running
@@ -287,20 +184,7 @@ mod tests {
         let p = platform();
         let s = schedule();
         let periods = 5;
-        let apps: Vec<AppSpec> = s
-            .plans
-            .iter()
-            .map(|plan| {
-                AppSpec::periodic(
-                    plan.app.0,
-                    Time::ZERO,
-                    plan.procs,
-                    plan.work,
-                    plan.vol,
-                    plan.n_per() * periods,
-                )
-            })
-            .collect();
+        let apps = replay_apps(&s, periods);
         let mut policy = TimetablePolicy::new(s.clone());
         let out = simulate(&p, &apps, &mut policy, &SimConfig::default()).unwrap();
         let expected = unroll_report(&s, &p, periods);

@@ -4,22 +4,36 @@
 //! cargo run --release --example export_campaigns
 //! ```
 //!
-//! `examples/campaign_fig6.json` is exactly
-//! `iosched_bench::experiments::fig06::campaign(200)` — the paper's
-//! Fig. 6 sweep (3 mixes × 8 policies × 200 seeds) as one declarative
-//! file for `iosched campaign`. An integration test pins the file to the
-//! in-code campaign, so edit the code and rerun this, not the JSON.
+//! * `examples/campaign_fig6.json` is exactly
+//!   `iosched_bench::experiments::fig06::campaign(200)` — the paper's
+//!   Fig. 6 sweep (3 mixes × 8 policies × 200 seeds).
+//! * `examples/campaign_fig4.json` is exactly
+//!   `iosched_bench::experiments::fig04::campaign(REPLAY_PERIODS)` — the
+//!   Fig. 4 periodic schedule as an *offline-policy* campaign: the
+//!   `periodic:cong:eps=0.02:tmax=1.5` registry factory searched and
+//!   replayed over the paper's four applications.
+//!
+//! Integration tests pin each file to its in-code campaign, so edit the
+//! code and rerun this, not the JSON.
 
-use iosched_bench::experiments::fig06;
+use iosched_bench::campaign::CampaignSpec;
+use iosched_bench::experiments::{fig04, fig06};
 
-fn main() {
-    let spec = fig06::campaign(200);
-    let json = spec.to_json().expect("fig06 campaign serializes");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/campaign_fig6.json");
+fn write(spec: &CampaignSpec, path: &str) {
+    let json = spec.to_json().expect("campaign serializes");
     std::fs::write(path, json + "\n").expect("examples/ is writable");
     println!(
         "wrote {path}: {} runs in {} cells",
         spec.total_runs(),
         spec.cell_count()
+    );
+}
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples");
+    write(&fig06::campaign(200), &format!("{dir}/campaign_fig6.json"));
+    write(
+        &fig04::campaign(fig04::REPLAY_PERIODS),
+        &format!("{dir}/campaign_fig4.json"),
     );
 }

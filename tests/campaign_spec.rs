@@ -1,16 +1,30 @@
-//! The campaign layer's contract with the checked-in example spec:
-//! `examples/campaign_fig6.json` *is* the ported Fig. 6 experiment, and
-//! running a (seed-truncated) version of it through the generic campaign
-//! runner produces bit-identical per-cell summaries to the `fig06`
-//! experiment module — the same code path `iosched campaign` drives.
+//! The campaign layer's contract with the checked-in example specs:
+//! `examples/campaign_fig6.json` *is* the ported Fig. 6 experiment and
+//! `examples/campaign_fig4.json` *is* the ported Fig. 4 periodic
+//! experiment; running them through the generic campaign runner produces
+//! bit-identical numbers to the experiment modules — and, for the
+//! offline `periodic:*` policies, to the pre-registry hand-rolled
+//! pipeline (explicit `PeriodSearch` + `TimetablePolicy` + `simulate`) —
+//! on the same code path `iosched campaign` drives.
 
+use hpc_io_sched::core::periodic::{
+    InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective, TimetablePolicy,
+};
+use hpc_io_sched::model::Platform;
+use hpc_io_sched::sim::{replay_apps, simulate, SimConfig};
+use hpc_io_sched::workload::congestion::congested_moment;
 use iosched_bench::campaign::{run_campaign, CampaignSpec};
-use iosched_bench::experiments::fig06;
+use iosched_bench::experiments::{ablations, fig04, fig06};
 use iosched_bench::runner::ScenarioRunner;
 
 fn example_json() -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/campaign_fig6.json");
     std::fs::read_to_string(path).expect("examples/campaign_fig6.json is checked in")
+}
+
+fn fig4_example_json() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/campaign_fig4.json");
+    std::fs::read_to_string(path).expect("examples/campaign_fig4.json is checked in")
 }
 
 #[test]
@@ -65,4 +79,150 @@ fn campaign_file_and_fig06_port_agree_bit_for_bit() {
             cell.policy
         );
     }
+}
+
+#[test]
+fn fig4_example_file_is_exactly_the_fig04_campaign() {
+    let parsed = CampaignSpec::from_json(&fig4_example_json()).expect("example parses");
+    let reference = fig04::campaign(fig04::REPLAY_PERIODS);
+    assert_eq!(
+        parsed, reference,
+        "examples/campaign_fig4.json drifted; \
+        regenerate with `cargo run --release --example export_campaigns`"
+    );
+    // One offline policy over the paper's four applications.
+    assert_eq!(parsed.policies.len(), 1);
+    assert!(parsed.policies[0].is_offline());
+    assert_eq!(parsed.policies[0].name(), "periodic:cong:eps=0.02:tmax=1.5");
+    assert_eq!(parsed.total_runs(), 1);
+}
+
+/// The registry refactor must not move a single bit: the ported Fig. 4
+/// campaign (the path `iosched campaign examples/campaign_fig4.json`
+/// runs) reproduces the pre-refactor hand-rolled periodic pipeline —
+/// explicit `(1+ε)` period search, explicit `TimetablePolicy`, explicit
+/// `simulate` — exactly.
+#[test]
+fn fig04_campaign_matches_the_hand_rolled_pipeline_bit_for_bit() {
+    // Hand-rolled (pre-registry) pipeline.
+    let platform = fig04::paper_platform();
+    let search = PeriodSearch::new(PeriodicObjective::Dilation)
+        .with_epsilon(0.02)
+        .with_max_factor(1.5);
+    let result = search
+        .run(
+            &platform,
+            &fig04::paper_apps(),
+            InsertionHeuristic::Congestion,
+        )
+        .expect("non-empty application set");
+    result.schedule.validate(&platform).unwrap();
+    let apps = replay_apps(&result.schedule, fig04::REPLAY_PERIODS);
+    let mut policy = TimetablePolicy::new(result.schedule.clone());
+    let direct = simulate(&platform, &apps, &mut policy, &SimConfig::default()).unwrap();
+
+    // Campaign path, from the checked-in file.
+    let spec = CampaignSpec::from_json(&fig4_example_json()).expect("example parses");
+    let campaign = run_campaign(&spec, &ScenarioRunner::new()).expect("campaign runs");
+    assert_eq!(campaign.cells.len(), 1);
+    let cell = &campaign.cells[0];
+    assert_eq!(cell.runs, 1);
+    assert_eq!(
+        cell.sys_efficiency.mean.to_bits(),
+        direct.report.sys_efficiency.to_bits(),
+        "SysEfficiency diverged: campaign {} vs hand-rolled {}",
+        cell.sys_efficiency.mean,
+        direct.report.sys_efficiency
+    );
+    assert_eq!(
+        cell.dilation.mean.to_bits(),
+        direct.report.dilation.to_bits(),
+        "Dilation diverged: campaign {} vs hand-rolled {}",
+        cell.dilation.mean,
+        direct.report.dilation
+    );
+    assert_eq!(
+        cell.makespan_secs.mean.to_bits(),
+        direct.report.makespan().as_secs().to_bits()
+    );
+    assert_eq!(
+        cell.upper_limit.mean.to_bits(),
+        direct.report.upper_limit.to_bits()
+    );
+}
+
+/// Same pin for the ported ε ablation: each `periodic:cong:eps=<ε>` cell
+/// equals the hand-rolled search + timetable replay on the same
+/// congested moment.
+#[test]
+fn epsilon_ablation_campaign_matches_the_hand_rolled_sweep_bit_for_bit() {
+    let epsilons = [0.5, 0.1];
+    let spec = ablations::epsilon_campaign(&epsilons);
+    let campaign = run_campaign(&spec, &ScenarioRunner::new()).expect("campaign runs");
+    assert_eq!(campaign.cells.len(), epsilons.len());
+
+    let platform = Platform::intrepid();
+    let apps = congested_moment(&platform, ablations::EPSILON_CASE_SEED);
+    let periodic_specs: Vec<PeriodicAppSpec> = apps
+        .iter()
+        .map(|a| PeriodicAppSpec::from_app(a).expect("generator emits periodic apps"))
+        .collect();
+    for (cell, &epsilon) in campaign.cells.iter().zip(&epsilons) {
+        let result = PeriodSearch::new(PeriodicObjective::Dilation)
+            .with_epsilon(epsilon)
+            .run(&platform, &periodic_specs, InsertionHeuristic::Congestion)
+            .expect("non-empty application set");
+        let mut policy = TimetablePolicy::new(result.schedule);
+        let direct = simulate(&platform, &apps, &mut policy, &SimConfig::default()).unwrap();
+        assert_eq!(
+            cell.dilation.mean.to_bits(),
+            direct.report.dilation.to_bits(),
+            "eps {epsilon}: campaign dilation {} vs hand-rolled {}",
+            cell.dilation.mean,
+            direct.report.dilation
+        );
+        assert_eq!(
+            cell.sys_efficiency.mean.to_bits(),
+            direct.report.sys_efficiency.to_bits(),
+            "eps {epsilon}: campaign SysEfficiency diverged"
+        );
+    }
+}
+
+/// The acceptance scenario for the scenario-aware registry: one campaign
+/// JSON sweeping `minmax-0.5`-style online heuristics head-to-head with
+/// `periodic:*` offline schedules — the §7-outlook comparison of *Periodic
+/// I/O scheduling for super-computers* — through the same runner
+/// `iosched campaign` uses.
+#[test]
+fn one_campaign_sweeps_online_and_offline_policies_head_to_head() {
+    let spec = CampaignSpec::from_json(
+        r#"{
+            "name": "online-vs-periodic",
+            "platforms": ["vesta"],
+            "workloads": [{"Congestion": {"seed": 0}}],
+            "policies": ["minmax-0.5", "priority-maxsyseff", "fairshare", "periodic:cong"],
+            "seeds": [1, 3],
+            "config": null,
+            "threads": 2
+        }"#,
+    )
+    .expect("mixed campaign parses");
+    assert_eq!(spec.policies.iter().filter(|p| p.is_offline()).count(), 1);
+    let result = run_campaign(&spec, &ScenarioRunner::with_threads(2)).expect("campaign runs");
+    assert_eq!(result.cells.len(), 4);
+    assert_eq!(result.total_runs, 8);
+    let periodic = result
+        .cell("congestion", "periodic:cong")
+        .expect("offline cell present");
+    assert_eq!(periodic.runs, 2);
+    assert!(periodic.sys_efficiency.mean > 0.0);
+    assert!(periodic.dilation.mean >= 1.0);
+    // Cells are keyed by the canonical serde name ("minmax-0.50").
+    let online = result
+        .cell("congestion", "minmax-0.50")
+        .expect("online cell present");
+    assert!(online.sys_efficiency.mean > 0.0);
+    // Both families aggregated identically: every cell saw both seeds.
+    assert!(result.cells.iter().all(|c| c.runs == 2));
 }

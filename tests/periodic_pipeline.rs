@@ -1,14 +1,17 @@
 //! Cross-crate checks of the §3.2 periodic machinery: schedules built by
 //! the insertion heuristics stay valid on random inputs, steady state
-//! agrees with the unrolled finite-horizon execution, and the Theorem 1
-//! reduction round-trips through the scheduler types.
+//! agrees with the unrolled finite-horizon execution, the fluid engine
+//! replaying a timetable agrees with the analytic unrolling, and the
+//! Theorem 1 reduction round-trips through the scheduler types.
 
 use iosched_core::periodic::{
     build_schedule, InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
+    TimetablePolicy,
 };
 use iosched_core::three_partition::ThreePartition;
 use iosched_model::{Bw, Bytes, Platform, Time};
-use iosched_sim::periodic_exec::unroll_report;
+use iosched_sim::periodic_exec::{replay_apps, unroll_report};
+use iosched_sim::{simulate, SimConfig};
 use iosched_workload::congestion::congested_moment;
 use proptest::prelude::*;
 
@@ -67,6 +70,57 @@ proptest! {
         prop_assert!(
             (long.sys_efficiency - steady.sys_efficiency).abs() < 5e-3,
             "unrolled {} vs steady {}", long.sys_efficiency, steady.sys_efficiency
+        );
+    }
+
+    /// Registry cross-validation on *randomized* schedules (extends the
+    /// fixed-case tests in `sim::periodic_exec`): replaying a timetable
+    /// through the fluid engine reproduces `unroll_report`'s analytic
+    /// per-application completion times and objectives — the invariant
+    /// that lets `periodic:*` campaign cells stand in for the §3.2
+    /// analytic machinery.
+    #[test]
+    fn engine_replay_matches_analytic_unrolling(
+        apps in arb_periodic_apps(),
+        period_factor in 1.0f64..4.0,
+        congestion_insertion in any::<bool>(),
+    ) {
+        let heuristic = if congestion_insertion {
+            InsertionHeuristic::Congestion
+        } else {
+            InsertionHeuristic::Throughput
+        };
+        let platform = Platform::new("prop", 4_000, Bw::gib_per_sec(0.05),
+                                     Bw::gib_per_sec(10.0));
+        let t0: Time = apps.iter().map(|a| a.span(&platform)).fold(Time::ZERO, Time::max);
+        let schedule = build_schedule(&platform, &apps, t0 * period_factor, heuristic);
+        // Replay is only defined when everyone is scheduled (a starved
+        // application would never be granted bandwidth — the registry
+        // rejects such schedules at build time).
+        if schedule.plans.iter().any(|p| p.n_per() == 0) {
+            return Ok(());
+        }
+        let periods = 3;
+        let replay = replay_apps(&schedule, periods);
+        let mut policy = TimetablePolicy::new(schedule.clone());
+        let out = simulate(&platform, &replay, &mut policy, &SimConfig::default())
+            .map_err(|e| TestCaseError::fail(format!("replay failed: {e}")))?;
+        let expected = unroll_report(&schedule, &platform, periods);
+        for (got, want) in out.report.per_app.iter().zip(expected.per_app.iter()) {
+            prop_assert_eq!(got.id, want.id);
+            prop_assert!(
+                got.finish.approx_eq(want.finish),
+                "{}: finish {} vs analytic {}", got.id, got.finish, want.finish
+            );
+            prop_assert!(
+                (got.rho_tilde - want.rho_tilde).abs() < 1e-6,
+                "{}: rho_tilde {} vs analytic {}", got.id, got.rho_tilde, want.rho_tilde
+            );
+        }
+        prop_assert!((out.report.sys_efficiency - expected.sys_efficiency).abs() < 1e-6);
+        prop_assert!(
+            expected.dilation.is_infinite()
+                || (out.report.dilation - expected.dilation).abs() < 1e-6
         );
     }
 }

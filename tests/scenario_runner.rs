@@ -112,7 +112,10 @@ fn parallel_runner_matches_direct_sequential_simulate() {
     assert_eq!(parallel.len(), scenarios.len());
     for (scenario, result) in scenarios.iter().zip(&parallel) {
         // The reference: a direct, sequential engine invocation.
-        let mut policy = scenario.policy.build();
+        let mut policy = scenario
+            .policy
+            .build(&scenario.platform, &scenario.apps)
+            .expect("batch policies build");
         let direct = simulate(
             &scenario.platform,
             &scenario.apps,
