@@ -30,6 +30,7 @@ fn bench_policies(c: &mut Criterion) {
             now: Time::secs(1_000.0),
             total_bw: Bw::gib_per_sec(64.0),
             pending: &apps,
+            signal: None,
         };
         for kind in PolicyKind::fig6_roster() {
             let mut policy = kind.build();

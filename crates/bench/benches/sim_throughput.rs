@@ -67,6 +67,24 @@ fn bench_sim(c: &mut Criterion) {
             black_box(out.events)
         });
     });
+    // Closed-loop control: every event reads the telemetry signal,
+    // advances the PI loop and the token buckets — the upper bound on
+    // the tap's per-event cost (the open-loop cases above measure the
+    // always-on tap itself, which must stay within noise).
+    group.bench_function(BenchmarkId::new("control", apps.len()), |b| {
+        use iosched_core::control::ControlPolicy;
+        b.iter(|| {
+            let mut policy = ControlPolicy::pi_default();
+            let out = simulate(
+                &platform,
+                black_box(&apps),
+                &mut policy,
+                &SimConfig::default(),
+            )
+            .unwrap();
+            black_box(out.events)
+        });
+    });
     // Offline timetable replay: the wakeup-driven event pattern whose
     // confirm-the-running-allocation events exercise the engine's
     // predicted-completion cache.

@@ -334,6 +334,10 @@ pub struct CellSummary {
     pub upper_limit: Summary,
     /// Makespan in seconds over the seeds.
     pub makespan_secs: Summary,
+    /// Time-weighted mean delivered utilization per run, over the seeds
+    /// (present iff the campaign's [`SimConfig::telemetry`] flag asked
+    /// every run for a telemetry summary).
+    pub utilization: Option<Summary>,
 }
 
 /// Output of [`run_campaign`]: one summary per cell, in cell order.
@@ -366,6 +370,7 @@ struct CellBuffer {
     dils: Vec<f64>,
     uppers: Vec<f64>,
     spans: Vec<f64>,
+    utils: Vec<f64>,
 }
 
 impl CellBuffer {
@@ -374,6 +379,9 @@ impl CellBuffer {
         self.dils.push(outcome.report.dilation);
         self.uppers.push(outcome.report.upper_limit);
         self.spans.push(outcome.report.makespan().as_secs());
+        if let Some(telemetry) = &outcome.telemetry {
+            self.utils.push(telemetry.mean_utilization);
+        }
     }
 
     fn summarize(&mut self, labels: &(String, String, String)) -> CellSummary {
@@ -386,11 +394,17 @@ impl CellBuffer {
             dilation: Summary::from_slice(&self.dils).expect("non-empty cell"),
             upper_limit: Summary::from_slice(&self.uppers).expect("non-empty cell"),
             makespan_secs: Summary::from_slice(&self.spans).expect("non-empty cell"),
+            // All-or-nothing: the telemetry flag is campaign-wide, so a
+            // partially-populated buffer would mean runs disagreed.
+            utilization: (self.utils.len() == self.effs.len())
+                .then(|| Summary::from_slice(&self.utils))
+                .flatten(),
         };
         self.effs.clear();
         self.dils.clear();
         self.uppers.clear();
         self.spans.clear();
+        self.utils.clear();
         summary
     }
 }

@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see DESIGN.md §4 for the index).
 
 pub mod ablations;
+pub mod control;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

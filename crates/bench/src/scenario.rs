@@ -24,7 +24,7 @@
 use iosched_model::{AppSpec, Platform};
 use iosched_sim::{simulate, SimConfig, SimError, SimOutcome};
 
-pub use iosched_core::registry::{PeriodicFactory, PolicyFactory as PolicySpec};
+pub use iosched_core::registry::{ControlFactory, PeriodicFactory, PolicyFactory as PolicySpec};
 
 /// One unit of batch work: a platform, its applications, the policy to
 /// drive them and the engine configuration.
@@ -99,6 +99,8 @@ mod tests {
             "periodic:cong",
             "periodic:throu",
             "periodic:cong:eps=0.02:tmax=1.5",
+            "control:pi",
+            "control:pi:kp=1:set=0.85",
         ] {
             assert!(
                 PolicySpec::parse(name).is_ok(),
@@ -110,6 +112,8 @@ mod tests {
         assert!(PolicySpec::parse("priority-fairshare").is_err());
         assert!(PolicySpec::parse("priority-fcfs").is_err());
         assert!(PolicySpec::parse("periodic:best").is_err());
+        assert!(PolicySpec::parse("control:pd").is_err());
+        assert!(PolicySpec::parse("control:pi:set=2.0").is_err());
     }
 
     #[test]
@@ -127,7 +131,10 @@ mod tests {
                 .with_epsilon(0.02)
                 .with_max_factor(1.5),
         ));
-        assert!(roster.len() >= 19);
+        roster.push(PolicySpec::Control(
+            ControlFactory::default().with_kp(1.0).with_setpoint(0.85),
+        ));
+        assert!(roster.len() >= 20);
         for spec in roster {
             // parse ↔ name.
             let name = spec.name();
@@ -188,6 +195,7 @@ mod tests {
             .collect();
         assert!(complete.contains(&"periodic:cong".to_string()));
         assert!(complete.contains(&"periodic:throu".to_string()));
+        assert!(complete.contains(&"control:pi".to_string()));
     }
 
     #[test]

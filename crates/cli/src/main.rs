@@ -3,7 +3,7 @@
 use iosched_bench::campaign::CampaignSpec;
 use iosched_cli::{
     cmd_campaign, cmd_generate, cmd_periodic, cmd_platforms, cmd_policies, cmd_simulate,
-    GenerateKind, ScenarioFile, USAGE,
+    cmd_telemetry, GenerateKind, ScenarioFile, USAGE,
 };
 use std::process::ExitCode;
 
@@ -68,6 +68,26 @@ fn run(args: &[String]) -> Result<String, String> {
             let policy = flag_value(args, "--policy").ok_or("simulate needs --policy")?;
             cmd_simulate(&scenario, &policy, has_flag(args, "--burst-buffer"))
         }
+        Some("telemetry") => {
+            let path = args.get(1).ok_or("telemetry needs a scenario file")?;
+            if path.starts_with("--") {
+                return Err("telemetry needs a scenario file as its first argument".into());
+            }
+            let scenario = load(path)?;
+            let policy = flag_value(args, "--policy").ok_or("telemetry needs --policy")?;
+            let load_spec = flag_value(args, "--external-load")
+                .map(|s| parse_external_load(&s))
+                .transpose()?;
+            let (report, json) = cmd_telemetry(&scenario, &policy, load_spec)?;
+            match flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+                Some(out_path) => {
+                    std::fs::write(&out_path, json + "\n")
+                        .map_err(|e| format!("{out_path}: {e}"))?;
+                    Ok(format!("{report}\nwrote telemetry summary to {out_path}\n"))
+                }
+                None => Ok(report),
+            }
+        }
         Some("periodic") => {
             let path = args.get(1).ok_or("periodic needs a scenario file")?;
             if path.starts_with("--") {
@@ -104,4 +124,27 @@ fn run(args: &[String]) -> Result<String, String> {
 fn load(path: &str) -> Result<ScenarioFile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     ScenarioFile::from_json(&text)
+}
+
+/// Parse a `--external-load PERIOD,BUSY,FRACTION` triple (seconds,
+/// seconds, fraction of B) into the §7 square wave.
+fn parse_external_load(s: &str) -> Result<iosched_sim::ExternalLoad, String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    let [period, busy, fraction] = parts.as_slice() else {
+        return Err(format!(
+            "bad external load '{s}' (expected PERIOD,BUSY,FRACTION, e.g. 240,90,0.7)"
+        ));
+    };
+    let num = |v: &str| -> Result<f64, String> {
+        v.trim()
+            .parse::<f64>()
+            .map_err(|_| format!("bad external load component '{v}'"))
+    };
+    let load = iosched_sim::ExternalLoad {
+        period: iosched_model::Time::secs(num(period)?),
+        busy: iosched_model::Time::secs(num(busy)?),
+        fraction: num(fraction)?,
+    };
+    load.validate().map_err(|e| e.to_string())?;
+    Ok(load)
 }

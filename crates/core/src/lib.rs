@@ -26,11 +26,18 @@
 //!   (`build(&Platform, &[AppSpec])`) so policies that precompute
 //!   per-workload state — a periodic timetable — are first-class roster
 //!   members;
+//! * the **adaptive control family** ([`control`]): a PI feedback loop
+//!   over the congestion telemetry a driving engine hands to policies
+//!   through [`policy::SchedContext::signal`] — utilization-setpoint
+//!   tracking, token-bucket per-application throttles, registered in the
+//!   roster under the `control:pi[:kp=..][:ki=..][:set=..][:win=..]`
+//!   grammar;
 //! * the **NP-completeness machinery** of Theorem 1: an executable
 //!   3-Partition reduction with a brute-force reference solver
 //!   ([`three_partition`]).
 
 pub mod baselines;
+pub mod control;
 pub mod heuristics;
 pub mod periodic;
 pub mod policy;
@@ -38,8 +45,9 @@ pub mod registry;
 pub mod three_partition;
 
 pub use baselines::{FairShare, Fcfs};
+pub use control::{CongestionSignal, ControlPolicy, PiController, TokenBucket};
 pub use heuristics::{
     standard_policies, BasePolicy, MaxSysEff, MinDilation, MinMax, PolicyKind, Priority, RoundRobin,
 };
 pub use policy::{Allocation, AppState, OnlinePolicy, SchedContext};
-pub use registry::{PeriodicFactory, PolicyFactory};
+pub use registry::{ControlFactory, PeriodicFactory, PolicyFactory};

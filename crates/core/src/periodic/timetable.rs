@@ -101,7 +101,7 @@ impl OnlinePolicy for TimetablePolicy {
 
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
         let offset = self.offset(ctx.now);
-        let grants = ctx
+        let mut grants: Vec<(AppId, Bw)> = ctx
             .pending
             .iter()
             .filter_map(|app| {
@@ -109,6 +109,21 @@ impl OnlinePolicy for TimetablePolicy {
                 (bw.get() > 0.0).then_some((app.id, bw))
             })
             .collect();
+        // The plan was built against the full PFS bandwidth; when the
+        // usable capacity is smaller at replay time (an external
+        // communication storm shrinking the shared pipe), the open-loop
+        // timetable is squeezed proportionally — the schedule's *shape*
+        // is preserved while the aggregate respects the §2.1 capacity
+        // rule. With the capacity the schedule was built for this is a
+        // no-op (the plan never overcommits), so pre-storm replays are
+        // bit-identical.
+        let total: Bw = grants.iter().map(|(_, bw)| *bw).sum();
+        if total.approx_gt(ctx.total_bw) && total.get() > 0.0 {
+            let scale = ctx.total_bw.get() / total.get();
+            for (_, bw) in &mut grants {
+                *bw = *bw * scale;
+            }
+        }
         Allocation { grants }
     }
 
@@ -201,6 +216,7 @@ mod tests {
             now: mid,
             total_bw: Bw::gib_per_sec(10.0),
             pending: &pending,
+            signal: None,
         };
         let alloc = policy.allocate(&ctx);
         assert!(alloc.granted(plan.app).approx_eq(inst.io_bw));
@@ -210,6 +226,38 @@ mod tests {
             ..ctx
         };
         assert!(policy.allocate(&ctx2).granted(plan.app).is_zero());
+    }
+
+    #[test]
+    fn shrunk_capacity_squeezes_the_plan_proportionally() {
+        let s = schedule();
+        let mut policy = TimetablePolicy::new(s.clone());
+        let plan = &s.plans[0];
+        let inst = &plan.instances[0];
+        let mid = (inst.io_start + inst.io_end) / 2.0;
+        let mut pending = [crate::policy::test_support::app(plan.app.0, 100.0)];
+        pending[0].max_bw = Bw::gib_per_sec(100.0);
+        // Full capacity: the planned bandwidth, untouched.
+        let ctx = SchedContext {
+            now: mid,
+            total_bw: Bw::gib_per_sec(10.0),
+            pending: &pending,
+            signal: None,
+        };
+        assert!(policy
+            .allocate(&ctx)
+            .granted(plan.app)
+            .approx_eq(inst.io_bw));
+        // A storm halves the pipe below the planned rate: the grant is
+        // squeezed onto the capacity and stays valid.
+        let squeezed_cap = inst.io_bw / 2.0;
+        let ctx = SchedContext {
+            total_bw: squeezed_cap,
+            ..ctx
+        };
+        let alloc = policy.allocate(&ctx);
+        assert!(alloc.granted(plan.app).approx_eq(squeezed_cap));
+        alloc.validate(&ctx).unwrap();
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct SchedContext<'a> {
     pub total_bw: Bw,
     /// Applications that want to perform I/O right now, in `AppId` order.
     pub pending: &'a [AppState],
+    /// Congestion telemetry from the driving engine's tap, when one is
+    /// attached (`None` on the initial allocation or under drivers
+    /// without telemetry). The open-loop roster ignores it; the
+    /// [`crate::control`] family closes its feedback loop on it.
+    pub signal: Option<crate::control::CongestionSignal>,
 }
 
 /// Bandwidth grants decided at one event: application-level bandwidths
@@ -202,10 +207,24 @@ impl StateBuffer {
     /// Borrow the snapshot as the context a policy allocates against.
     #[must_use]
     pub fn context(&self, now: Time, total_bw: Bw) -> SchedContext<'_> {
+        self.context_with_signal(now, total_bw, None)
+    }
+
+    /// Borrow the snapshot as a context carrying a congestion signal
+    /// (drivers with a telemetry tap — the fluid engine — hand the last
+    /// observation to the policy through this).
+    #[must_use]
+    pub fn context_with_signal(
+        &self,
+        now: Time,
+        total_bw: Bw,
+        signal: Option<crate::control::CongestionSignal>,
+    ) -> SchedContext<'_> {
         SchedContext {
             now,
             total_bw,
             pending: &self.states,
+            signal,
         }
     }
 }
@@ -333,6 +352,7 @@ pub mod test_support {
             now: Time::secs(100.0),
             total_bw: Bw::gib_per_sec(total_gib),
             pending,
+            signal: None,
         }
     }
 }

@@ -39,8 +39,21 @@
 //! `Tmax = tmax·T₀`) tune the period search. [`PolicyFactory::name`]
 //! prints only the non-default segments, and every printed name parses
 //! back to the identical factory (f64 display round-trips exactly).
+//!
+//! ## The control grammar
+//!
+//! ```text
+//! control:pi[:kp=K][:ki=I][:set=S][:win=W]
+//! ```
+//!
+//! The closed-loop family ([`crate::control`]): a PI controller with
+//! proportional gain `kp` (default 0.5), integral gain `ki` (default
+//! 0.05 /s), delivered-utilization setpoint `set` (default 0.9, must be
+//! in `(0, 1]`) and sensing window `win` seconds (default 30). The same
+//! elision and exact-roundtrip rules as the periodic grammar apply.
 
 use crate::baselines::{FairShare, Fcfs};
+use crate::control::ControlPolicy;
 use crate::heuristics::{BasePolicy, PolicyKind};
 use crate::periodic::{
     InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective, PeriodicSchedule,
@@ -64,6 +77,174 @@ pub enum PolicyFactory {
     /// A §3.2 periodic schedule, built for the scenario at instantiation
     /// time and replayed as a timetable.
     Periodic(PeriodicFactory),
+    /// The adaptive closed-loop family ([`crate::control`]): a PI
+    /// controller over the engine's congestion telemetry.
+    Control(ControlFactory),
+}
+
+/// The closed-loop branch of the roster: the PI gains, the
+/// delivered-utilization setpoint and the sensing window of a
+/// [`ControlPolicy`].
+///
+/// Grammar: `control:pi[:kp=K][:ki=I][:set=S][:win=W]`, segments in that
+/// canonical order, each elided from [`ControlFactory::name`] when it
+/// equals the default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlFactory {
+    /// Proportional gain (`kp=`, finite, ≥ 0).
+    pub kp: f64,
+    /// Integral gain per second (`ki=`, finite, ≥ 0).
+    pub ki: f64,
+    /// Delivered-utilization setpoint (`set=`, in `(0, 1]`).
+    pub setpoint: f64,
+    /// Sensing window / burst horizon in seconds (`win=`, positive).
+    pub window: f64,
+}
+
+impl Default for ControlFactory {
+    fn default() -> Self {
+        Self {
+            kp: ControlPolicy::DEFAULT_KP,
+            ki: ControlPolicy::DEFAULT_KI,
+            setpoint: ControlPolicy::DEFAULT_SETPOINT,
+            window: ControlPolicy::DEFAULT_WINDOW_SECS,
+        }
+    }
+}
+
+impl ControlFactory {
+    /// Override the proportional gain.
+    #[must_use]
+    pub fn with_kp(mut self, kp: f64) -> Self {
+        self.kp = kp;
+        self
+    }
+
+    /// Override the integral gain.
+    #[must_use]
+    pub fn with_ki(mut self, ki: f64) -> Self {
+        self.ki = ki;
+        self
+    }
+
+    /// Override the utilization setpoint.
+    #[must_use]
+    pub fn with_setpoint(mut self, setpoint: f64) -> Self {
+        self.setpoint = setpoint;
+        self
+    }
+
+    /// Override the sensing window (seconds).
+    #[must_use]
+    pub fn with_window(mut self, window: f64) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Check the knobs against what [`ControlPolicy::new`] accepts, with
+    /// actionable messages (the grammar calls this, so parsing fails on
+    /// the same inputs building would).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.kp.is_finite() && self.kp >= 0.0) {
+            return Err(format!(
+                "control kp {} must be finite and non-negative",
+                self.kp
+            ));
+        }
+        if !(self.ki.is_finite() && self.ki >= 0.0) {
+            return Err(format!(
+                "control ki {} must be finite and non-negative",
+                self.ki
+            ));
+        }
+        if !(self.setpoint.is_finite() && self.setpoint > 0.0 && self.setpoint <= 1.0) {
+            return Err(format!(
+                "control set {} must be a utilization in (0, 1]",
+                self.setpoint
+            ));
+        }
+        if !(self.window.is_finite() && self.window > 0.0) {
+            return Err(format!(
+                "control win {} must be a positive number of seconds",
+                self.window
+            ));
+        }
+        Ok(())
+    }
+
+    /// Instantiate the controller (context-free: the loop learns the
+    /// scenario from the telemetry it observes).
+    #[must_use]
+    pub fn build(&self) -> ControlPolicy {
+        ControlPolicy::new(self.kp, self.ki, self.setpoint, self.window).with_name(self.name())
+    }
+
+    /// The canonical name: non-default segments only, in grammar order.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let defaults = Self::default();
+        let mut name = String::from("control:pi");
+        if self.kp != defaults.kp {
+            name.push_str(&format!(":kp={}", self.kp));
+        }
+        if self.ki != defaults.ki {
+            name.push_str(&format!(":ki={}", self.ki));
+        }
+        if self.setpoint != defaults.setpoint {
+            name.push_str(&format!(":set={}", self.setpoint));
+        }
+        if self.window != defaults.window {
+            name.push_str(&format!(":win={}", self.window));
+        }
+        name
+    }
+
+    /// Parse the segments after the `control:` prefix.
+    fn parse_segments(rest: &str) -> Result<Self, String> {
+        let mut segments = rest.split(':');
+        match segments.next() {
+            Some("pi") => {}
+            other => {
+                return Err(format!(
+                    "unknown control algorithm '{}' (expected pi)",
+                    other.unwrap_or("")
+                ))
+            }
+        }
+        let mut factory = Self::default();
+        let mut rest: Vec<&str> = segments.collect();
+        rest.reverse(); // pop() now yields segments left to right
+        let knob = |prefix: &str, rest: &mut Vec<&str>| -> Result<Option<f64>, String> {
+            let Some(v) = rest.last().and_then(|s| s.strip_prefix(prefix)) else {
+                return Ok(None);
+            };
+            let parsed = v
+                .parse::<f64>()
+                .map_err(|_| format!("bad control {prefix}'{v}'"))?;
+            rest.pop();
+            Ok(Some(parsed))
+        };
+        if let Some(v) = knob("kp=", &mut rest)? {
+            factory.kp = v;
+        }
+        if let Some(v) = knob("ki=", &mut rest)? {
+            factory.ki = v;
+        }
+        if let Some(v) = knob("set=", &mut rest)? {
+            factory.setpoint = v;
+        }
+        if let Some(v) = knob("win=", &mut rest)? {
+            factory.window = v;
+        }
+        if let Some(stray) = rest.pop() {
+            return Err(format!(
+                "unexpected control segment '{stray}' \
+                 (grammar: control:pi[:kp=K][:ki=I][:set=S][:win=W])"
+            ));
+        }
+        factory.validate()?;
+        Ok(factory)
+    }
 }
 
 /// The offline branch of the roster: which §3.2.3 insertion heuristic
@@ -289,6 +470,10 @@ impl PolicyFactory {
                     TimetablePolicy::new(schedule).with_name(periodic.name()),
                 ))
             }
+            Self::Control(control) => {
+                control.validate()?;
+                Ok(Box::new(control.build()))
+            }
         }
     }
 
@@ -309,6 +494,7 @@ impl PolicyFactory {
     pub fn validate(&self) -> Result<(), String> {
         match self {
             Self::Periodic(periodic) => periodic.search().map(drop),
+            Self::Control(control) => control.validate(),
             _ => Ok(()),
         }
     }
@@ -321,6 +507,7 @@ impl PolicyFactory {
             Self::FairShare => "fairshare".into(),
             Self::Fcfs => "fcfs".into(),
             Self::Periodic(periodic) => periodic.name(),
+            Self::Control(control) => control.name(),
         }
     }
 
@@ -332,6 +519,9 @@ impl PolicyFactory {
     pub fn parse(name: &str) -> Result<Self, String> {
         if let Some(rest) = name.strip_prefix("periodic:") {
             return PeriodicFactory::parse_segments(rest).map(Self::Periodic);
+        }
+        if let Some(rest) = name.strip_prefix("control:") {
+            return ControlFactory::parse_segments(rest).map(Self::Control);
         }
         let (prio, bare) = match name.strip_prefix("priority-") {
             Some(rest) => (true, rest),
@@ -362,8 +552,8 @@ impl PolicyFactory {
                 }
                 None => Err(format!(
                     "unknown policy '{name}' (try roundrobin, mindilation, maxsyseff, \
-                     minmax-<γ>, fairshare, fcfs, a priority- prefix, or \
-                     periodic:<cong|throu>)"
+                     minmax-<γ>, fairshare, fcfs, a priority- prefix, \
+                     periodic:<cong|throu>, or control:pi)"
                 )),
             },
         }
@@ -416,11 +606,19 @@ impl PolicyFactory {
         ]
     }
 
-    /// The whole registry: online roster then offline roster.
+    /// The closed-loop branch: the default PI controller.
+    #[must_use]
+    pub fn control_roster() -> Vec<PolicyFactory> {
+        vec![PolicyFactory::Control(ControlFactory::default())]
+    }
+
+    /// The whole registry: online roster, offline roster, then the
+    /// closed-loop control family.
     #[must_use]
     pub fn complete_roster() -> Vec<PolicyFactory> {
         let mut roster = Self::full_roster();
         roster.extend(Self::offline_roster());
+        roster.extend(Self::control_roster());
         roster
     }
 }
@@ -463,6 +661,9 @@ mod tests {
             "periodic:cong:eps=0.02",
             "periodic:cong:eps=0.02:tmax=1.5",
             "periodic:throu:syseff:eps=0.1:tmax=4",
+            "control:pi",
+            "control:pi:kp=1",
+            "control:pi:kp=0.25:ki=0.01:set=0.85:win=120",
         ] {
             let factory = PolicyFactory::parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
             // The canonical name parses back to the identical factory.
@@ -637,15 +838,96 @@ mod tests {
     #[test]
     fn rosters_are_disjoint_and_named_uniquely() {
         let roster = PolicyFactory::complete_roster();
-        assert_eq!(roster.len(), 12, "10 online + 2 offline");
+        assert_eq!(roster.len(), 13, "10 online + 2 offline + 1 control");
         let mut names: Vec<String> = roster.iter().map(PolicyFactory::name).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 12, "duplicate names in the roster");
+        assert_eq!(names.len(), 13, "duplicate names in the roster");
         assert_eq!(
             roster.iter().filter(|f| f.is_offline()).count(),
             2,
             "offline branch is the two periodic defaults"
         );
+        assert!(
+            roster
+                .iter()
+                .any(|f| matches!(f, PolicyFactory::Control(_))),
+            "control family in the roster"
+        );
+    }
+
+    #[test]
+    fn control_grammar_roundtrips_and_elides_defaults() {
+        let default = ControlFactory::default();
+        assert_eq!(default.name(), "control:pi");
+        assert_eq!(
+            PolicyFactory::parse("control:pi").unwrap(),
+            PolicyFactory::Control(default)
+        );
+        for name in [
+            "control:pi:kp=1",
+            "control:pi:ki=0.2",
+            "control:pi:set=0.8",
+            "control:pi:win=60",
+            "control:pi:kp=0.25:set=0.85",
+            "control:pi:kp=0.25:ki=0.01:set=0.85:win=120",
+        ] {
+            let factory = PolicyFactory::parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(factory.name(), name, "name() not canonical for {name}");
+            assert_eq!(PolicyFactory::parse(&factory.name()).unwrap(), factory);
+            assert!(!factory.is_offline(), "control is an online family");
+        }
+        // Tuned knobs survive serde at full precision.
+        let tuned = PolicyFactory::Control(
+            ControlFactory::default()
+                .with_kp(1.0 / 3.0)
+                .with_window(45.5),
+        );
+        let json = serde_json::to_string(&tuned).unwrap();
+        let back: PolicyFactory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tuned);
+    }
+
+    #[test]
+    fn control_grammar_rejects_malformed_gains_with_actionable_errors() {
+        for (bad, needle) in [
+            ("control:", "algorithm"),
+            ("control:pd", "algorithm"),
+            ("control:pi:kp=-1", "non-negative"),
+            ("control:pi:kp=nope", "bad control"),
+            ("control:pi:ki=-0.5", "non-negative"),
+            ("control:pi:set=2.0", "(0, 1]"),
+            ("control:pi:set=0", "(0, 1]"),
+            ("control:pi:set=-0.5", "(0, 1]"),
+            ("control:pi:win=0", "positive"),
+            ("control:pi:win=-10", "positive"),
+            ("control:pi:win=inf", "positive"),
+            ("control:pi:gain=1", "unexpected control segment"),
+            // Segments out of canonical order are strays.
+            ("control:pi:set=0.8:kp=1", "unexpected control segment"),
+            ("control:pi:kp=1:kp=2", "unexpected control segment"),
+            ("priority-control:pi", "unknown policy"),
+        ] {
+            let err = PolicyFactory::parse(bad).expect_err(bad);
+            assert!(
+                err.contains(needle),
+                "{bad}: error '{err}' lacks '{needle}'"
+            );
+        }
+    }
+
+    #[test]
+    fn control_factory_builds_the_named_policy() {
+        let (platform, apps) = scenario();
+        let factory = PolicyFactory::parse("control:pi:set=0.8").unwrap();
+        let policy = factory.build(&platform, &apps).unwrap();
+        assert_eq!(policy.name(), "control:pi:set=0.8");
+        // Context-free: builds for any (even empty) scenario.
+        assert!(factory.build(&platform, &[]).is_ok());
+        // Programmatically built degenerate knobs are caught by build and
+        // validate, not panics.
+        let degenerate = PolicyFactory::Control(ControlFactory::default().with_setpoint(2.0));
+        assert!(degenerate.validate().is_err());
+        assert!(degenerate.build(&platform, &apps).is_err());
     }
 }

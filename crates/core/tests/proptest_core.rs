@@ -50,6 +50,7 @@ proptest! {
             now: Time::secs(1_000.0),
             total_bw: Bw::gib_per_sec(total),
             pending: &pending,
+            signal: None,
         };
         let demand: f64 = pending.iter().map(|a| a.max_bw.as_gib_per_sec()).sum();
         for kind in PolicyKind::fig6_roster() {
@@ -74,6 +75,7 @@ proptest! {
             now: Time::secs(10.0),
             total_bw: Bw::gib_per_sec(10.0),
             pending: &pending,
+            signal: None,
         };
         for kind in PolicyKind::fig6_roster() {
             let mut policy = kind.build();
@@ -93,6 +95,7 @@ proptest! {
             now: Time::secs(10.0),
             total_bw: Bw::gib_per_sec(10.0),
             pending: &pending,
+            signal: None,
         };
         let inner_order = MinDilation.order(&ctx);
         let prio_order = Priority::new(MinDilation).order(&ctx);
@@ -169,6 +172,79 @@ proptest! {
         for t in &recovered {
             let sum: u64 = t.iter().map(|&k| instance.items()[k]).sum();
             prop_assert_eq!(sum, instance.target());
+        }
+    }
+
+    /// Full-roster name discipline under random knobs: every registry
+    /// member — the complete roster plus randomly tuned `minmax`,
+    /// `periodic:*` and `control:*` members — roundtrips
+    /// parse ↔ name ↔ serde exactly.
+    #[test]
+    fn registry_names_roundtrip_under_random_knobs(
+        gamma in 0.0f64..1.0,
+        kp in 0.0f64..4.0,
+        ki in 0.0f64..1.0,
+        set in 0.05f64..1.0,
+        win in 1.0f64..600.0,
+        eps in 0.01f64..0.8,
+        tmax in 1.0f64..8.0,
+    ) {
+        use iosched_core::heuristics::BasePolicy;
+        use iosched_core::periodic::InsertionHeuristic;
+        use iosched_core::registry::{ControlFactory, PeriodicFactory, PolicyFactory};
+
+        let mut roster = PolicyFactory::complete_roster();
+        roster.push(PolicyFactory::Kind(PolicyKind::plain(BasePolicy::MinMax(gamma))));
+        roster.push(PolicyFactory::Periodic(
+            PeriodicFactory::new(InsertionHeuristic::Congestion)
+                .with_epsilon(eps)
+                .with_max_factor(tmax),
+        ));
+        roster.push(PolicyFactory::Control(
+            ControlFactory::default()
+                .with_kp(kp)
+                .with_ki(ki)
+                .with_setpoint(set)
+                .with_window(win),
+        ));
+        for spec in roster {
+            // parse ↔ serde_name (the canonical machine-readable form).
+            let name = spec.serde_name();
+            let parsed = PolicyFactory::parse(&name).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(parsed, spec, "parse(serde_name()) diverged for {}", name);
+            // serde is the name string, and it roundtrips bit-exactly.
+            let json = serde_json::to_string(&spec).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&json, &format!("\"{}\"", name));
+            let back: PolicyFactory = serde_json::from_str(&json)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(back, spec, "serde roundtrip diverged for {}", json);
+            // Whatever parses also validates (the grammar and the
+            // builder agree on legal knobs).
+            prop_assert!(spec.validate().is_ok(), "{} failed validation", name);
+        }
+    }
+
+    /// Malformed control gains never parse: the grammar rejects any
+    /// negative gain, out-of-range setpoint or non-positive window with
+    /// an actionable error (never a panic).
+    #[test]
+    fn malformed_control_gains_are_rejected(
+        kp in -10.0f64..-0.001,
+        set in 1.001f64..100.0,
+        win in -100.0f64..0.0,
+    ) {
+        use iosched_core::registry::PolicyFactory;
+        for bad in [
+            format!("control:pi:kp={kp}"),
+            format!("control:pi:set={set}"),
+            format!("control:pi:set={}", -set),
+            format!("control:pi:win={win}"),
+            "control:pi:set=0".to_string(),
+            "control:pi:win=0".to_string(),
+        ] {
+            let err = PolicyFactory::parse(&bad);
+            prop_assert!(err.is_err(), "{} should not parse", bad);
+            prop_assert!(!err.unwrap_err().is_empty());
         }
     }
 }

@@ -22,6 +22,11 @@ pub struct Summary {
     pub max: f64,
     /// Median (50th percentile, linear interpolation).
     pub median: f64,
+    /// 95th percentile (linear interpolation). Telemetry reports tail
+    /// utilization/contention through this.
+    pub p95: f64,
+    /// 99th percentile (linear interpolation).
+    pub p99: f64,
 }
 
 impl Summary {
@@ -47,6 +52,8 @@ impl Summary {
             min: sorted[0],
             max: sorted[n - 1],
             median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
         })
     }
 }
@@ -177,6 +184,42 @@ mod tests {
         let s = Summary::from_slice(&[7.0]).unwrap();
         assert_eq!(s.std, 0.0);
         assert_eq!(s.median, 7.0);
+        // Every quantile of a single-element sample is that element.
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn summary_tail_quantiles_interpolate() {
+        // 0..=100: the p-th percentile is exactly p.
+        let xs: Vec<f64> = (0..=100).map(f64::from).collect();
+        let s = Summary::from_slice(&xs).unwrap();
+        assert!((s.p95 - 95.0).abs() < 1e-12);
+        assert!((s.p99 - 99.0).abs() < 1e-12);
+        assert!((s.median - 50.0).abs() < 1e-12);
+        // Interpolation between ranks: 4 points put p95 between the two
+        // largest values.
+        let s = Summary::from_slice(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert!((s.p95 - 38.5).abs() < 1e-12);
+        assert!((s.p99 - 39.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_tail_quantiles_on_tie_heavy_slices() {
+        // 99 copies of 1.0 and a single outlier: the tail quantiles sit on
+        // the plateau until the very last rank.
+        let mut xs = vec![1.0; 99];
+        xs.push(100.0);
+        let s = Summary::from_slice(&xs).unwrap();
+        assert!((s.p95 - 1.0).abs() < 1e-12, "p95 {} on the plateau", s.p95);
+        assert!(s.p99 > 1.0 && s.p99 < 100.0, "p99 {} interpolates", s.p99);
+        assert_eq!(s.max, 100.0);
+        // All-identical sample: every statistic collapses to the value.
+        let s = Summary::from_slice(&[3.0; 17]).unwrap();
+        assert_eq!(
+            (s.p95, s.p99, s.median, s.min, s.max),
+            (3.0, 3.0, 3.0, 3.0, 3.0)
+        );
     }
 
     #[test]

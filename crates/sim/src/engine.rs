@@ -74,9 +74,10 @@ use crate::error::SimError;
 use crate::external_load::ExternalLoad;
 use crate::outcome::SimOutcome;
 use crate::state::{AppRuntime, Phase};
+use crate::telemetry::{Telemetry, TelemetrySample};
 use crate::trace::{BandwidthTrace, TraceSegment};
 use iosched_core::policy::{AppState, OnlinePolicy, StateBuffer};
-use iosched_model::{app::validate_scenario, AppId, AppSpec, Bw, Platform, Time};
+use iosched_model::{app::validate_scenario, AppId, AppSpec, Bw, Bytes, Platform, Time};
 use std::collections::BinaryHeap;
 
 /// Engine configuration.
@@ -94,6 +95,13 @@ pub struct SimConfig {
     /// exclusive with `use_burst_buffer` (the communication network sits
     /// between compute nodes and the storage tier).
     pub external_load: Option<ExternalLoad>,
+    /// Collect the full per-event telemetry series and attach a
+    /// [`crate::telemetry::TelemetrySummary`] to the outcome. The tap
+    /// itself (ring buffer + congestion signal for policies) is always
+    /// on; this flag only opts into the allocating series needed for
+    /// the exported quantiles. Simulated results are bit-identical with
+    /// the flag on or off.
+    pub telemetry: bool,
 }
 
 impl Default for SimConfig {
@@ -103,6 +111,7 @@ impl Default for SimConfig {
             record_trace: false,
             max_events: 10_000_000,
             external_load: None,
+            telemetry: false,
         }
     }
 }
@@ -117,6 +126,7 @@ impl serde::Serialize for SimConfig {
             ("record_trace".to_string(), self.record_trace.to_value()),
             ("max_events".to_string(), self.max_events.to_value()),
             ("external_load".to_string(), self.external_load.to_value()),
+            ("telemetry".to_string(), self.telemetry.to_value()),
         ])
     }
 }
@@ -143,7 +153,7 @@ impl serde::Deserialize for SimConfig {
         for (key, _) in m {
             if !matches!(
                 key.as_str(),
-                "use_burst_buffer" | "record_trace" | "max_events" | "external_load"
+                "use_burst_buffer" | "record_trace" | "max_events" | "external_load" | "telemetry"
             ) {
                 return Err(serde::Error::custom(format!(
                     "unknown SimConfig field '{key}'"
@@ -155,6 +165,7 @@ impl serde::Deserialize for SimConfig {
             record_trace: field(m, "record_trace", defaults.record_trace)?,
             max_events: field(m, "max_events", defaults.max_events)?,
             external_load: field(m, "external_load", defaults.external_load)?,
+            telemetry: field(m, "telemetry", defaults.telemetry)?,
         })
     }
 }
@@ -174,6 +185,15 @@ impl SimConfig {
     pub fn with_burst_buffer() -> Self {
         Self {
             use_burst_buffer: true,
+            ..Self::default()
+        }
+    }
+
+    /// Default configuration with telemetry-summary export enabled.
+    #[must_use]
+    pub fn with_telemetry() -> Self {
+        Self {
+            telemetry: true,
             ..Self::default()
         }
     }
@@ -264,6 +284,15 @@ pub struct Simulation<'a> {
     seg_grants: Vec<(AppId, Bw)>,
     seg_effective: Vec<(AppId, Bw)>,
     seg_capacity: Bw,
+    /// Always-on congestion tap (see [`crate::telemetry`]): ring buffer
+    /// of closed inter-event intervals, whose derived signal is handed
+    /// to the policy at every allocation. Kept (with its open interval)
+    /// at the end of the struct so the step path's hot fields stay
+    /// densely packed.
+    telemetry: Telemetry,
+    /// The interval opened by the last allocation, closed at the next
+    /// event.
+    tel_open: TelemetrySample,
     debug: bool,
 }
 
@@ -335,6 +364,8 @@ impl<'a> Simulation<'a> {
             seg_grants: Vec::new(),
             seg_effective: Vec::new(),
             seg_capacity: platform.total_bw,
+            telemetry: Telemetry::new(config.telemetry),
+            tel_open: TelemetrySample::idle(Time::ZERO, platform.total_bw),
             debug: std::env::var_os("IOSCHED_SIM_DEBUG").is_some(),
         };
         sim.settle_transitions();
@@ -382,6 +413,13 @@ impl<'a> Simulation<'a> {
         self.drain_bw
     }
 
+    /// The congestion tap (inspection hook for steppable use: the last
+    /// closed interval's signal, windowed aggregates, peaks).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Advance to the next scheduling event: pick the earliest event
     /// time, move the fluid state there, fire the enabled transitions and
     /// re-run the policy.
@@ -396,15 +434,20 @@ impl<'a> Simulation<'a> {
             });
         }
         if self.debug && self.events.is_multiple_of(100_000) {
+            let window = self
+                .telemetry
+                .windowed(Time::secs(60.0))
+                .map(|s| (s.utilization, s.contention));
             eprintln!(
-                "[sim] event {}: t={:.6}s pending={} finished={} bb={:?}",
+                "[sim] event {}: t={:.6}s pending={} finished={} bb={:?} tel60s={:?}",
                 self.events,
                 self.now.as_secs(),
                 self.pending.len(),
                 self.finished,
                 self.bb
                     .as_ref()
-                    .map(|b| (b.level().as_gib(), b.is_throttled()))
+                    .map(|b| (b.level().as_gib(), b.is_throttled())),
+                window,
             );
         }
 
@@ -498,6 +541,11 @@ impl<'a> Simulation<'a> {
             b.advance(dt, inflow, self.drain_bw);
         }
         self.now = t_next;
+        // Close the telemetry interval the last allocation opened (the
+        // installed rates were constant across it — the fluid model).
+        self.tel_open.end = self.now;
+        let closed = self.tel_open;
+        self.telemetry.record(closed);
 
         // --- State transitions and re-allocation. ---------------------
         self.settle_transitions();
@@ -528,7 +576,19 @@ impl<'a> Simulation<'a> {
     /// completed so far (normally called once [`Simulation::is_finished`]).
     #[must_use]
     pub fn into_outcome(self) -> SimOutcome {
-        SimOutcome::collect(self.platform, self.rts, self.trace, self.events, self.now)
+        let telemetry = self
+            .config
+            .telemetry
+            .then(|| self.telemetry.summary())
+            .flatten();
+        SimOutcome::collect(
+            self.platform,
+            self.rts,
+            self.trace,
+            self.events,
+            self.now,
+            telemetry,
+        )
     }
 
     /// Aggregate effective inflow of all transferring applications.
@@ -686,12 +746,29 @@ impl<'a> Simulation<'a> {
                 }
                 None => self.platform.total_bw,
             };
+            self.tel_open = TelemetrySample::idle(now, capacity);
             return Ok(());
         }
         self.snapshot.clear();
+        let mut offered = Bw::ZERO;
+        let mut backlog = Bytes::ZERO;
         for &i in &self.pending {
             let rt = &self.rts[i];
-            let started = matches!(rt.phase, Phase::Io { started: true, .. });
+            // One phase inspection feeds both the snapshot flag and the
+            // telemetry backlog (pending applications are in `Io` by
+            // invariant).
+            let (started, remaining) = match rt.phase {
+                Phase::Io { remaining, started } => (started, remaining),
+                _ => (false, iosched_model::Bytes::ZERO),
+            };
+            backlog += remaining;
+            // Telemetry offered load is the *raw* card limit `β·b` —
+            // under a deep storm the capacity-clamped `max_bw` handed to
+            // the policy would collapse contention to the pending count,
+            // under-reporting demand exactly when congestion is deepest.
+            let card = self.platform.proc_bw * rt.spec.procs() as f64;
+            offered += card;
+            let max_bw = card.min(capacity);
             self.snapshot.push(AppState {
                 id: rt.spec.id(),
                 procs: rt.spec.procs(),
@@ -700,10 +777,14 @@ impl<'a> Simulation<'a> {
                 last_io_end: rt.last_io_end,
                 io_requested_at: rt.io_requested_at,
                 started_io: started,
-                max_bw: (self.platform.proc_bw * rt.spec.procs() as f64).min(capacity),
+                max_bw,
             });
         }
-        let ctx = self.snapshot.context(now, capacity);
+        // The signal reflects the last *closed* interval — the policy
+        // observes the past, never the allocation it is about to make.
+        let ctx = self
+            .snapshot
+            .context_with_signal(now, capacity, self.telemetry.signal());
         let alloc = self.policy.allocate(&ctx);
         alloc
             .validate(&ctx)
@@ -743,6 +824,8 @@ impl<'a> Simulation<'a> {
         // visited (non-granted ones install zero), so the walk doubles as
         // the change detector for the predicted-completion cache.
         let mut gi = 0;
+        let mut total_granted = Bw::ZERO;
+        let mut total_delivered = Bw::ZERO;
         for &i in &self.pending {
             let id = self.rts[i].spec.id();
             while gi < alloc.grants.len() && alloc.grants[gi].0 < id {
@@ -758,6 +841,10 @@ impl<'a> Simulation<'a> {
             }
             self.rts[i].rate = granted;
             self.rts[i].effective_rate = effective;
+            // The walk visits every pending application, so it doubles
+            // as the telemetry aggregation pass too.
+            total_granted += granted;
+            total_delivered += effective;
         }
         self.drain_bw = match &mut self.bb {
             Some(b) => {
@@ -765,6 +852,18 @@ impl<'a> Simulation<'a> {
                 self.platform.total_bw * self.platform.interference.factor(streams)
             }
             None => self.platform.total_bw,
+        };
+        // Open the telemetry interval these rates govern (closed at the
+        // next event).
+        self.tel_open = TelemetrySample {
+            start: now,
+            end: now,
+            offered,
+            granted: total_granted,
+            delivered: total_delivered,
+            capacity,
+            backlog,
+            pending: self.pending.len(),
         };
         Ok(())
     }
@@ -1213,6 +1312,137 @@ mod tests {
             sim.drain_bw(),
             expected
         );
+    }
+
+    /// Satellite regression (PR 3 cache × §7 external load): an
+    /// external-load boundary that *changes* the granted rates must
+    /// invalidate the cached absolute completion instants (the merge
+    /// walk's rate-bits comparison sets the dirty flag), and a boundary
+    /// that leaves every rate untouched must be free to keep them — in
+    /// both cases the completion instants are exact, never stale.
+    #[test]
+    fn external_load_boundaries_never_leave_stale_predicted_completions() {
+        use crate::external_load::ExternalLoad;
+        let p = platform();
+        // 20 procs → card limit 2 GiB/s; w = 8 s then 20 GiB.
+        let small = AppSpec::periodic(0, Time::ZERO, 20, Time::secs(8.0), Bytes::gib(20.0), 1);
+
+        // Case 1 — boundary with *unchanged* rates: while busy the pipe
+        // still offers 5 GiB/s ≥ the 2 GiB/s card limit, so the grant is
+        // identical on both sides of the t = 10 s boundary and the cached
+        // completion at 8 + 20/2 = 18 s stays valid.
+        let quiet = SimConfig {
+            external_load: Some(ExternalLoad {
+                period: Time::secs(20.0),
+                busy: Time::secs(10.0),
+                fraction: 0.5,
+            }),
+            ..SimConfig::default()
+        };
+        let out = simulate(&p, std::slice::from_ref(&small), &mut MaxSysEff, &quiet).unwrap();
+        let o = out.report.app(AppId(0)).unwrap();
+        assert!(
+            o.finish.approx_eq(Time::secs(18.0)),
+            "finish {} (expected 18 s: rate constant across the boundary)",
+            o.finish
+        );
+
+        // Case 2 — boundary that changes the rate: while busy only
+        // 1 GiB/s remains, so I/O runs [8, 10) at 1 GiB/s (2 GiB done)
+        // and [10, 19) at 2 GiB/s. A stale cached prediction from the
+        // busy interval (8 + 20/1 = 28 s) would overshoot by 9 s.
+        let squeeze = SimConfig {
+            external_load: Some(ExternalLoad {
+                period: Time::secs(20.0),
+                busy: Time::secs(10.0),
+                fraction: 0.9,
+            }),
+            ..SimConfig::default()
+        };
+        let out = simulate(&p, &[small], &mut MaxSysEff, &squeeze).unwrap();
+        let o = out.report.app(AppId(0)).unwrap();
+        assert!(
+            o.finish.approx_eq(Time::secs(19.0)),
+            "finish {} (expected 19 s: the boundary re-rate must invalidate the cache)",
+            o.finish
+        );
+    }
+
+    #[test]
+    fn telemetry_tap_observes_the_run_and_exports_on_request() {
+        let p = platform();
+        let apps = [app(0, 2), app(1, 2)];
+        let config = SimConfig::with_telemetry();
+        let mut policy = MinDilation;
+        let mut sim = Simulation::new(&p, &apps, &mut policy, &config).unwrap();
+        assert!(sim.telemetry().signal().is_none(), "nothing closed yet");
+        sim.step().unwrap();
+        let signal = sim.telemetry().signal().expect("first interval closed");
+        // Both apps compute for the first 8 s: an idle, uncontended pipe.
+        assert_eq!(signal.pending, 0);
+        assert!(signal.contention == 0.0 && signal.utilization == 0.0);
+        while !sim.is_finished() {
+            sim.step().unwrap();
+        }
+        let samples = sim.telemetry().samples();
+        assert!(samples > 0);
+        let out = sim.into_outcome();
+        let summary = out.telemetry.expect("telemetry flag requested a summary");
+        assert_eq!(summary.samples, samples);
+        assert!(summary.busy_secs > 0.0);
+        // Two 20 GiB transfers through a 10 GiB/s serializing policy:
+        // the pipe saturates while both contend.
+        assert!(summary.utilization.max > 0.99);
+        assert!(summary.peak_pending == 2);
+        assert!(summary.peak_backlog_gib >= 20.0);
+        assert!(summary.mean_utilization > 0.0 && summary.mean_utilization <= 1.0);
+        // Without the flag the outcome carries no summary…
+        let out = simulate(&p, &apps, &mut MinDilation, &SimConfig::default()).unwrap();
+        assert!(out.telemetry.is_none());
+    }
+
+    #[test]
+    fn telemetry_flag_does_not_move_a_single_bit() {
+        let p = platform();
+        let apps = [app(0, 3), app(1, 2), app(2, 2)];
+        let on = simulate(&p, &apps, &mut MinDilation, &SimConfig::with_telemetry()).unwrap();
+        let off = simulate(&p, &apps, &mut MinDilation, &SimConfig::default()).unwrap();
+        assert_eq!(on.events, off.events);
+        assert_eq!(
+            on.report.sys_efficiency.to_bits(),
+            off.report.sys_efficiency.to_bits()
+        );
+        assert_eq!(on.report.dilation.to_bits(), off.report.dilation.to_bits());
+        assert!(on.telemetry.is_some() && off.telemetry.is_none());
+    }
+
+    #[test]
+    fn control_policy_closes_its_loop_through_the_engine() {
+        use iosched_core::control::ControlPolicy;
+        let p = platform();
+        let apps: Vec<AppSpec> = (0..4).map(|i| app(i, 3)).collect();
+        let mut policy = ControlPolicy::pi_default();
+        let out = simulate(&p, &apps, &mut policy, &SimConfig::with_telemetry()).unwrap();
+        assert!(out.report.dilation >= 1.0);
+        // Work is conserved: every app moved its full volume.
+        for i in 0..4 {
+            assert!(out.bytes_of(AppId(i)).unwrap().approx_eq(Bytes::gib(60.0)));
+        }
+        // The same closed-loop run under an external storm still
+        // completes (the signal hand-off feeds the controller at every
+        // event).
+        let stormy = SimConfig {
+            external_load: Some(crate::external_load::ExternalLoad {
+                period: Time::secs(30.0),
+                busy: Time::secs(15.0),
+                fraction: 0.7,
+            }),
+            telemetry: true,
+            ..SimConfig::default()
+        };
+        let mut policy = ControlPolicy::pi_default();
+        let out = simulate(&p, &apps, &mut policy, &stormy).unwrap();
+        assert!(out.telemetry.unwrap().mean_contention > 0.0);
     }
 
     #[test]

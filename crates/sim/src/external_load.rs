@@ -38,7 +38,11 @@ impl ExternalLoad {
                 self.period
             )));
         }
-        if self.busy.get() < 0.0 || self.busy.approx_gt(self.period) {
+        // `is_finite` explicitly: a NaN busy prefix fails *both* range
+        // comparisons below and would otherwise validate, silently
+        // producing a storm that never fires (every instant compares as
+        // idle).
+        if !self.busy.is_finite() || self.busy.get() < 0.0 || self.busy.approx_gt(self.period) {
             return Err(ModelError::InvalidPlatform(format!(
                 "external load busy prefix {} outside [0, {}]",
                 self.busy, self.period
@@ -115,6 +119,20 @@ mod tests {
         let mut bad = load();
         bad.fraction = 1.5;
         assert!(bad.validate().is_err());
+        // NaN components must not validate into a silent no-op storm
+        // (NaN fails every range comparison, so each field needs an
+        // explicit finiteness check).
+        for nan in [f64::NAN, f64::INFINITY] {
+            let mut bad = load();
+            bad.busy = Time::secs(nan);
+            assert!(bad.validate().is_err(), "busy {nan} accepted");
+            let mut bad = load();
+            bad.period = Time::secs(nan);
+            assert!(bad.validate().is_err(), "period {nan} accepted");
+            let mut bad = load();
+            bad.fraction = nan;
+            assert!(bad.validate().is_err(), "fraction {nan} accepted");
+        }
     }
 
     #[test]

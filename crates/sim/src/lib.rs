@@ -42,6 +42,7 @@ pub mod external_load;
 pub mod outcome;
 pub mod periodic_exec;
 pub mod state;
+pub mod telemetry;
 pub mod trace;
 
 pub use engine::{simulate, SimConfig, Simulation, StepStatus};
@@ -49,4 +50,5 @@ pub use error::SimError;
 pub use external_load::ExternalLoad;
 pub use outcome::SimOutcome;
 pub use periodic_exec::{replay_apps, unroll_report, TimetablePolicy};
+pub use telemetry::{Telemetry, TelemetrySample, TelemetrySummary};
 pub use trace::{BandwidthTrace, TraceSegment};

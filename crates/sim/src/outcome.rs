@@ -1,6 +1,7 @@
 //! Simulation outcome: the paper's objectives plus engine diagnostics.
 
 use crate::state::AppRuntime;
+use crate::telemetry::TelemetrySummary;
 use crate::trace::BandwidthTrace;
 use iosched_model::{AppId, AppOutcome, Bytes, ObjectiveReport, Platform, Time};
 
@@ -17,6 +18,9 @@ pub struct SimOutcome {
     pub end_time: Time,
     /// Bytes actually delivered per application (conservation checks).
     pub per_app_bytes: Vec<(AppId, Bytes)>,
+    /// Per-run congestion record (present iff
+    /// [`crate::SimConfig::telemetry`] was set).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl SimOutcome {
@@ -28,6 +32,7 @@ impl SimOutcome {
         trace: Option<BandwidthTrace>,
         events: usize,
         end_time: Time,
+        telemetry: Option<TelemetrySummary>,
     ) -> Self {
         let per_app: Vec<AppOutcome> = rts
             .iter()
@@ -56,6 +61,7 @@ impl SimOutcome {
             events,
             end_time,
             per_app_bytes,
+            telemetry,
         }
     }
 

@@ -12,12 +12,17 @@
 //!   Fig. 4 periodic schedule as an *offline-policy* campaign: the
 //!   `periodic:cong:eps=0.02:tmax=1.5` registry factory searched and
 //!   replayed over the paper's four applications.
+//! * `examples/campaign_control.json` is exactly
+//!   `iosched_bench::experiments::control::campaign(STORM_SEEDS)` — the
+//!   closed-loop `control:pi` family vs FairShare / MinDilation /
+//!   `periodic:cong` on congested moments under external communication
+//!   storms, with telemetry export on.
 //!
 //! Integration tests pin each file to its in-code campaign, so edit the
 //! code and rerun this, not the JSON.
 
 use iosched_bench::campaign::CampaignSpec;
-use iosched_bench::experiments::{fig04, fig06};
+use iosched_bench::experiments::{control, fig04, fig06};
 
 fn write(spec: &CampaignSpec, path: &str) {
     let json = spec.to_json().expect("campaign serializes");
@@ -35,5 +40,9 @@ fn main() {
     write(
         &fig04::campaign(fig04::REPLAY_PERIODS),
         &format!("{dir}/campaign_fig4.json"),
+    );
+    write(
+        &control::campaign(control::STORM_SEEDS),
+        &format!("{dir}/campaign_control.json"),
     );
 }

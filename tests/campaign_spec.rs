@@ -14,7 +14,7 @@ use hpc_io_sched::model::Platform;
 use hpc_io_sched::sim::{replay_apps, simulate, SimConfig};
 use hpc_io_sched::workload::congestion::congested_moment;
 use iosched_bench::campaign::{run_campaign, CampaignSpec};
-use iosched_bench::experiments::{ablations, fig04, fig06};
+use iosched_bench::experiments::{ablations, control, fig04, fig06};
 use iosched_bench::runner::ScenarioRunner;
 
 fn example_json() -> String {
@@ -186,6 +186,84 @@ fn epsilon_ablation_campaign_matches_the_hand_rolled_sweep_bit_for_bit() {
             direct.report.sys_efficiency.to_bits(),
             "eps {epsilon}: campaign SysEfficiency diverged"
         );
+    }
+}
+
+#[test]
+fn control_example_file_is_exactly_the_storm_campaign() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/campaign_control.json"
+    );
+    let text = std::fs::read_to_string(path).expect("examples/campaign_control.json is checked in");
+    let parsed = CampaignSpec::from_json(&text).expect("example parses");
+    let reference = control::campaign(control::STORM_SEEDS);
+    assert_eq!(
+        parsed, reference,
+        "examples/campaign_control.json drifted; \
+        regenerate with `cargo run --release --example export_campaigns`"
+    );
+    // The storm shape: the closed-loop pair vs the three open-loop
+    // references, telemetry on, spikes in the shared engine config.
+    assert_eq!(parsed.policies.len(), 5);
+    assert!(parsed.policies.iter().any(|p| p.name() == "control:pi"));
+    assert!(parsed.policies.iter().any(|p| p.name() == "fairshare"));
+    assert!(parsed.policies.iter().any(|p| p.name() == "periodic:cong"));
+    let config = parsed.config.as_ref().expect("shared engine config");
+    assert!(config.telemetry);
+    assert_eq!(config.external_load, Some(control::spike_load()));
+    assert!(
+        parsed.seeds.len() >= 3,
+        "the acceptance bar needs >= 3 seeds"
+    );
+}
+
+/// The telemetry tap observes, it never steers: with the summary export
+/// on, every existing roster family produces bit-identical objectives to
+/// the telemetry-off run — on the same campaign path `iosched campaign`
+/// drives.
+#[test]
+fn telemetry_flag_is_bit_identical_for_the_existing_roster() {
+    let base = r#"{
+        "name": "telemetry-pin",
+        "platforms": ["vesta"],
+        "workloads": [{"Congestion": {"seed": 0}}],
+        "policies": ["maxsyseff", "mindilation", "fairshare", "fcfs", "periodic:cong"],
+        "seeds": [1, 2],
+        "config": CONFIG,
+        "threads": 2
+    }"#;
+    let off = CampaignSpec::from_json(&base.replace("CONFIG", "null")).unwrap();
+    let on = CampaignSpec::from_json(&base.replace("CONFIG", r#"{"telemetry": true}"#)).unwrap();
+    let off = run_campaign(&off, &ScenarioRunner::with_threads(2)).unwrap();
+    let on = run_campaign(&on, &ScenarioRunner::with_threads(2)).unwrap();
+    assert_eq!(off.cells.len(), on.cells.len());
+    for (off_cell, on_cell) in off.cells.iter().zip(&on.cells) {
+        assert_eq!(off_cell.policy, on_cell.policy);
+        for (o, n, what) in [
+            (
+                &off_cell.sys_efficiency,
+                &on_cell.sys_efficiency,
+                "SysEfficiency",
+            ),
+            (&off_cell.dilation, &on_cell.dilation, "Dilation"),
+            (&off_cell.makespan_secs, &on_cell.makespan_secs, "makespan"),
+            (&off_cell.upper_limit, &on_cell.upper_limit, "upper limit"),
+        ] {
+            assert_eq!(
+                o.mean.to_bits(),
+                n.mean.to_bits(),
+                "{what} moved under telemetry for {}",
+                off_cell.policy
+            );
+            assert_eq!(o.std.to_bits(), n.std.to_bits());
+            assert_eq!(o.min.to_bits(), n.min.to_bits());
+            assert_eq!(o.max.to_bits(), n.max.to_bits());
+        }
+        // The only difference: the telemetry-on cells carry the
+        // utilization aggregate.
+        assert!(off_cell.utilization.is_none());
+        assert!(on_cell.utilization.is_some());
     }
 }
 
