@@ -3,12 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iosched_baselines::FairShare;
+use iosched_bench::experiments::load_sweep;
 use iosched_core::heuristics::{MaxSysEff, MinDilation};
 use iosched_core::periodic::{
     InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective, TimetablePolicy,
 };
 use iosched_model::Platform;
-use iosched_sim::{simulate, SimConfig};
+use iosched_sim::{simulate, simulate_stream, SimConfig};
 use iosched_workload::congestion::congested_moment;
 use std::hint::black_box;
 
@@ -104,6 +105,28 @@ fn bench_sim(c: &mut Criterion) {
                 black_box(&apps),
                 &mut policy,
                 &SimConfig::default(),
+            )
+            .unwrap();
+            black_box(out.events)
+        });
+    });
+    // Open-system stream: 10k Poisson arrivals admitted lazily through
+    // the slot-recycling arena with streaming aggregates — the
+    // bounded-memory path (`bench_stream_mem` measures the allocation
+    // side; this case tracks its event throughput).
+    group.bench_function(BenchmarkId::new("stream_10k", 10_000), |b| {
+        let spec = load_sweep::stream_10k();
+        let config = SimConfig {
+            per_app_detail: false,
+            ..SimConfig::default()
+        };
+        b.iter(|| {
+            let mut policy = MinDilation;
+            let out = simulate_stream(
+                &platform,
+                spec.app_source(&platform).expect("stream spec is valid"),
+                &mut policy,
+                &config,
             )
             .unwrap();
             black_box(out.events)

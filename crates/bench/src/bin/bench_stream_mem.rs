@@ -1,0 +1,153 @@
+//! Peak-allocation comparison of the two ways to run a 10k-application
+//! Poisson stream (~20 concurrent applications at a time):
+//!
+//! * **naive full materialization** — the closed-roster shape: collect
+//!   the whole stream into a `Vec<AppSpec>`, install every
+//!   `AppRuntime` up-front (`O(total)` specs + runtimes + progress
+//!   tables) and keep the full per-application outcome detail;
+//! * **lazy stream** — `simulate_stream` over the stream iterator with
+//!   [`SimConfig::per_app_detail`] off: applications are admitted on
+//!   release into a recycled slot arena and retired into streaming
+//!   aggregates, so peak allocation tracks *concurrency*, not the
+//!   stream length.
+//!
+//! A counting global allocator (the PR 2 instrument) reports each
+//! phase's peak live-bytes delta. Before anything is reported, a third
+//! run — lazy with the detail *on* — is checked bit-identical to the
+//! naive path: the lazy engine is the same simulation, only its memory
+//! shape changes. Results are recorded in `BENCH_PR5.json`.
+//!
+//! The open-system semantics (admission on release, per-application
+//! feasibility) require the stream path in both cases: "naive" here
+//! means *materialize and retain everything*, exactly what a closed
+//! engine would have to do.
+
+use iosched_bench::experiments::load_sweep::stream_10k;
+use iosched_model::{AppSpec, Platform};
+use iosched_sim::{simulate_stream, SimConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// `System` wrapped with live-bytes and peak-live-bytes counters.
+struct TrackingAllocator;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// Reset the peak to the current live level and return a phase token.
+fn phase_start() -> (usize, Instant) {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    (live, Instant::now())
+}
+
+/// Peak bytes above the phase baseline and elapsed seconds.
+fn phase_end((baseline, t0): (usize, Instant)) -> (usize, f64) {
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+    (peak, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let platform = Platform::intrepid();
+    let spec = stream_10k();
+    println!("workload: {}", spec.label());
+
+    // --- Path A: naive full materialization (collect + retain all). ----
+    let token = phase_start();
+    let apps: Vec<AppSpec> = spec
+        .app_source(&platform)
+        .expect("stream spec is valid")
+        .collect();
+    let mut policy = iosched_core::heuristics::MinDilation;
+    let naive = simulate_stream(
+        &platform,
+        apps.iter().cloned(),
+        &mut policy,
+        &SimConfig::default(), // full per-app detail retained
+    )
+    .expect("stream runs");
+    let naive_apps = apps.len();
+    drop(apps);
+    let (naive_peak, naive_secs) = phase_end(token);
+
+    // --- Path B: lazy stream, aggregates only. --------------------------
+    let lean_config = SimConfig {
+        per_app_detail: false,
+        ..SimConfig::default()
+    };
+    let token = phase_start();
+    let mut policy = iosched_core::heuristics::MinDilation;
+    let lean = simulate_stream(
+        &platform,
+        spec.app_source(&platform).expect("stream spec is valid"),
+        &mut policy,
+        &lean_config,
+    )
+    .expect("stream runs");
+    let (lean_peak, lean_secs) = phase_end(token);
+
+    // --- Cross-check: the lazy engine is the same simulation. -----------
+    let mut policy = iosched_core::heuristics::MinDilation;
+    let detailed = simulate_stream(
+        &platform,
+        spec.app_source(&platform).expect("stream spec is valid"),
+        &mut policy,
+        &SimConfig::default(),
+    )
+    .expect("stream runs");
+    assert_eq!(naive.events, detailed.events, "paths diverged");
+    assert_eq!(
+        naive.report.sys_efficiency.to_bits(),
+        detailed.report.sys_efficiency.to_bits(),
+        "paths diverged"
+    );
+    assert_eq!(naive.events, lean.events, "lean run diverged");
+    assert!((naive.report.sys_efficiency - lean.report.sys_efficiency).abs() < 1e-12);
+    assert_eq!(
+        naive.report.dilation.to_bits(),
+        lean.report.dilation.to_bits()
+    );
+
+    let steady = lean.steady.expect("stream runs attach steady state");
+    println!(
+        "stream: {} apps, {} events, mean queue {:.1}, peak concurrency ~{:.0}",
+        naive_apps,
+        lean.events,
+        steady.mean_queue,
+        steady.mean_queue.ceil()
+    );
+    println!(
+        "naive full materialization: peak +{naive_peak} B, {naive_secs:.3} s ({:.0} apps/s)",
+        naive_apps as f64 / naive_secs
+    );
+    println!(
+        "lazy stream:                peak +{lean_peak} B, {lean_secs:.3} s ({:.0} apps/s)",
+        naive_apps as f64 / lean_secs
+    );
+    let ratio = naive_peak as f64 / lean_peak.max(1) as f64;
+    println!("peak-allocation ratio naive/lazy: {ratio:.2}x");
+    assert!(
+        ratio >= 10.0,
+        "bounded-memory bar missed: {ratio:.2}x < 10x"
+    );
+}

@@ -21,7 +21,7 @@ use crate::runner::ScenarioRunner;
 use crate::scenario::{PolicySpec, Scenario};
 use iosched_baselines::native_platform;
 use iosched_model::stats::Summary;
-use iosched_sim::{simulate, SimConfig, SimOutcome};
+use iosched_sim::{simulate, simulate_open, SimConfig, SimOutcome};
 use iosched_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -127,13 +127,16 @@ pub struct ScenarioSpec {
 }
 
 impl ScenarioSpec {
-    /// Materialize into a runnable [`Scenario`].
+    /// Materialize into a runnable [`Scenario`]. Stream workloads mark
+    /// the scenario open-system, so the runner admits applications on
+    /// release instead of requiring the closed processor budget.
     pub fn build(&self) -> Result<Scenario, String> {
         let platform = self.platform.build()?;
         let apps = self.workload.materialize(&platform)?;
         Ok(
             Scenario::new(self.label.clone(), platform, apps, self.policy)
-                .with_config(self.config.clone().unwrap_or_default()),
+                .with_config(self.config.clone().unwrap_or_default())
+                .open(self.workload.is_open()),
         )
     }
 }
@@ -338,6 +341,14 @@ pub struct CellSummary {
     /// (present iff the campaign's [`SimConfig::telemetry`] flag asked
     /// every run for a telemetry summary).
     pub utilization: Option<Summary>,
+    /// Steady-state mean I/O-queue length per run, over the seeds
+    /// (present iff every run attached a steady summary — stream
+    /// workloads, or a campaign-wide `warmup`/`horizon` window). The
+    /// load-sweep saturation curves read queue growth off this.
+    pub queue: Option<Summary>,
+    /// Steady-state mean per-application stretch per run, over the
+    /// seeds (same presence rule as `queue`).
+    pub stretch: Option<Summary>,
 }
 
 /// Output of [`run_campaign`]: one summary per cell, in cell order.
@@ -360,6 +371,19 @@ impl CampaignResult {
             .iter()
             .find(|c| c.workload == workload && c.policy == policy)
     }
+
+    /// Pool one policy's per-run dilations across every cell (platforms
+    /// × workloads) via [`Summary::merge`] — the sharded-aggregation
+    /// view: each cell is one shard, the pooled summary is the summary
+    /// of all of that policy's runs. `None` for an unknown policy.
+    #[must_use]
+    pub fn pooled_dilation(&self, policy: &str) -> Option<Summary> {
+        let mut acc = Summary::empty();
+        for cell in self.cells.iter().filter(|c| c.policy == policy) {
+            acc.merge(&cell.dilation);
+        }
+        (acc.n > 0).then_some(acc)
+    }
 }
 
 /// Streaming per-cell accumulator: holds one cell's samples while its
@@ -371,6 +395,8 @@ struct CellBuffer {
     uppers: Vec<f64>,
     spans: Vec<f64>,
     utils: Vec<f64>,
+    queues: Vec<f64>,
+    stretches: Vec<f64>,
 }
 
 impl CellBuffer {
@@ -378,33 +404,51 @@ impl CellBuffer {
         self.effs.push(outcome.report.sys_efficiency);
         self.dils.push(outcome.report.dilation);
         self.uppers.push(outcome.report.upper_limit);
-        self.spans.push(outcome.report.makespan().as_secs());
+        // `end_time` equals `report.makespan()` bit-for-bit on completed
+        // runs (the engine's last event is the last completion), and
+        // unlike the report fold it stays correct when the per-app
+        // detail is off (empty `per_app` would fold to 0) or a horizon
+        // cut the run.
+        self.spans.push(outcome.end_time.as_secs());
         if let Some(telemetry) = &outcome.telemetry {
             self.utils.push(telemetry.mean_utilization);
+        }
+        if let Some(steady) = &outcome.steady {
+            self.queues.push(steady.mean_queue);
+            self.stretches.push(steady.mean_stretch);
         }
     }
 
     fn summarize(&mut self, labels: &(String, String, String)) -> CellSummary {
+        // All-or-nothing presence: the telemetry flag and the steady
+        // window are campaign-wide, so a partially-populated buffer
+        // would mean runs disagreed.
+        let optional = |xs: &[f64], runs: usize| {
+            (xs.len() == runs)
+                .then(|| Summary::from_slice(xs))
+                .flatten()
+        };
+        let runs = self.effs.len();
         let summary = CellSummary {
             platform: labels.0.clone(),
             workload: labels.1.clone(),
             policy: labels.2.clone(),
-            runs: self.effs.len(),
+            runs,
             sys_efficiency: Summary::from_slice(&self.effs).expect("non-empty cell"),
             dilation: Summary::from_slice(&self.dils).expect("non-empty cell"),
             upper_limit: Summary::from_slice(&self.uppers).expect("non-empty cell"),
             makespan_secs: Summary::from_slice(&self.spans).expect("non-empty cell"),
-            // All-or-nothing: the telemetry flag is campaign-wide, so a
-            // partially-populated buffer would mean runs disagreed.
-            utilization: (self.utils.len() == self.effs.len())
-                .then(|| Summary::from_slice(&self.utils))
-                .flatten(),
+            utilization: optional(&self.utils, runs),
+            queue: optional(&self.queues, runs),
+            stretch: optional(&self.stretches, runs),
         };
         self.effs.clear();
         self.dils.clear();
         self.uppers.clear();
         self.spans.clear();
         self.utils.clear();
+        self.queues.clear();
+        self.stretches.clear();
         summary
     }
 }
@@ -485,6 +529,13 @@ where
                 let apps = workload
                     .materialize(&platforms[p])
                     .map_err(|e| format!("{}: {e}", block_label()))?;
+                // Stream workloads run under open-system semantics
+                // (admission on release, per-app feasibility).
+                let run = if workload.is_open() {
+                    simulate_open
+                } else {
+                    simulate
+                };
                 spec.policies
                     .iter()
                     .map(|policy_spec| {
@@ -496,7 +547,7 @@ where
                         let mut policy = policy_spec
                             .build(&platforms[p], &apps)
                             .map_err(|e| format!("{}/{e}", block_label()))?;
-                        simulate(&platforms[p], &apps, policy.as_mut(), &config).map_err(|e| {
+                        run(&platforms[p], &apps, policy.as_mut(), &config).map_err(|e| {
                             format!("{}/{}: {e}", block_label(), policy_spec.serde_name())
                         })
                     })
@@ -731,6 +782,30 @@ mod tests {
                 "run {idx} diverged"
             );
         }
+    }
+
+    #[test]
+    fn pooled_dilation_merges_cells_like_one_big_sample() {
+        let spec = small_campaign();
+        let result = run_campaign(&spec, &ScenarioRunner::with_threads(2)).unwrap();
+        // Reference: every fairshare run's dilation as one flat sample.
+        let mut all = Vec::new();
+        for (idx, scenario) in spec.scenarios().enumerate() {
+            let (_, _, pol, _) = spec.decompose(idx);
+            if spec.policies[pol].name() == "fairshare" {
+                all.push(scenario.unwrap().run().unwrap().report.dilation);
+            }
+        }
+        let pooled = result.pooled_dilation("fairshare").expect("policy exists");
+        let reference = Summary::from_slice(&all).unwrap();
+        assert_eq!(pooled.n, reference.n);
+        assert!((pooled.mean - reference.mean).abs() < 1e-12);
+        assert!((pooled.std - reference.std).abs() < 1e-12);
+        assert_eq!(pooled.min.to_bits(), reference.min.to_bits());
+        assert_eq!(pooled.max.to_bits(), reference.max.to_bits());
+        // Under the reservoir cap the pooled quantiles are exact too.
+        assert_eq!(pooled.median.to_bits(), reference.median.to_bits());
+        assert!(result.pooled_dilation("lottery").is_none());
     }
 
     #[test]

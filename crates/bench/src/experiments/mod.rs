@@ -12,4 +12,5 @@ pub mod fig07;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod load_sweep;
 pub mod tables;

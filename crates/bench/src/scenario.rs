@@ -22,7 +22,7 @@
 //! [`PolicyFactory`]: iosched_core::registry::PolicyFactory
 
 use iosched_model::{AppSpec, Platform};
-use iosched_sim::{simulate, SimConfig, SimError, SimOutcome};
+use iosched_sim::{simulate, simulate_open, SimConfig, SimError, SimOutcome};
 
 pub use iosched_core::registry::{ControlFactory, PeriodicFactory, PolicyFactory as PolicySpec};
 
@@ -41,6 +41,12 @@ pub struct Scenario {
     pub policy: PolicySpec,
     /// Engine configuration.
     pub config: SimConfig,
+    /// Open-system semantics: `apps` is a release-sorted arrival stream
+    /// (admitted on release, per-application feasibility instead of the
+    /// closed `Σβ ≤ N` budget). Set by
+    /// [`crate::campaign::ScenarioSpec::build`] for
+    /// `WorkloadSpec::Stream` workloads.
+    pub open_system: bool,
 }
 
 impl Scenario {
@@ -57,6 +63,7 @@ impl Scenario {
             apps,
             policy,
             config: SimConfig::default(),
+            open_system: false,
         }
     }
 
@@ -64,6 +71,15 @@ impl Scenario {
     #[must_use]
     pub fn with_config(self, config: SimConfig) -> Self {
         Self { config, ..self }
+    }
+
+    /// Mark the application list as an open-system arrival stream.
+    #[must_use]
+    pub fn open(self, open_system: bool) -> Self {
+        Self {
+            open_system,
+            ..self
+        }
     }
 
     /// Execute this scenario to completion (the sequential unit the
@@ -75,7 +91,11 @@ impl Scenario {
             .policy
             .build(&self.platform, &self.apps)
             .map_err(SimError::InvalidScenario)?;
-        simulate(&self.platform, &self.apps, policy.as_mut(), &self.config)
+        if self.open_system {
+            simulate_open(&self.platform, &self.apps, policy.as_mut(), &self.config)
+        } else {
+            simulate(&self.platform, &self.apps, policy.as_mut(), &self.config)
+        }
     }
 }
 

@@ -36,7 +36,7 @@
 //! }
 //! ```
 
-use iosched_bench::campaign::{run_campaign, CampaignSpec};
+use iosched_bench::campaign::{run_campaign, CampaignSpec, ScenarioSpec};
 use iosched_bench::report::Table;
 use iosched_bench::runner::ScenarioRunner;
 use iosched_bench::scenario::PolicySpec;
@@ -352,6 +352,127 @@ pub fn cmd_telemetry(
     Ok((out, json))
 }
 
+/// `iosched stream`: run one open-system scenario (a
+/// [`iosched_workload::WorkloadSpec::Stream`] workload, or any workload
+/// under a `warmup`/`horizon` window) and render + JSON-export the
+/// windowed steady-state record. Online and `control:*` policies drive
+/// the lazy stream directly (peak memory tracks concurrency); offline
+/// `periodic:*` policies materialize the roster first — they need the
+/// whole stream to plan.
+pub fn cmd_stream(spec: &ScenarioSpec) -> Result<(String, String), String> {
+    let platform = spec.platform.build()?;
+    let config = spec.config.clone().unwrap_or_default();
+    if !spec.workload.is_open() && config.horizon.is_none() && config.warmup.get() <= 0.0 {
+        return Err(
+            "stream needs an open workload (a \"Stream\" spec) or a warmup/horizon \
+             window in the config; use `iosched simulate` for plain closed rosters"
+                .into(),
+        );
+    }
+    let result = if spec.policy.is_offline() || !spec.workload.is_open() {
+        // Offline policies plan over the whole roster; closed workloads
+        // come materialized anyway.
+        let apps = spec.workload.materialize(&platform)?;
+        let mut policy = spec.policy.build(&platform, &apps)?;
+        if spec.workload.is_open() {
+            iosched_sim::simulate_open(&platform, &apps, policy.as_mut(), &config)
+        } else {
+            simulate(&platform, &apps, policy.as_mut(), &config)
+        }
+    } else {
+        let mut policy = spec.policy.build(&platform, &[])?;
+        iosched_sim::simulate_stream(
+            &platform,
+            spec.workload.app_source(&platform)?,
+            policy.as_mut(),
+            &config,
+        )
+    }
+    .map_err(|e| e.to_string())?;
+    let steady = result
+        .steady
+        .clone()
+        .ok_or("engine produced no steady-state summary")?;
+    let mut out = format!(
+        "{} under {} on {} ({} events over {:.0}s simulated)\n\n",
+        spec.workload.label(),
+        spec.policy.name(),
+        platform.name,
+        result.events,
+        result.end_time.as_secs(),
+    );
+    let _ = writeln!(
+        out,
+        "applications: {} admitted, {} completed in the window, {} left in the system",
+        steady.admitted, steady.completed, steady.left_in_system,
+    );
+    let _ = writeln!(
+        out,
+        "steady state over [{:.0}s, {:.0}s] ({:.0}s observed):",
+        steady.warmup_secs,
+        result.end_time.as_secs(),
+        steady.window_secs,
+    );
+    let _ = writeln!(
+        out,
+        "  stretch      mean {:.2}  max {:.2}",
+        steady.mean_stretch, steady.max_stretch,
+    );
+    let _ = writeln!(
+        out,
+        "  I/O queue    mean {:.2} applications",
+        steady.mean_queue,
+    );
+    let _ = writeln!(
+        out,
+        "  utilization  mean {:.3} of the PFS",
+        steady.mean_utilization,
+    );
+    let _ = writeln!(
+        out,
+        "  throughput   {:.1} completions/hour",
+        steady.throughput_per_hour,
+    );
+    if let Some(telemetry) = &result.telemetry {
+        let _ = writeln!(
+            out,
+            "telemetry: contention mean {:.2} p99 {:.2}, peak backlog {:.1} GiB, peak pending {}",
+            telemetry.mean_contention,
+            telemetry.contention.p99,
+            telemetry.peak_backlog_gib,
+            telemetry.peak_pending,
+        );
+    }
+    let json = serde_json::to_string_pretty(&StreamRecord {
+        workload: spec.workload.label(),
+        policy: spec.policy.name(),
+        events: result.events,
+        end_secs: result.end_time.as_secs(),
+        steady,
+        telemetry: result.telemetry,
+    })
+    .map_err(|e| e.to_string())?;
+    Ok((out, json))
+}
+
+/// JSON export of one `iosched stream` run: the windowed record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamRecord {
+    /// Workload label (seed-free).
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// Scheduling events processed.
+    pub events: usize,
+    /// Final simulated second.
+    pub end_secs: f64,
+    /// The warmup-trimmed steady-state window.
+    pub steady: iosched_sim::SteadySummary,
+    /// Per-run congestion record (present iff the config set
+    /// `telemetry`).
+    pub telemetry: Option<iosched_sim::TelemetrySummary>,
+}
+
 /// `iosched periodic`: run the §3.2 period search over a scenario of
 /// periodic applications.
 pub fn cmd_periodic(
@@ -434,6 +555,10 @@ pub fn cmd_campaign(spec: &CampaignSpec) -> Result<String, String> {
         result.cells.len(),
         runner.threads(),
     );
+    let streamed = spec
+        .workloads
+        .iter()
+        .any(iosched_workload::WorkloadSpec::is_open);
     let mut table = Table::new([
         "platform", "workload", "policy", "runs", "SysEff%", "±std", "Dilation", "makespan",
         "upper%",
@@ -456,6 +581,41 @@ pub fn cmd_campaign(spec: &CampaignSpec) -> Result<String, String> {
         ]);
     }
     out.push_str(&table.render());
+    // Saturation view for open-system sweeps: the steady-state queue
+    // and stretch per cell (the per-λ curves), plus each policy's
+    // dilation pooled across the whole workload axis (cell summaries
+    // merged via `Summary::merge`).
+    if streamed {
+        let mut steady = Table::new(["workload", "policy", "queue", "stretch", "util"]);
+        for cell in &result.cells {
+            let fmt = |s: &Option<iosched_model::stats::Summary>| {
+                s.as_ref().map_or("-".into(), |s| format!("{:.2}", s.mean))
+            };
+            steady.row([
+                cell.workload.clone(),
+                cell.policy.clone(),
+                fmt(&cell.queue),
+                fmt(&cell.stretch),
+                fmt(&cell.utilization),
+            ]);
+        }
+        out.push_str("\nsteady state (warmup-trimmed means per cell):\n");
+        out.push_str(&steady.render());
+        out.push_str("\npooled dilation across the workload axis:\n");
+        for policy in &spec.policies {
+            if let Some(pooled) = result.pooled_dilation(&policy.serde_name()) {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} mean {:.2}  p95 {:.2}  max {:.2}  ({} runs)",
+                    policy.serde_name(),
+                    pooled.mean,
+                    pooled.p95,
+                    pooled.max,
+                    pooled.n,
+                );
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -471,6 +631,7 @@ USAGE:
   iosched simulate <scenario.json> --policy <name|all> [--burst-buffer]
   iosched telemetry <scenario.json> --policy <name>
                     [--external-load PERIOD,BUSY,FRACTION] [-o FILE]
+  iosched stream <stream-scenario.json> [-o FILE]
   iosched periodic <scenario.json> [--objective <dilation|syseff>] [--epsilon E]
   iosched campaign <campaign.json> [--threads N]
 
@@ -500,6 +661,20 @@ TELEMETRY:
   contention means + p95/p99 tails, peak backlog, peak pending).
   --external-load 240,90,0.7 squeezes 70% of the PFS away for the first
   90s of every 240s cycle (the storm used by campaign_control.json).
+
+OPEN-SYSTEM STREAMS:
+  `iosched stream` runs one scenario-spec file whose workload is a
+  dynamic arrival stream (see README 'Open-system streams'):
+  {\"label\": \"demo\", \"platform\": \"intrepid\",
+   \"workload\": {\"Stream\": {\"arrivals\": {\"Poisson\": {\"rate\": 0.001}},
+                            \"template\": {\"Congestion\": {\"seed\": 0}},
+                            \"stop\": {\"Apps\": 500}, \"seed\": 0}},
+   \"policy\": \"fairshare\", \"config\": {\"warmup\": 2000.0}}
+  Online/control policies drive the stream lazily (peak memory tracks
+  concurrency, not stream length); the warmup-trimmed steady-state
+  record (stretch, queue, utilization, throughput) prints and exports
+  as JSON with -o. examples/campaign_stream.json sweeps arrival rates
+  x policies into per-cell saturation curves via `iosched campaign`.
 ";
 
 #[cfg(test)]
@@ -653,6 +828,98 @@ mod tests {
         assert!(parsed.mean_contention > 0.0, "congested moments contend");
         // Unknown policies and invalid scenarios error cleanly.
         assert!(cmd_telemetry(&s, "lottery", None).is_err());
+    }
+
+    fn stream_spec_json(policy: &str) -> String {
+        format!(
+            r#"{{
+                "label": "unit-stream",
+                "platform": "intrepid",
+                "workload": {{"Stream": {{
+                    "arrivals": {{"Poisson": {{"rate": 0.001}}}},
+                    "template": {{"Congestion": {{"seed": 0}}}},
+                    "stop": {{"Apps": 80}},
+                    "seed": 1
+                }}}},
+                "policy": "{policy}",
+                "config": {{"warmup": 2000.0, "telemetry": true}}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn stream_command_reports_and_exports_the_windowed_record() {
+        let spec: iosched_bench::campaign::ScenarioSpec =
+            serde_json::from_str(&stream_spec_json("fairshare")).unwrap();
+        let (report, json) = cmd_stream(&spec).unwrap();
+        for needle in [
+            "stream(poisson@0.001/s->congestionx80)",
+            "fairshare",
+            "80 admitted",
+            "steady state",
+            "stretch",
+            "I/O queue",
+            "throughput",
+            "telemetry",
+        ] {
+            assert!(report.contains(needle), "missing {needle} in:\n{report}");
+        }
+        // The JSON export is a deserializable StreamRecord.
+        let record: StreamRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(record.policy, "fairshare");
+        assert_eq!(record.steady.admitted, 80);
+        assert!(record.steady.mean_stretch >= 1.0);
+        assert!(record.telemetry.is_some());
+    }
+
+    #[test]
+    fn stream_command_materializes_for_offline_policies() {
+        // periodic:* needs the whole roster to plan; the stretched-tmax
+        // form packs the 80-app stream roster.
+        let spec: iosched_bench::campaign::ScenarioSpec =
+            serde_json::from_str(&stream_spec_json("periodic:cong:tmax=32")).unwrap();
+        let (report, _) = cmd_stream(&spec).unwrap();
+        assert!(report.contains("periodic:cong:tmax=32"), "{report}");
+        assert!(report.contains("steady state"));
+    }
+
+    #[test]
+    fn stream_command_rejects_unwindowed_closed_scenarios() {
+        let closed = r#"{
+            "label": "closed",
+            "platform": "vesta",
+            "workload": {"Congestion": {"seed": 0}},
+            "policy": "fairshare",
+            "config": null
+        }"#;
+        let spec: iosched_bench::campaign::ScenarioSpec = serde_json::from_str(closed).unwrap();
+        let err = cmd_stream(&spec).unwrap_err();
+        assert!(err.contains("iosched simulate"), "{err}");
+        // …but a windowed closed scenario is fine (horizon semantics).
+        let windowed = closed.replace("null", r#"{"warmup": 100.0}"#);
+        let spec: iosched_bench::campaign::ScenarioSpec = serde_json::from_str(&windowed).unwrap();
+        let (report, _) = cmd_stream(&spec).unwrap();
+        assert!(report.contains("steady state"), "{report}");
+    }
+
+    #[test]
+    fn campaign_prints_saturation_view_for_stream_sweeps() {
+        let spec = CampaignSpec {
+            workloads: vec![iosched_bench::experiments::load_sweep::stream_workload(
+                0.0008,
+            )],
+            policies: vec![
+                PolicySpec::parse("fairshare").unwrap(),
+                PolicySpec::parse("mindilation").unwrap(),
+            ],
+            seeds: vec![0],
+            threads: Some(2),
+            ..iosched_bench::experiments::load_sweep::campaign(1)
+        };
+        let out = cmd_campaign(&spec).unwrap();
+        for needle in ["steady state", "queue", "pooled dilation", "stream("] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! `iosched` binary: thin argument parsing over [`iosched_cli`].
 
-use iosched_bench::campaign::CampaignSpec;
+use iosched_bench::campaign::{CampaignSpec, ScenarioSpec};
 use iosched_cli::{
     cmd_campaign, cmd_generate, cmd_periodic, cmd_platforms, cmd_policies, cmd_simulate,
-    cmd_telemetry, GenerateKind, ScenarioFile, USAGE,
+    cmd_stream, cmd_telemetry, GenerateKind, ScenarioFile, USAGE,
 };
 use std::process::ExitCode;
 
@@ -84,6 +84,23 @@ fn run(args: &[String]) -> Result<String, String> {
                     std::fs::write(&out_path, json + "\n")
                         .map_err(|e| format!("{out_path}: {e}"))?;
                     Ok(format!("{report}\nwrote telemetry summary to {out_path}\n"))
+                }
+                None => Ok(report),
+            }
+        }
+        Some("stream") => {
+            let path = args.get(1).ok_or("stream needs a scenario spec file")?;
+            if path.starts_with("--") {
+                return Err("stream needs a scenario spec file as its first argument".into());
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let spec: ScenarioSpec = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+            let (report, json) = cmd_stream(&spec)?;
+            match flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+                Some(out_path) => {
+                    std::fs::write(&out_path, json + "\n")
+                        .map_err(|e| format!("{out_path}: {e}"))?;
+                    Ok(format!("{report}\nwrote stream record to {out_path}\n"))
                 }
                 None => Ok(report),
             }

@@ -274,19 +274,32 @@ impl AppSpec {
     }
 }
 
-/// Validate a full scenario: every application valid, ids dense and unique,
-/// and the processor assignment feasible (`Σ β(k) ≤ N` — the paper assumes
-/// every application runs on *dedicated* resources).
+/// Validate a full scenario: every application valid, ids dense and unique
+/// (any order — the engine keys everything on `AppId`, so a shuffled
+/// roster describes the same closed system), and the processor assignment
+/// feasible (`Σ β(k) ≤ N` — the paper assumes every application runs on
+/// *dedicated* resources).
 pub fn validate_scenario(platform: &Platform, apps: &[AppSpec]) -> Result<(), ModelError> {
     platform.validate()?;
+    let mut seen = vec![false; apps.len()];
     let mut total_procs: u64 = 0;
-    for (i, app) in apps.iter().enumerate() {
+    for app in apps {
         app.validate()?;
-        if app.id().0 != i {
-            return Err(ModelError::InvalidApp(format!(
-                "application ids must be dense and ordered: position {i} holds {}",
-                app.id()
-            )));
+        match seen.get_mut(app.id().0) {
+            Some(slot) if !*slot => *slot = true,
+            Some(_) => {
+                return Err(ModelError::InvalidApp(format!(
+                    "duplicate application id {}",
+                    app.id()
+                )))
+            }
+            None => {
+                return Err(ModelError::InvalidApp(format!(
+                    "application ids must be dense in 0..{}: found {}",
+                    apps.len(),
+                    app.id()
+                )))
+            }
         }
         total_procs = total_procs.saturating_add(app.procs());
     }
@@ -295,6 +308,63 @@ pub fn validate_scenario(platform: &Platform, apps: &[AppSpec]) -> Result<(), Mo
             "applications require {total_procs} processors but the platform has {}",
             platform.procs
         )));
+    }
+    Ok(())
+}
+
+/// One-application slice of the open-system contract — the single
+/// encoding shared by [`validate_open_scenario`] (whole-slice) and the
+/// stream engine's incremental admission: the application is
+/// individually valid and individually feasible (`β(k) ≤ N`), its id is
+/// dense at `position` in release order, and its release does not
+/// precede `last_release`.
+pub fn validate_open_arrival(
+    platform: &Platform,
+    app: &AppSpec,
+    position: usize,
+    last_release: Time,
+) -> Result<(), ModelError> {
+    app.validate()?;
+    if app.id().0 != position {
+        return Err(ModelError::InvalidApp(format!(
+            "open-stream ids must be dense in release order: position {position} holds {}",
+            app.id()
+        )));
+    }
+    if app.procs() > platform.procs {
+        return Err(ModelError::InfeasibleAssignment(format!(
+            "{} requires {} processors but the platform has {}",
+            app.id(),
+            app.procs(),
+            platform.procs
+        )));
+    }
+    if app.release() < last_release {
+        return Err(ModelError::InvalidApp(format!(
+            "open-stream releases must be non-decreasing: {} at {} after {}",
+            app.id(),
+            app.release(),
+            last_release
+        )));
+    }
+    Ok(())
+}
+
+/// Validate an *open-system* roster (a dynamic arrival stream): every
+/// application passes [`validate_open_arrival`] at its position. The
+/// closed `Σ β(k) ≤ N` budget deliberately does **not** apply — an open
+/// stream time-shares the machine over its lifetime. Note the model
+/// does not queue on processors either: arrivals start computing at
+/// release unconditionally, so in a supercritical regime the
+/// *concurrent* processor demand can exceed `N` too — saturation is
+/// meant to be read off the I/O queue/stretch metrics, not a processor
+/// limit.
+pub fn validate_open_scenario(platform: &Platform, apps: &[AppSpec]) -> Result<(), ModelError> {
+    platform.validate()?;
+    let mut last_release = Time::ZERO;
+    for (i, app) in apps.iter().enumerate() {
+        validate_open_arrival(platform, app, i, last_release)?;
+        last_release = app.release();
     }
     Ok(())
 }
@@ -405,6 +475,43 @@ mod tests {
             1,
         )];
         assert!(validate_scenario(&p, &apps).is_err());
+        // Duplicates are rejected too.
+        let app = |id| AppSpec::periodic(id, Time::ZERO, 1, Time::secs(1.0), Bytes::gib(1.0), 1);
+        assert!(validate_scenario(&p, &[app(0), app(0)]).is_err());
+    }
+
+    #[test]
+    fn scenario_validation_accepts_any_permutation() {
+        // A shuffled roster describes the same closed system: the ids
+        // form a dense permutation, so validation passes in any order.
+        let p = test_platform();
+        let app = |id| AppSpec::periodic(id, Time::ZERO, 10, Time::secs(1.0), Bytes::gib(1.0), 1);
+        validate_scenario(&p, &[app(2), app(0), app(1)]).unwrap();
+    }
+
+    #[test]
+    fn open_scenario_validation_relaxes_the_budget_only() {
+        let p = test_platform(); // 1,000 processors
+        let app = |id, procs, rel| {
+            AppSpec::periodic(
+                id,
+                Time::secs(rel),
+                procs,
+                Time::secs(1.0),
+                Bytes::gib(1.0),
+                1,
+            )
+        };
+        // Σβ = 1,800 > 1,000: infeasible closed, fine as an open stream.
+        let stream = [app(0, 600, 0.0), app(1, 600, 5.0), app(2, 600, 9.0)];
+        assert!(validate_scenario(&p, &stream).is_err());
+        validate_open_scenario(&p, &stream).unwrap();
+        // A single application over the whole machine is still rejected.
+        assert!(validate_open_scenario(&p, &[app(0, 1_200, 0.0)]).is_err());
+        // Ids must be dense in release order, releases non-decreasing.
+        assert!(validate_open_scenario(&p, &[app(1, 10, 0.0)]).is_err());
+        let unsorted = [app(0, 10, 5.0), app(1, 10, 2.0)];
+        assert!(validate_open_scenario(&p, &unsorted).is_err());
     }
 
     #[test]

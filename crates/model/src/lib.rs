@@ -48,7 +48,7 @@ pub mod units;
 pub use app::{AppId, AppSpec, Instance, InstancePattern};
 pub use error::ModelError;
 pub use interference::Interference;
-pub use objectives::{AppOutcome, ObjectiveReport};
+pub use objectives::{AppOutcome, ObjectiveAccumulator, ObjectiveReport};
 pub use platform::{BurstBufferSpec, Platform};
 pub use progress::AppProgress;
 pub use stats::Summary;

@@ -83,7 +83,8 @@ pub struct ObjectiveReport {
 }
 
 impl ObjectiveReport {
-    /// Aggregate outcomes into the paper's two objectives.
+    /// Aggregate outcomes into the paper's two objectives (one
+    /// [`ObjectiveAccumulator`] fold over the outcomes, in order).
     ///
     /// # Panics
     /// Panics on an empty outcome list: objectives are undefined.
@@ -93,23 +94,11 @@ impl ObjectiveReport {
             !per_app.is_empty(),
             "objectives need at least one application"
         );
-        let n: f64 = per_app.iter().map(|o| o.procs as f64).sum();
-        let sys_efficiency = per_app
-            .iter()
-            .map(|o| o.procs as f64 * o.rho_tilde)
-            .sum::<f64>()
-            / n;
-        let upper_limit = per_app.iter().map(|o| o.procs as f64 * o.rho).sum::<f64>() / n;
-        let dilation = per_app
-            .iter()
-            .map(AppOutcome::dilation)
-            .fold(1.0_f64, f64::max);
-        Self {
-            sys_efficiency,
-            upper_limit,
-            dilation,
-            per_app,
+        let mut acc = ObjectiveAccumulator::default();
+        for outcome in &per_app {
+            acc.fold(outcome);
         }
+        acc.report(per_app)
     }
 
     /// SysEfficiency as a percentage (the unit of Tables 1–2).
@@ -137,6 +126,46 @@ impl ObjectiveReport {
     #[must_use]
     pub fn app(&self, id: AppId) -> Option<&AppOutcome> {
         self.per_app.iter().find(|o| o.id == id)
+    }
+}
+
+/// Streaming fold of the §2.2 aggregates — the one definition of the
+/// procs-weighted sums shared by [`ObjectiveReport::from_outcomes`] and
+/// consumers that retire applications one at a time without keeping the
+/// per-application detail (the simulator's `per_app_detail = false`
+/// path). Folding in a different order changes the floating-point sums
+/// (but not the `max`-based dilation), so detail-free aggregates match
+/// the collected report to rounding, bit-exactly only when fold order
+/// equals outcome order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObjectiveAccumulator {
+    total_procs: f64,
+    eff_sum: f64,
+    upper_sum: f64,
+    dilation: f64,
+}
+
+impl ObjectiveAccumulator {
+    /// Fold one application's final outcome.
+    pub fn fold(&mut self, outcome: &AppOutcome) {
+        self.total_procs += outcome.procs as f64;
+        self.eff_sum += outcome.procs as f64 * outcome.rho_tilde;
+        self.upper_sum += outcome.procs as f64 * outcome.rho;
+        self.dilation = self.dilation.max(outcome.dilation());
+    }
+
+    /// Close the fold into a report carrying `per_app` as its detail
+    /// (pass an empty vector for the detail-free mode; all-zero
+    /// aggregates result when nothing was folded).
+    #[must_use]
+    pub fn report(self, per_app: Vec<AppOutcome>) -> ObjectiveReport {
+        let n = self.total_procs;
+        ObjectiveReport {
+            sys_efficiency: if n > 0.0 { self.eff_sum / n } else { 0.0 },
+            upper_limit: if n > 0.0 { self.upper_sum / n } else { 0.0 },
+            dilation: self.dilation.max(1.0),
+            per_app,
+        }
     }
 }
 

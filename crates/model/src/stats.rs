@@ -7,8 +7,27 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Largest sample the quantile reservoir retains exactly. Summaries of
+/// up to this many observations merge with *exact* quantiles; larger
+/// ones keep a deterministic stride-subsample (endpoints always
+/// included), so merged quantiles degrade gracefully instead of being
+/// dropped.
+pub const RESERVOIR_CAP: usize = 512;
+
 /// Five-number-style summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Summaries are *mergeable* ([`Summary::merge`]): count, mean,
+/// standard deviation, min and max combine exactly (Chan et al.
+/// pairwise update), and the quantiles recompute from the union of the
+/// two sorted reservoirs — one code path for windowed (time-sliced) and
+/// sharded (per-worker / per-cell) aggregation.
+///
+/// Serde carries only the eight statistics — the reservoir is internal
+/// sketch state (up to 512 floats that would dominate every exported
+/// record), so JSON written before the reservoir existed still parses
+/// and a *deserialized* summary merges with exact count/mean/std/min/
+/// max but quantiles degraded to the side that still has a reservoir.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,
@@ -27,6 +46,10 @@ pub struct Summary {
     pub p95: f64,
     /// 99th percentile (linear interpolation).
     pub p99: f64,
+    /// Sorted quantile reservoir backing [`Summary::merge`]: the full
+    /// sorted sample up to [`RESERVOIR_CAP`] observations, a
+    /// deterministic stride-subsample past it.
+    pub reservoir: Vec<f64>,
 }
 
 impl Summary {
@@ -54,8 +77,166 @@ impl Summary {
             median: percentile_sorted(&sorted, 50.0),
             p95: percentile_sorted(&sorted, 95.0),
             p99: percentile_sorted(&sorted, 99.0),
+            reservoir: cap_reservoir(sorted),
         })
     }
+
+    /// The merge identity: an empty summary (`n = 0`, all statistics 0).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            reservoir: Vec::new(),
+        }
+    }
+
+    /// Fold `other` into `self`: the summary of the union of both
+    /// samples. Count, mean, std (pairwise-variance update), min and
+    /// max are exact; the quantiles recompute from the union of the two
+    /// reservoirs — exact while both sides are exact (the combined
+    /// sample fits [`RESERVOIR_CAP`]). Once a side is a capped sketch
+    /// its entries carry unequal mass, so each side is first resampled
+    /// to a quantile grid sized by its share of the combined sample —
+    /// a plain union would let a 10-observation shard outvote a
+    /// 10k-observation one in the merged tails. Merging with
+    /// [`Summary::empty`] (either side) is the identity.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let exact = self.reservoir.len() == self.n && other.reservoir.len() == other.n;
+        let merged = if exact {
+            merge_sorted(&self.reservoir, &other.reservoir)
+        } else {
+            // Equal-mass sketch: side entries proportional to sample
+            // share (each side keeps at least one entry).
+            let total = self.n + other.n;
+            let ka = ((RESERVOIR_CAP * self.n + total / 2) / total).clamp(1, RESERVOIR_CAP - 1);
+            let kb = RESERVOIR_CAP - ka;
+            merge_sorted(
+                &quantile_grid(&self.reservoir, ka),
+                &quantile_grid(&other.reservoir, kb),
+            )
+        };
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let m2 = self.std * self.std * (na - 1.0)
+            + other.std * other.std * (nb - 1.0)
+            + delta * delta * na * nb / n;
+        self.mean += delta * nb / n;
+        self.std = if n < 2.0 {
+            0.0
+        } else {
+            (m2 / (n - 1.0)).sqrt()
+        };
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n += other.n;
+        if !merged.is_empty() {
+            self.median = percentile_sorted(&merged, 50.0);
+            self.p95 = percentile_sorted(&merged, 95.0);
+            self.p99 = percentile_sorted(&merged, 99.0);
+        }
+        self.reservoir = cap_reservoir(merged);
+    }
+}
+
+impl serde::Serialize for Summary {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("mean".to_string(), self.mean.to_value()),
+            ("std".to_string(), self.std.to_value()),
+            ("min".to_string(), self.min.to_value()),
+            ("max".to_string(), self.max.to_value()),
+            ("median".to_string(), self.median.to_value()),
+            ("p95".to_string(), self.p95.to_value()),
+            ("p99".to_string(), self.p99.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Summary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Summary"))?;
+        fn field<T: serde::Deserialize>(
+            m: &[(String, serde::Value)],
+            key: &str,
+        ) -> Result<T, serde::Error> {
+            T::from_value(serde::map_get(m, key)).map_err(|e| e.at(key))
+        }
+        Ok(Self {
+            n: field(m, "n")?,
+            mean: field(m, "mean")?,
+            std: field(m, "std")?,
+            min: field(m, "min")?,
+            max: field(m, "max")?,
+            median: field(m, "median")?,
+            p95: field(m, "p95")?,
+            p99: field(m, "p99")?,
+            reservoir: Vec::new(),
+        })
+    }
+}
+
+/// Union of two sorted samples by merge walk.
+fn merge_sorted(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].total_cmp(&b[j]).is_le() {
+            merged.push(a[i]);
+            i += 1;
+        } else {
+            merged.push(b[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&a[i..]);
+    merged.extend_from_slice(&b[j..]);
+    merged
+}
+
+/// `k` evenly spaced quantiles of a **sorted** sample (the equal-mass
+/// resampling behind [`Summary::merge`]'s sketch branch). Identity when
+/// `k` covers the whole sample.
+fn quantile_grid(sorted: &[f64], k: usize) -> Vec<f64> {
+    if k >= sorted.len() {
+        return sorted.to_vec();
+    }
+    if k == 1 {
+        return vec![percentile_sorted(sorted, 50.0)];
+    }
+    (0..k)
+        .map(|i| percentile_sorted(sorted, 100.0 * i as f64 / (k - 1) as f64))
+        .collect()
+}
+
+/// Reduce a sorted sample to the reservoir: identity up to
+/// [`RESERVOIR_CAP`], then a deterministic stride-subsample keeping
+/// both endpoints.
+fn cap_reservoir(sorted: Vec<f64>) -> Vec<f64> {
+    let n = sorted.len();
+    if n <= RESERVOIR_CAP {
+        return sorted;
+    }
+    (0..RESERVOIR_CAP)
+        .map(|k| sorted[k * (n - 1) / (RESERVOIR_CAP - 1)])
+        .collect()
 }
 
 /// `p`-th percentile (0–100) of a **sorted** sample, linear interpolation
@@ -220,6 +401,149 @@ mod tests {
             (s.p95, s.p99, s.median, s.min, s.max),
             (3.0, 3.0, 3.0, 3.0, 3.0)
         );
+    }
+
+    #[test]
+    fn merge_of_two_halves_equals_the_whole() {
+        let xs: Vec<f64> = (0..101).map(|i| f64::from(i) * 0.7 - 11.0).collect();
+        let (a, b) = xs.split_at(37);
+        let mut merged = Summary::from_slice(a).unwrap();
+        merged.merge(&Summary::from_slice(b).unwrap());
+        let whole = Summary::from_slice(&xs).unwrap();
+        assert_eq!(merged.n, whole.n);
+        assert!((merged.mean - whole.mean).abs() < 1e-12);
+        assert!((merged.std - whole.std).abs() < 1e-12);
+        assert_eq!(merged.min, whole.min);
+        assert_eq!(merged.max, whole.max);
+        // Under the reservoir cap the union is the full sample: the
+        // quantiles are exact.
+        assert_eq!(merged.median.to_bits(), whole.median.to_bits());
+        assert_eq!(merged.p95.to_bits(), whole.p95.to_bits());
+        assert_eq!(merged.p99.to_bits(), whole.p99.to_bits());
+        assert_eq!(merged.reservoir, whole.reservoir);
+    }
+
+    #[test]
+    fn merge_with_empty_is_the_identity() {
+        let s = Summary::from_slice(&[2.0, 4.0, 8.0]).unwrap();
+        // empty ⊕ nonempty.
+        let mut acc = Summary::empty();
+        acc.merge(&s);
+        assert_eq!(acc, s);
+        // nonempty ⊕ empty.
+        let mut acc = s.clone();
+        acc.merge(&Summary::empty());
+        assert_eq!(acc, s);
+        // empty ⊕ empty.
+        let mut acc = Summary::empty();
+        acc.merge(&Summary::empty());
+        assert_eq!(acc.n, 0);
+    }
+
+    #[test]
+    fn merge_on_tie_heavy_samples() {
+        // 99 copies of 1.0 in one shard, the outlier in another: the
+        // merged tails sit exactly where the whole-sample tails sit.
+        let plateau = vec![1.0; 99];
+        let mut merged = Summary::from_slice(&plateau).unwrap();
+        merged.merge(&Summary::from_slice(&[100.0]).unwrap());
+        let mut whole = plateau.clone();
+        whole.push(100.0);
+        let whole = Summary::from_slice(&whole).unwrap();
+        assert_eq!(merged.n, 100);
+        assert_eq!(merged.p95.to_bits(), whole.p95.to_bits());
+        assert_eq!(merged.p99.to_bits(), whole.p99.to_bits());
+        assert_eq!(merged.max, 100.0);
+        assert!((merged.std - whole.std).abs() < 1e-9);
+        // All-identical shards collapse to the value.
+        let mut acc = Summary::from_slice(&[3.0; 8]).unwrap();
+        acc.merge(&Summary::from_slice(&[3.0; 9]).unwrap());
+        assert_eq!(
+            (acc.mean, acc.std, acc.median, acc.p99),
+            (3.0, 0.0, 3.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_enough_across_many_shards() {
+        // Fold 10 shards left-to-right; compare against the whole.
+        let xs: Vec<f64> = (0..400).map(|i| ((i * 37) % 97) as f64).collect();
+        let mut acc = Summary::empty();
+        for chunk in xs.chunks(40) {
+            acc.merge(&Summary::from_slice(chunk).unwrap());
+        }
+        let whole = Summary::from_slice(&xs).unwrap();
+        assert_eq!(acc.n, whole.n);
+        assert!((acc.mean - whole.mean).abs() < 1e-10);
+        assert!((acc.std - whole.std).abs() < 1e-10);
+        assert_eq!(acc.min, whole.min);
+        assert_eq!(acc.max, whole.max);
+        assert_eq!(acc.median.to_bits(), whole.median.to_bits());
+    }
+
+    #[test]
+    fn reservoir_caps_deterministically_and_keeps_endpoints() {
+        let xs: Vec<f64> = (0..5_000).map(f64::from).collect();
+        let s = Summary::from_slice(&xs).unwrap();
+        assert_eq!(s.reservoir.len(), RESERVOIR_CAP);
+        assert_eq!(s.reservoir[0], 0.0);
+        assert_eq!(*s.reservoir.last().unwrap(), 4_999.0);
+        // Merging two capped summaries still tracks the true quantiles
+        // closely (subsample approximation).
+        let ys: Vec<f64> = (5_000..10_000).map(f64::from).collect();
+        let mut merged = s.clone();
+        merged.merge(&Summary::from_slice(&ys).unwrap());
+        assert_eq!(merged.n, 10_000);
+        assert!((merged.median - 4_999.5).abs() < 30.0, "{}", merged.median);
+        assert!((merged.p99 - 9_900.0).abs() < 60.0, "{}", merged.p99);
+        assert_eq!(merged.reservoir.len(), RESERVOIR_CAP);
+    }
+
+    #[test]
+    fn serde_carries_the_statistics_but_not_the_reservoir() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("reservoir"), "sketch state must not export");
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n, s.n);
+        assert_eq!(back.mean.to_bits(), s.mean.to_bits());
+        assert_eq!(back.p99.to_bits(), s.p99.to_bits());
+        assert!(back.reservoir.is_empty());
+        // Pre-reservoir JSON (no such field) still parses.
+        let legacy = r#"{"n": 2, "mean": 1.5, "std": 0.7, "min": 1.0,
+                         "max": 2.0, "median": 1.5, "p95": 1.95, "p99": 1.99}"#;
+        let parsed: Summary = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.n, 2);
+        // A deserialized summary still merges: scalars exact, quantiles
+        // degraded to the side that kept its reservoir.
+        let mut acc = parsed;
+        acc.merge(&Summary::from_slice(&[10.0, 20.0]).unwrap());
+        assert_eq!(acc.n, 4);
+        assert!((acc.mean - (1.0 + 2.0 + 10.0 + 20.0) / 4.0).abs() < 1e-12);
+        assert_eq!(acc.max, 20.0);
+    }
+
+    #[test]
+    fn merge_weights_uneven_shards_by_mass() {
+        // A 5,000-observation bulk (capped sketch) merged with 10
+        // outliers: the outliers are 0.2 % of the mass, so the merged
+        // tails must stay in the bulk — a plain reservoir union would
+        // let the 10 entries claim ~2 % and drag p99 to the outlier.
+        let bulk: Vec<f64> = (0..5_000).map(f64::from).collect();
+        let mut merged = Summary::from_slice(&bulk).unwrap();
+        merged.merge(&Summary::from_slice(&[1.0e6; 10]).unwrap());
+        assert_eq!(merged.n, 5_010);
+        assert!((merged.median - 2_500.0).abs() < 50.0, "{}", merged.median);
+        assert!(
+            merged.p99 < 10_000.0,
+            "p99 {} dragged to the outliers",
+            merged.p99
+        );
+        assert_eq!(merged.max, 1.0e6, "max stays exact");
+        // Mirror order: small shard first.
+        let mut merged = Summary::from_slice(&[1.0e6; 10]).unwrap();
+        merged.merge(&Summary::from_slice(&bulk).unwrap());
+        assert!(merged.p99 < 10_000.0, "{}", merged.p99);
     }
 
     #[test]

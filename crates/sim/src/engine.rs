@@ -74,10 +74,14 @@ use crate::error::SimError;
 use crate::external_load::ExternalLoad;
 use crate::outcome::SimOutcome;
 use crate::state::{AppRuntime, Phase};
+use crate::steady::SteadyAccum;
 use crate::telemetry::{Telemetry, TelemetrySample};
 use crate::trace::{BandwidthTrace, TraceSegment};
 use iosched_core::policy::{AppState, OnlinePolicy, StateBuffer};
-use iosched_model::{app::validate_scenario, AppId, AppSpec, Bw, Bytes, Platform, Time};
+use iosched_model::app::{validate_open_arrival, validate_open_scenario, validate_scenario};
+use iosched_model::{
+    AppId, AppOutcome, AppSpec, Bw, Bytes, ObjectiveAccumulator, ObjectiveReport, Platform, Time,
+};
 use std::collections::BinaryHeap;
 
 /// Engine configuration.
@@ -102,6 +106,26 @@ pub struct SimConfig {
     /// the exported quantiles. Simulated results are bit-identical with
     /// the flag on or off.
     pub telemetry: bool,
+    /// Steady-state transient to trim: the [`crate::SteadySummary`]
+    /// attached to the outcome ignores everything before this instant.
+    /// A positive warmup (or a `horizon`, or a stream-driven run) turns
+    /// the steady-state accumulator on; it observes only and never
+    /// changes simulated results.
+    pub warmup: Time,
+    /// Hard stop: the run halts once the next event would land past
+    /// this instant, reporting whatever completed by then. `None` (the
+    /// default) runs every application to completion — required for the
+    /// closed-roster experiments, whose pins predate this knob.
+    pub horizon: Option<Time>,
+    /// Keep the per-application outcome detail (`report.per_app`,
+    /// `per_app_bytes`). On by default; switching it off makes the
+    /// outcome `O(1)` in the number of applications — the aggregate
+    /// objectives and the steady-state summary are folded streamingly —
+    /// which is what lets a 10k-application stream run in memory
+    /// proportional to its *concurrency*. With the flag off,
+    /// `report.per_app` is empty and `report.makespan()` is therefore 0;
+    /// use `end_time` and the steady summary instead.
+    pub per_app_detail: bool,
 }
 
 impl Default for SimConfig {
@@ -112,6 +136,9 @@ impl Default for SimConfig {
             max_events: 10_000_000,
             external_load: None,
             telemetry: false,
+            warmup: Time::ZERO,
+            horizon: None,
+            per_app_detail: true,
         }
     }
 }
@@ -127,6 +154,9 @@ impl serde::Serialize for SimConfig {
             ("max_events".to_string(), self.max_events.to_value()),
             ("external_load".to_string(), self.external_load.to_value()),
             ("telemetry".to_string(), self.telemetry.to_value()),
+            ("warmup".to_string(), self.warmup.to_value()),
+            ("horizon".to_string(), self.horizon.to_value()),
+            ("per_app_detail".to_string(), self.per_app_detail.to_value()),
         ])
     }
 }
@@ -153,20 +183,32 @@ impl serde::Deserialize for SimConfig {
         for (key, _) in m {
             if !matches!(
                 key.as_str(),
-                "use_burst_buffer" | "record_trace" | "max_events" | "external_load" | "telemetry"
+                "use_burst_buffer"
+                    | "record_trace"
+                    | "max_events"
+                    | "external_load"
+                    | "telemetry"
+                    | "warmup"
+                    | "horizon"
+                    | "per_app_detail"
             ) {
                 return Err(serde::Error::custom(format!(
                     "unknown SimConfig field '{key}'"
                 )));
             }
         }
-        Ok(Self {
+        let config = Self {
             use_burst_buffer: field(m, "use_burst_buffer", defaults.use_burst_buffer)?,
             record_trace: field(m, "record_trace", defaults.record_trace)?,
             max_events: field(m, "max_events", defaults.max_events)?,
             external_load: field(m, "external_load", defaults.external_load)?,
             telemetry: field(m, "telemetry", defaults.telemetry)?,
-        })
+            warmup: field(m, "warmup", defaults.warmup)?,
+            horizon: field(m, "horizon", defaults.horizon)?,
+            per_app_detail: field(m, "per_app_detail", defaults.per_app_detail)?,
+        };
+        config.validate().map_err(serde::Error::custom)?;
+        Ok(config)
     }
 }
 
@@ -197,6 +239,47 @@ impl SimConfig {
             ..Self::default()
         }
     }
+
+    /// Default configuration windowed for steady-state observation:
+    /// trim `warmup`, stop at `horizon`.
+    #[must_use]
+    pub fn windowed(warmup: Time, horizon: Time) -> Self {
+        Self {
+            warmup,
+            horizon: Some(horizon),
+            ..Self::default()
+        }
+    }
+
+    /// Window-knob sanity: a negative/non-finite warmup or a
+    /// non-positive horizon is always a configuration bug.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.warmup.is_finite() || self.warmup.get() < 0.0 {
+            return Err(format!(
+                "warmup {} must be finite and non-negative",
+                self.warmup
+            ));
+        }
+        if let Some(h) = self.horizon {
+            if !h.is_finite() || h.get() <= 0.0 {
+                return Err(format!("horizon {h} must be positive and finite"));
+            }
+            if h <= self.warmup {
+                return Err(format!(
+                    "horizon {h} must lie past the warmup {}",
+                    self.warmup
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the steady-state accumulator should run (a window knob
+    /// is set; stream-driven constructions force it regardless).
+    #[must_use]
+    fn wants_steady(&self) -> bool {
+        self.warmup.get() > 0.0 || self.horizon.is_some() || !self.per_app_detail
+    }
 }
 
 /// What one [`Simulation::step`] call did.
@@ -210,10 +293,12 @@ pub enum StepStatus {
 
 /// Compute-completion entry in the event heap, ordered so that
 /// `BinaryHeap::peek` yields the *earliest* completion (ties broken by
-/// application index for determinism).
+/// `AppId`, which is stable under roster permutation and slot reuse —
+/// the slot index `idx` is only the access path).
 #[derive(Debug, Clone, Copy)]
 struct ComputeEvent {
     at: Time,
+    id: AppId,
     idx: usize,
 }
 
@@ -238,8 +323,24 @@ impl Ord for ComputeEvent {
             .at
             .get()
             .total_cmp(&self.at.get())
-            .then_with(|| other.idx.cmp(&self.idx))
+            .then_with(|| other.id.cmp(&self.id))
     }
+}
+
+/// Where applications come from: the closed roster installed at
+/// construction, or an open stream admitted on release.
+enum Admission<'a> {
+    /// Every application was installed up-front; future releases sit on
+    /// the pre-sorted stack.
+    Roster,
+    /// Applications are pulled from the (release-sorted) source as the
+    /// clock reaches them — the engine never holds more than the live
+    /// set plus one lookahead.
+    Stream {
+        source: Box<dyn Iterator<Item = AppSpec> + 'a>,
+        /// The next arrival (`None` once the source is exhausted).
+        lookahead: Option<AppSpec>,
+    },
 }
 
 /// One in-flight fluid simulation: the explicit state machine behind
@@ -251,19 +352,45 @@ pub struct Simulation<'a> {
     platform: &'a Platform,
     policy: &'a mut dyn OnlinePolicy,
     config: &'a SimConfig,
+    /// Slot arena of live (and recently finished) application runtimes.
+    /// In closed-roster mode slots are the input positions; in stream
+    /// mode finished slots are recycled through `free`, so the arena
+    /// size tracks peak *concurrency*, not total admissions.
     rts: Vec<AppRuntime>,
+    /// Recycled slots of retired applications (stream mode).
+    free: Vec<usize>,
+    /// Where new applications come from.
+    admission: Admission<'a>,
+    /// Applications admitted so far (stream mode validates dense ids
+    /// against this; closed mode admits everything at construction).
+    admitted: usize,
+    /// Release time of the last admitted application (stream-order
+    /// validation).
+    last_release: Time,
+    /// Compact per-application results, drained out of the slots at
+    /// retirement (kept iff [`SimConfig::per_app_detail`]).
+    retired: Vec<(AppOutcome, Bytes)>,
+    /// Streaming objective aggregates (maintained iff the per-app
+    /// detail is off).
+    agg: ObjectiveAccumulator,
+    /// Warmup-trimmed steady-state accumulator (see
+    /// [`SimConfig::warmup`]); `None` when no window knob asked for it.
+    steady: Option<SteadyAccum>,
+    /// Set when the horizon cut the run short.
+    halted: bool,
     bb: Option<BurstBufferState>,
     now: Time,
     events: usize,
     finished: usize,
     drain_bw: Bw,
-    /// Indices of applications currently in the `Io` phase, ascending
-    /// (= `AppId` order, which policies rely on). Maintained incrementally
-    /// by the transition handlers.
+    /// Slots of applications currently in the `Io` phase, kept in
+    /// ascending `AppId` order (which policies rely on). Maintained
+    /// incrementally by the transition handlers.
     pending: Vec<usize>,
-    /// Future releases, sorted by release time *descending* so `pop()`
-    /// yields the earliest.
-    releases: Vec<(Time, usize)>,
+    /// Future releases of the closed roster, sorted descending by
+    /// `(release, id)` so `pop()` yields the earliest; empty in stream
+    /// mode.
+    releases: Vec<(Time, AppId, usize)>,
     /// Outstanding compute completions.
     compute: BinaryHeap<ComputeEvent>,
     /// Reused scratch: predicted I/O completions, as *absolute* times.
@@ -297,8 +424,8 @@ pub struct Simulation<'a> {
 }
 
 impl<'a> Simulation<'a> {
-    /// Validate the scenario, install the applications and perform the
-    /// initial allocation at `t = 0`.
+    /// Validate the closed scenario, install every application and
+    /// perform the initial allocation at `t = 0`.
     pub fn new(
         platform: &'a Platform,
         apps: &[AppSpec],
@@ -311,6 +438,74 @@ impl<'a> Simulation<'a> {
                 "simulation needs at least one application".into(),
             ));
         }
+        let rts: Vec<AppRuntime> = apps
+            .iter()
+            .map(|a| AppRuntime::new(a.clone(), platform))
+            .collect();
+        let mut releases: Vec<(Time, AppId, usize)> = rts
+            .iter()
+            .enumerate()
+            .map(|(i, rt)| (rt.spec.release(), rt.spec.id(), i))
+            .collect();
+        releases.sort_by(|a, b| b.0.get().total_cmp(&a.0.get()).then(b.1.cmp(&a.1)));
+        let admitted = rts.len();
+        Self::start(
+            platform,
+            policy,
+            config,
+            rts,
+            releases,
+            Admission::Roster,
+            admitted,
+        )
+    }
+
+    /// Open-system construction: pull applications from a release-sorted
+    /// `source` as the clock reaches them. The engine holds the live set
+    /// plus one lookahead — peak memory tracks *concurrency*, not the
+    /// stream length. Each admitted application is validated on arrival
+    /// (individually feasible, ids dense in release order); the closed
+    /// `Σβ ≤ N` budget deliberately does not apply.
+    pub fn from_stream(
+        platform: &'a Platform,
+        source: impl Iterator<Item = AppSpec> + 'a,
+        policy: &'a mut dyn OnlinePolicy,
+        config: &'a SimConfig,
+    ) -> Result<Self, SimError> {
+        platform
+            .validate()
+            .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+        let mut source: Box<dyn Iterator<Item = AppSpec> + 'a> = Box::new(source);
+        let lookahead = source.next();
+        if lookahead.is_none() {
+            return Err(SimError::InvalidScenario(
+                "application stream produced no applications".into(),
+            ));
+        }
+        Self::start(
+            platform,
+            policy,
+            config,
+            Vec::new(),
+            Vec::new(),
+            Admission::Stream { source, lookahead },
+            0,
+        )
+    }
+
+    /// Shared second half of the constructors: engine-config validation,
+    /// initial transitions and the `t = 0` allocation.
+    #[allow(clippy::too_many_arguments)]
+    fn start(
+        platform: &'a Platform,
+        policy: &'a mut dyn OnlinePolicy,
+        config: &'a SimConfig,
+        rts: Vec<AppRuntime>,
+        releases: Vec<(Time, AppId, usize)>,
+        admission: Admission<'a>,
+        admitted: usize,
+    ) -> Result<Self, SimError> {
+        config.validate().map_err(SimError::InvalidScenario)?;
         let bb = if config.use_burst_buffer {
             let spec = platform.burst_buffer.ok_or_else(|| {
                 SimError::InvalidScenario(
@@ -330,24 +525,21 @@ impl<'a> Simulation<'a> {
                 ));
             }
         }
-
-        let rts: Vec<AppRuntime> = apps
-            .iter()
-            .map(|a| AppRuntime::new(a.clone(), platform))
-            .collect();
-        let mut releases: Vec<(Time, usize)> = rts
-            .iter()
-            .enumerate()
-            .map(|(i, rt)| (rt.spec.release(), i))
-            .collect();
-        releases.sort_by(|a, b| b.0.get().total_cmp(&a.0.get()).then(b.1.cmp(&a.1)));
-
+        let streamed = matches!(admission, Admission::Stream { .. });
         let n = rts.len();
         let mut sim = Self {
             platform,
             policy,
             config,
             rts,
+            free: Vec::new(),
+            admission,
+            admitted,
+            last_release: Time::ZERO,
+            retired: Vec::new(),
+            agg: ObjectiveAccumulator::default(),
+            steady: (streamed || config.wants_steady()).then(|| SteadyAccum::new(config.warmup)),
+            halted: false,
             bb,
             now: Time::ZERO,
             events: 0,
@@ -368,7 +560,7 @@ impl<'a> Simulation<'a> {
             tel_open: TelemetrySample::idle(Time::ZERO, platform.total_bw),
             debug: std::env::var_os("IOSCHED_SIM_DEBUG").is_some(),
         };
-        sim.settle_transitions();
+        sim.settle_transitions()?;
         sim.allocate()?;
         sim.snapshot_segment();
         Ok(sim)
@@ -386,21 +578,48 @@ impl<'a> Simulation<'a> {
         self.events
     }
 
-    /// True once every application completed its last instance.
+    /// True once every admitted application completed its last instance
+    /// and no further arrivals are possible — or the horizon halted the
+    /// run.
     #[must_use]
     pub fn is_finished(&self) -> bool {
-        self.finished == self.rts.len()
+        let exhausted = match &self.admission {
+            Admission::Roster => true, // everything admitted at construction
+            Admission::Stream { lookahead, .. } => lookahead.is_none(),
+        };
+        self.halted || (exhausted && self.finished == self.admitted)
     }
 
-    /// Indices (= positions in the input `apps` slice) of applications
-    /// currently wanting I/O, ascending.
+    /// Applications admitted so far (the full roster for a closed run).
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+
+    /// Applications that completed their last instance so far.
+    #[must_use]
+    pub fn finished_count(&self) -> usize {
+        self.finished
+    }
+
+    /// Applications currently in the system (admitted, not finished).
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.admitted - self.finished
+    }
+
+    /// Slot indices of applications currently wanting I/O, in ascending
+    /// `AppId` order. (For a closed release-sorted roster, slots equal
+    /// positions in the input `apps` slice.)
     #[must_use]
     pub fn pending_apps(&self) -> &[usize] {
         &self.pending
     }
 
-    /// Per-application runtime records (inspection hook for steppable
-    /// use; indices match the input `apps` slice).
+    /// Per-application runtime slots (inspection hook for steppable
+    /// use). For a closed roster, indices match the input `apps` slice;
+    /// in stream mode a slot may hold a *retired* runtime until a later
+    /// admission recycles it.
     #[must_use]
     pub fn runtimes(&self) -> &[AppRuntime] {
         &self.rts
@@ -453,8 +672,15 @@ impl<'a> Simulation<'a> {
 
         // --- Find the next event. ------------------------------------
         let mut t_next = Time::INFINITY;
-        if let Some(&(t, _)) = self.releases.last() {
+        if let Some(&(t, _, _)) = self.releases.last() {
             t_next = t_next.min(t);
+        }
+        if let Admission::Stream {
+            lookahead: Some(app),
+            ..
+        } = &self.admission
+        {
+            t_next = t_next.min(app.release());
         }
         if let Some(ev) = self.compute.peek() {
             t_next = t_next.min(ev.at);
@@ -500,6 +726,44 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+        // The horizon halts the run before the next event would land
+        // past it: advance the fluid state to exactly the horizon (so
+        // the windowed integrals cover it) and stop. No transition is
+        // due in `(now, horizon]`, so there is nothing to settle — in
+        // particular no predicted completion (they are all `> horizon`
+        // here) and no re-allocation. The approx tolerance of the event
+        // guard means a just-past-horizon event may already have put
+        // `now` a hair beyond `h`; the clock never moves backwards (a
+        // regressing clock would emit a negative-length telemetry
+        // sample and a trace segment with `end < start`). An *infinite*
+        // t_next deliberately falls through to the stalled-system error
+        // below — while the run is unfinished it can only mean a policy
+        // stalled every pending application, and a horizon must not
+        // convert that diagnostic into plausible-looking idle time.
+        if let Some(h) = self.config.horizon {
+            if t_next.is_finite() && t_next.approx_gt(h) {
+                let h = h.max(self.now);
+                self.advance_fluid(h);
+                self.now = h;
+                self.tel_open.end = self.now;
+                let closed = self.tel_open;
+                self.telemetry.record(closed);
+                if let Some(steady) = &mut self.steady {
+                    steady.record_interval(&closed);
+                }
+                if let Some(t) = &mut self.trace {
+                    t.push(TraceSegment {
+                        start: self.seg_start,
+                        end: self.now,
+                        capacity: self.seg_capacity,
+                        grants: self.seg_grants.clone(),
+                        effective: self.seg_effective.clone(),
+                    });
+                }
+                self.halted = true;
+                return Ok(StepStatus::Advanced);
+            }
+        }
         if !t_next.is_finite() {
             // Applications remain but nothing can ever happen again.
             return Err(SimError::PolicyStalledSystem {
@@ -509,6 +773,110 @@ impl<'a> Simulation<'a> {
         }
 
         // --- Advance the fluid state to t_next. -----------------------
+        self.advance_fluid(t_next);
+        // Zero the winners' residues exactly.
+        for k in 0..self.predicted.len() {
+            let (i, done) = self.predicted[k];
+            if done.approx_le(t_next) {
+                if let Phase::Io { started, .. } = self.rts[i].phase {
+                    self.rts[i].phase = Phase::Io {
+                        remaining: iosched_model::Bytes::ZERO,
+                        started,
+                    };
+                }
+            }
+        }
+        self.now = t_next;
+        // Close the telemetry interval the last allocation opened (the
+        // installed rates were constant across it — the fluid model).
+        self.tel_open.end = self.now;
+        let closed = self.tel_open;
+        self.telemetry.record(closed);
+        if let Some(steady) = &mut self.steady {
+            steady.record_interval(&closed);
+        }
+
+        // --- State transitions and re-allocation. ---------------------
+        self.settle_transitions()?;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceSegment {
+                start: self.seg_start,
+                end: self.now,
+                capacity: self.seg_capacity,
+                grants: self.seg_grants.clone(),
+                effective: self.seg_effective.clone(),
+            });
+        }
+        self.allocate()?;
+        self.snapshot_segment();
+        Ok(StepStatus::Advanced)
+    }
+
+    /// Drive [`Simulation::step`] until every application finished (or
+    /// the horizon halts the run) and assemble the outcome.
+    pub fn run_to_completion(mut self) -> Result<SimOutcome, SimError> {
+        while !self.is_finished() {
+            self.step()?;
+        }
+        if self.finished == 0 {
+            // Only a horizon can halt a run before anything finished;
+            // objectives over zero applications are undefined.
+            return Err(SimError::InvalidScenario(format!(
+                "horizon {} ended the run before any application finished",
+                self.config.horizon.unwrap_or(self.now)
+            )));
+        }
+        Ok(self.into_outcome())
+    }
+
+    /// Consume the engine and assemble the objective report for the work
+    /// completed so far (normally called once [`Simulation::is_finished`];
+    /// applications still in flight — possible only under a horizon —
+    /// are reported through the steady summary's `left_in_system`).
+    ///
+    /// # Panics
+    /// Panics when no application finished yet.
+    #[must_use]
+    pub fn into_outcome(self) -> SimOutcome {
+        let telemetry = self
+            .config
+            .telemetry
+            .then(|| self.telemetry.summary())
+            .flatten();
+        // `admitted` for the summary counts applications that actually
+        // entered the system: a closed roster cut by a horizon still
+        // holds its never-released applications on the release stack,
+        // and they must not inflate `left_in_system` (the stream path
+        // admits on release, so the two modes agree).
+        let entered = self.admitted - self.releases.len();
+        let steady = self
+            .steady
+            .as_ref()
+            .map(|acc| acc.summary(entered, self.finished));
+        let (report, per_app_bytes) = if self.config.per_app_detail {
+            let mut retired = self.retired;
+            retired.sort_by_key(|(o, _)| o.id);
+            let per_app_bytes = retired.iter().map(|(o, b)| (o.id, *b)).collect();
+            let per_app: Vec<AppOutcome> = retired.into_iter().map(|(o, _)| o).collect();
+            assert!(!per_app.is_empty(), "engine only collects finished runs");
+            (ObjectiveReport::from_outcomes(per_app), per_app_bytes)
+        } else {
+            (self.agg.report(Vec::new()), Vec::new())
+        };
+        SimOutcome {
+            report,
+            trace: self.trace,
+            events: self.events,
+            end_time: self.now,
+            per_app_bytes,
+            telemetry,
+            steady,
+        }
+    }
+
+    /// Decay the pending transfers' volumes (and the burst-buffer level)
+    /// from `self.now` to `t_next` at the installed constant rates.
+    fn advance_fluid(&mut self, t_next: Time) {
         let dt = (t_next - self.now).max(Time::ZERO);
         let inflow = self.total_inflow();
         for &i in &self.pending {
@@ -525,70 +893,9 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
-        // Zero the winners' residues exactly.
-        for k in 0..self.predicted.len() {
-            let (i, done) = self.predicted[k];
-            if done.approx_le(t_next) {
-                if let Phase::Io { started, .. } = self.rts[i].phase {
-                    self.rts[i].phase = Phase::Io {
-                        remaining: iosched_model::Bytes::ZERO,
-                        started,
-                    };
-                }
-            }
-        }
         if let Some(b) = &mut self.bb {
             b.advance(dt, inflow, self.drain_bw);
         }
-        self.now = t_next;
-        // Close the telemetry interval the last allocation opened (the
-        // installed rates were constant across it — the fluid model).
-        self.tel_open.end = self.now;
-        let closed = self.tel_open;
-        self.telemetry.record(closed);
-
-        // --- State transitions and re-allocation. ---------------------
-        self.settle_transitions();
-        if let Some(t) = &mut self.trace {
-            t.push(TraceSegment {
-                start: self.seg_start,
-                end: self.now,
-                capacity: self.seg_capacity,
-                grants: self.seg_grants.clone(),
-                effective: self.seg_effective.clone(),
-            });
-        }
-        self.allocate()?;
-        self.snapshot_segment();
-        Ok(StepStatus::Advanced)
-    }
-
-    /// Drive [`Simulation::step`] until every application finished and
-    /// assemble the outcome.
-    pub fn run_to_completion(mut self) -> Result<SimOutcome, SimError> {
-        while !self.is_finished() {
-            self.step()?;
-        }
-        Ok(self.into_outcome())
-    }
-
-    /// Consume the engine and assemble the objective report for the work
-    /// completed so far (normally called once [`Simulation::is_finished`]).
-    #[must_use]
-    pub fn into_outcome(self) -> SimOutcome {
-        let telemetry = self
-            .config
-            .telemetry
-            .then(|| self.telemetry.summary())
-            .flatten();
-        SimOutcome::collect(
-            self.platform,
-            self.rts,
-            self.trace,
-            self.events,
-            self.now,
-            telemetry,
-        )
     }
 
     /// Aggregate effective inflow of all transferring applications.
@@ -599,16 +906,22 @@ impl<'a> Simulation<'a> {
             .sum()
     }
 
+    /// The pending set is ordered by `AppId` (stable under roster
+    /// permutation and slot reuse); slots are only the access path.
     fn pending_insert(&mut self, i: usize) {
-        if let Err(pos) = self.pending.binary_search(&i) {
-            self.pending.insert(pos, i);
+        let (pending, rts) = (&mut self.pending, &self.rts);
+        let id = rts[i].spec.id();
+        if let Err(pos) = pending.binary_search_by_key(&id, |&s| rts[s].spec.id()) {
+            pending.insert(pos, i);
             self.predicted_dirty = true;
         }
     }
 
     fn pending_remove(&mut self, i: usize) {
-        if let Ok(pos) = self.pending.binary_search(&i) {
-            self.pending.remove(pos);
+        let (pending, rts) = (&mut self.pending, &self.rts);
+        let id = rts[i].spec.id();
+        if let Ok(pos) = pending.binary_search_by_key(&id, |&s| rts[s].spec.id()) {
+            pending.remove(pos);
             self.predicted_dirty = true;
         }
     }
@@ -618,18 +931,46 @@ impl<'a> Simulation<'a> {
     /// the clock), so each source is drained once — no global fixpoint
     /// loop over all applications:
     ///
-    /// * due releases pop off the release stack,
+    /// * due releases pop off the release stack (closed roster) or are
+    ///   admitted from the stream source (open system),
     /// * due compute completions pop off the compute heap,
     /// * pending applications whose residual volume reached zero complete
     ///   their instance (and may chain through zero-work/zero-volume
     ///   instances within [`Simulation::settle_app`]).
-    fn settle_transitions(&mut self) {
-        while let Some(&(t, i)) = self.releases.last() {
+    ///
+    /// Only stream admission can fail (a malformed source application).
+    fn settle_transitions(&mut self) -> Result<(), SimError> {
+        while let Some(&(t, _, i)) = self.releases.last() {
             if !t.approx_le(self.now) {
                 break;
             }
             self.releases.pop();
             self.begin_instance(i, t.max(Time::ZERO));
+        }
+        loop {
+            let due = match &self.admission {
+                Admission::Stream {
+                    lookahead: Some(app),
+                    ..
+                } => app.release().approx_le(self.now),
+                _ => false,
+            };
+            if !due {
+                break;
+            }
+            let (app, next) = match &mut self.admission {
+                Admission::Stream {
+                    source, lookahead, ..
+                } => {
+                    let app = lookahead.take().expect("checked above");
+                    (app, source.next())
+                }
+                Admission::Roster => unreachable!("due implies stream"),
+            };
+            self.admit_streamed(app)?;
+            if let Admission::Stream { lookahead, .. } = &mut self.admission {
+                *lookahead = next;
+            }
         }
         while let Some(ev) = self.compute.peek() {
             if !ev.at.approx_le(self.now) {
@@ -657,6 +998,35 @@ impl<'a> Simulation<'a> {
                 k += 1;
             }
         }
+        Ok(())
+    }
+
+    /// Admit one application from the stream source: validate it in
+    /// isolation (the per-arrival slice of the open-system contract —
+    /// the same [`validate_open_arrival`] rules `simulate_open` checks
+    /// over whole slices), install it into a recycled or fresh slot and
+    /// start its first instance.
+    fn admit_streamed(&mut self, app: AppSpec) -> Result<(), SimError> {
+        validate_open_arrival(self.platform, &app, self.admitted, self.last_release)
+            .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+        self.last_release = app.release();
+        let release = app.release().max(Time::ZERO);
+        let rt = AppRuntime::new(app, self.platform);
+        let slot = match self.free.pop() {
+            // Recycling drops the retired runtime held there — this is
+            // what keeps the arena at peak-concurrency size.
+            Some(slot) => {
+                self.rts[slot] = rt;
+                slot
+            }
+            None => {
+                self.rts.push(rt);
+                self.rts.len() - 1
+            }
+        };
+        self.admitted += 1;
+        self.begin_instance(slot, release);
+        Ok(())
     }
 
     /// Start application `i`'s current instance at `at` and register it
@@ -666,6 +1036,7 @@ impl<'a> Simulation<'a> {
         match self.rts[i].phase {
             Phase::Computing { done_at } => self.compute.push(ComputeEvent {
                 at: done_at,
+                id: self.rts[i].spec.id(),
                 idx: i,
             }),
             Phase::Io { .. } => {
@@ -679,7 +1050,8 @@ impl<'a> Simulation<'a> {
     /// Chain through instance completions of one pending application:
     /// a zero residual volume completes the instance, and the next
     /// instance may immediately complete again (zero work and zero
-    /// volume), finish the application, or hand it to the compute heap.
+    /// volume), finish — and retire — the application, or hand it to the
+    /// compute heap.
     fn settle_app(&mut self, i: usize) {
         loop {
             let Phase::Io { remaining, .. } = self.rts[i].phase else {
@@ -702,6 +1074,7 @@ impl<'a> Simulation<'a> {
                 rt.phase = Phase::Finished;
                 self.finished += 1;
                 self.pending_remove(i);
+                self.retire(i);
                 return;
             }
             let now = self.now;
@@ -709,6 +1082,7 @@ impl<'a> Simulation<'a> {
             if let Phase::Computing { done_at } = self.rts[i].phase {
                 self.compute.push(ComputeEvent {
                     at: done_at,
+                    id: self.rts[i].spec.id(),
                     idx: i,
                 });
                 self.pending_remove(i);
@@ -716,6 +1090,35 @@ impl<'a> Simulation<'a> {
             }
             // Zero-work instance: straight back to Io; loop to catch a
             // zero-volume transfer completing instantly.
+        }
+    }
+
+    /// Compact a just-finished application out of its slot: its objective
+    /// contribution is extracted now (a handful of scalars), and in
+    /// stream mode the slot goes back on the free list for the next
+    /// admission to recycle — peak memory tracks concurrency, not the
+    /// total application count.
+    fn retire(&mut self, i: usize) {
+        let rt = &self.rts[i];
+        let d = self.now;
+        let outcome = AppOutcome {
+            id: rt.spec.id(),
+            procs: rt.spec.procs(),
+            release: rt.spec.release(),
+            finish: d,
+            rho: rt.progress.rho(d),
+            rho_tilde: rt.progress.rho_tilde(d),
+        };
+        if let Some(steady) = &mut self.steady {
+            steady.record_finish(&outcome);
+        }
+        if self.config.per_app_detail {
+            self.retired.push((outcome, rt.bytes_transferred));
+        } else {
+            self.agg.fold(&outcome);
+        }
+        if matches!(self.admission, Admission::Stream { .. }) {
+            self.free.push(i);
         }
     }
 
@@ -907,6 +1310,32 @@ pub fn simulate(
     config: &SimConfig,
 ) -> Result<SimOutcome, SimError> {
     Simulation::new(platform, apps, policy, config)?.run_to_completion()
+}
+
+/// Run `policy` over a lazy, release-sorted application stream —
+/// the open-system one-shot wrapper over [`Simulation::from_stream`].
+/// Peak memory tracks the stream's *concurrency*, never its length.
+pub fn simulate_stream<'a>(
+    platform: &'a Platform,
+    source: impl Iterator<Item = AppSpec> + 'a,
+    policy: &'a mut dyn OnlinePolicy,
+    config: &'a SimConfig,
+) -> Result<SimOutcome, SimError> {
+    Simulation::from_stream(platform, source, policy, config)?.run_to_completion()
+}
+
+/// Run `policy` over a *materialized* open-system roster (release-sorted,
+/// per-application feasibility instead of the closed `Σβ ≤ N` budget) —
+/// the campaign layer's entry point for stream workloads whose roster a
+/// seed block already shares across the policy axis.
+pub fn simulate_open(
+    platform: &Platform,
+    apps: &[AppSpec],
+    policy: &mut dyn OnlinePolicy,
+    config: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    validate_open_scenario(platform, apps).map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+    Simulation::from_stream(platform, apps.iter().cloned(), policy, config)?.run_to_completion()
 }
 #[cfg(test)]
 mod tests {
@@ -1443,6 +1872,312 @@ mod tests {
         let mut policy = ControlPolicy::pi_default();
         let out = simulate(&p, &apps, &mut policy, &stormy).unwrap();
         assert!(out.telemetry.unwrap().mean_contention > 0.0);
+    }
+
+    /// A release-sorted closed roster fed through the stream path must
+    /// reproduce the closed engine bit-for-bit: admission timing is the
+    /// only difference, and releases are events either way.
+    #[test]
+    fn stream_path_matches_closed_path_on_a_closed_roster() {
+        let p = platform();
+        let mut apps: Vec<AppSpec> = (0..5).map(|i| app(i, 3)).collect();
+        for (i, a) in apps.iter_mut().enumerate() {
+            a.set_release(Time::secs(i as f64 * 3.0));
+        }
+        let closed = simulate(&p, &apps, &mut MinDilation, &SimConfig::default()).unwrap();
+        let streamed = simulate_open(&p, &apps, &mut MinDilation, &SimConfig::default()).unwrap();
+        assert_eq!(closed.events, streamed.events);
+        assert_eq!(
+            closed.report.sys_efficiency.to_bits(),
+            streamed.report.sys_efficiency.to_bits()
+        );
+        assert_eq!(
+            closed.report.dilation.to_bits(),
+            streamed.report.dilation.to_bits()
+        );
+        assert_eq!(closed.per_app_bytes, streamed.per_app_bytes);
+        // The stream path carries a steady summary, the closed one not.
+        assert!(closed.steady.is_none());
+        let steady = streamed.steady.expect("stream runs attach steady state");
+        assert_eq!(steady.admitted, 5);
+        assert_eq!(steady.completed, 5);
+        assert_eq!(steady.left_in_system, 0);
+    }
+
+    /// The open system's point: a stream whose *total* processor demand
+    /// vastly oversubscribes the machine runs fine as long as each
+    /// application fits, and the slot arena tracks concurrency.
+    #[test]
+    fn stream_recycles_slots_and_relaxes_the_closed_budget() {
+        let p = platform(); // 1,000 processors
+        let n = 200;
+        // 400 procs each, spread far apart: ≤ 2 concurrent.
+        let apps: Vec<AppSpec> = (0..n)
+            .map(|i| {
+                AppSpec::periodic(
+                    i,
+                    Time::secs(i as f64 * 6.0),
+                    400,
+                    Time::secs(4.0),
+                    Bytes::gib(20.0),
+                    1,
+                )
+            })
+            .collect();
+        // Closed validation rejects the total (200 × 400 ≫ 1,000)…
+        assert!(matches!(
+            simulate(&p, &apps, &mut MinDilation, &SimConfig::default()),
+            Err(SimError::InvalidScenario(_))
+        ));
+        // …the stream path runs it in a concurrency-sized arena.
+        let config = SimConfig::default();
+        let mut policy = MinDilation;
+        let mut sim =
+            Simulation::from_stream(&p, apps.iter().cloned(), &mut policy, &config).unwrap();
+        while !sim.is_finished() {
+            sim.step().unwrap();
+        }
+        assert!(
+            sim.runtimes().len() <= 4,
+            "arena held {} slots for {} apps",
+            sim.runtimes().len(),
+            n
+        );
+        assert_eq!(sim.admitted(), n);
+        assert_eq!(sim.finished_count(), n);
+        let out = sim.into_outcome();
+        assert_eq!(out.report.per_app.len(), n);
+        assert!((out.report.dilation - 1.0).abs() < 1e-9, "no contention");
+    }
+
+    #[test]
+    fn horizon_halts_and_warmup_trims_the_steady_window() {
+        let p = platform();
+        // One app per 10 s, forever short of the horizon: w = 8 s,
+        // vol = 20 GiB → 2 s of I/O, all dedicated.
+        let apps: Vec<AppSpec> = (0..100)
+            .map(|i| {
+                AppSpec::periodic(
+                    i,
+                    Time::secs(i as f64 * 10.0),
+                    100,
+                    Time::secs(8.0),
+                    Bytes::gib(20.0),
+                    1,
+                )
+            })
+            .collect();
+        let config = SimConfig {
+            warmup: Time::secs(100.0),
+            horizon: Some(Time::secs(500.0)),
+            ..SimConfig::default()
+        };
+        let out = simulate_open(&p, &apps, &mut MaxSysEff, &config).unwrap();
+        assert!(
+            out.end_time.approx_eq(Time::secs(500.0)),
+            "{}",
+            out.end_time
+        );
+        let steady = out.steady.expect("windowed run attaches steady state");
+        // Releases at 0, 10, …, 500: the event at exactly the horizon is
+        // still processed, so 51 applications were admitted and the last
+        // one is cut off mid-flight.
+        assert_eq!(steady.admitted, 51);
+        assert_eq!(steady.left_in_system, 1);
+        // Completions at 10, 20, …, 500: the 41 at `t ≥ 100` count.
+        assert_eq!(steady.completed, 41);
+        assert!((steady.window_secs - 400.0).abs() < 1e-6);
+        assert!((steady.mean_stretch - 1.0).abs() < 1e-9);
+        assert!((steady.max_stretch - 1.0).abs() < 1e-9);
+        // 2 s of I/O per 10 s cycle → mean queue 0.2, utilization 0.2.
+        assert!(
+            (steady.mean_queue - 0.2).abs() < 1e-6,
+            "{}",
+            steady.mean_queue
+        );
+        assert!((steady.mean_utilization - 0.2).abs() < 1e-6);
+        assert!((steady.throughput_per_hour - 41.0 * 9.0).abs() < 1e-6);
+    }
+
+    /// The halt advance must close the run cleanly: the clock never
+    /// regresses, the final trace segment ends exactly at the horizon
+    /// and the segments still tile.
+    #[test]
+    fn horizon_halt_keeps_trace_segments_tiled() {
+        let p = platform();
+        let apps = [app(0, 1), app(1, 3)];
+        let config = SimConfig {
+            record_trace: true,
+            horizon: Some(Time::secs(15.0)),
+            ..SimConfig::default()
+        };
+        let out = simulate(&p, &apps, &mut MinDilation, &config).unwrap();
+        assert!(out.end_time.approx_eq(Time::secs(15.0)));
+        // App 0 finished (t = 12 under contention ≤ 15); app 1 was cut.
+        assert_eq!(out.report.per_app.len(), 1);
+        let trace = out.trace.unwrap();
+        assert!(trace.segments.last().unwrap().end.approx_eq(out.end_time));
+        for w in trace.segments.windows(2) {
+            assert!(w[0].end.approx_le(w[1].start), "segments must tile");
+        }
+        for seg in &trace.segments {
+            assert!(seg.start.approx_le(seg.end), "no negative segments");
+        }
+    }
+
+    /// A horizon must not mask a stalled policy: infinite t_next while
+    /// applications are pending is a diagnostic, not idle time.
+    #[test]
+    fn horizon_does_not_mask_a_stalled_system() {
+        let p = platform();
+        let config = SimConfig {
+            horizon: Some(Time::secs(200_000.0)),
+            ..SimConfig::default()
+        };
+        let err = simulate(&p, &[app(0, 1)], &mut SilentPolicy, &config);
+        match err {
+            Err(SimError::PolicyStalledSystem { policy, .. }) => assert_eq!(policy, "silent"),
+            other => panic!("expected PolicyStalledSystem, got {other:?}"),
+        }
+    }
+
+    /// A closed roster cut by a horizon counts only *released*
+    /// applications as admitted — never-released ones must not read as
+    /// saturation (`left_in_system`), matching the stream path.
+    #[test]
+    fn horizon_on_closed_roster_counts_only_released_apps() {
+        let p = platform();
+        // Releases at 0, 40, 80, …, 360: only 0 and 40 land before the
+        // horizon at 45; the first finishes at 10, the second is cut
+        // mid-compute.
+        let apps: Vec<AppSpec> = (0..10)
+            .map(|i| {
+                let mut a = app(i, 1);
+                a.set_release(Time::secs(i as f64 * 40.0));
+                a
+            })
+            .collect();
+        let config = SimConfig {
+            horizon: Some(Time::secs(45.0)),
+            ..SimConfig::default()
+        };
+        let out = simulate(&p, &apps, &mut MinDilation, &config).unwrap();
+        let steady = out.steady.expect("windowed run attaches steady state");
+        assert_eq!(steady.admitted, 2, "only two releases fell before the cut");
+        assert_eq!(steady.completed, 1);
+        assert_eq!(steady.left_in_system, 1);
+    }
+
+    #[test]
+    fn horizon_before_any_completion_is_a_config_error() {
+        let p = platform();
+        let config = SimConfig {
+            horizon: Some(Time::secs(1.0)),
+            ..SimConfig::default()
+        };
+        let err = simulate(&p, &[app(0, 1)], &mut MinDilation, &config);
+        assert!(matches!(err, Err(SimError::InvalidScenario(_))), "{err:?}");
+        // Degenerate windows are rejected outright.
+        let bad = SimConfig {
+            warmup: Time::secs(10.0),
+            horizon: Some(Time::secs(5.0)),
+            ..SimConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(SimConfig::windowed(Time::ZERO, Time::secs(100.0))
+            .validate()
+            .is_ok());
+    }
+
+    /// Switching the per-app detail off only drops the detail: the
+    /// aggregate objectives agree with the detailed run (to rounding —
+    /// the streaming fold sums in finish order) and nothing per-app is
+    /// retained.
+    #[test]
+    fn lean_outcome_matches_detailed_aggregates() {
+        let p = platform();
+        let apps: Vec<AppSpec> = (0..6).map(|i| app(i, 2)).collect();
+        let detailed = simulate_open(&p, &apps, &mut MinDilation, &SimConfig::default()).unwrap();
+        let lean_config = SimConfig {
+            per_app_detail: false,
+            ..SimConfig::default()
+        };
+        let lean = simulate_open(&p, &apps, &mut MinDilation, &lean_config).unwrap();
+        assert_eq!(lean.events, detailed.events);
+        assert!(lean.report.per_app.is_empty());
+        assert!(lean.per_app_bytes.is_empty());
+        assert!((lean.report.sys_efficiency - detailed.report.sys_efficiency).abs() < 1e-12);
+        assert!((lean.report.upper_limit - detailed.report.upper_limit).abs() < 1e-12);
+        assert_eq!(
+            lean.report.dilation.to_bits(),
+            detailed.report.dilation.to_bits(),
+            "max is order-independent"
+        );
+        assert!(lean.end_time.approx_eq(detailed.end_time));
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        let p = platform();
+        let config = SimConfig::default();
+        let mut policy = MinDilation;
+        let err = Simulation::from_stream(&p, std::iter::empty(), &mut policy, &config);
+        assert!(matches!(err, Err(SimError::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn malformed_stream_arrivals_are_rejected_at_admission() {
+        let p = platform();
+        let config = SimConfig::default();
+        // Ids not dense in release order.
+        let mut policy = MinDilation;
+        let bad_ids = vec![app(3, 1)];
+        let err = Simulation::from_stream(&p, bad_ids.into_iter(), &mut policy, &config);
+        assert!(matches!(err, Err(SimError::InvalidScenario(_))));
+        // Releases going backwards.
+        let mut a = app(0, 1);
+        a.set_release(Time::secs(50.0));
+        let mut b = app(1, 1);
+        b.set_release(Time::secs(10.0));
+        let mut policy = MinDilation;
+        let mut sim =
+            Simulation::from_stream(&p, vec![a, b].into_iter(), &mut policy, &config).unwrap();
+        let err = loop {
+            match sim.step() {
+                Ok(StepStatus::Advanced) => {}
+                Ok(StepStatus::Finished) => panic!("unsorted stream must error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, SimError::InvalidScenario(_)), "{err}");
+        // An application bigger than the machine.
+        let huge = AppSpec::periodic(0, Time::ZERO, 10_000, Time::secs(1.0), Bytes::gib(1.0), 1);
+        let mut policy = MinDilation;
+        let err = Simulation::from_stream(&p, vec![huge].into_iter(), &mut policy, &config);
+        assert!(matches!(err, Err(SimError::InvalidScenario(_))));
+    }
+
+    /// The window knobs ride through serde leniently and reject
+    /// degenerate values at parse time.
+    #[test]
+    fn sim_config_window_serde() {
+        let json = r#"{"warmup": 100.0, "horizon": 4000.0, "per_app_detail": false}"#;
+        let config: SimConfig = serde_json::from_str(json).unwrap();
+        assert!(config.warmup.approx_eq(Time::secs(100.0)));
+        assert_eq!(config.horizon, Some(Time::secs(4_000.0)));
+        assert!(!config.per_app_detail);
+        // Defaults when absent.
+        let config: SimConfig = serde_json::from_str(r#"{"telemetry": true}"#).unwrap();
+        assert!(config.warmup.is_zero());
+        assert!(config.horizon.is_none());
+        assert!(config.per_app_detail);
+        // Roundtrip.
+        let full = SimConfig::windowed(Time::secs(50.0), Time::secs(2_000.0));
+        let json = serde_json::to_string(&full).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(full, back);
+        // A horizon inside the warmup is rejected at parse time.
+        assert!(serde_json::from_str::<SimConfig>(r#"{"warmup": 10.0, "horizon": 5.0}"#).is_err());
     }
 
     #[test]

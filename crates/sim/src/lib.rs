@@ -42,13 +42,15 @@ pub mod external_load;
 pub mod outcome;
 pub mod periodic_exec;
 pub mod state;
+pub mod steady;
 pub mod telemetry;
 pub mod trace;
 
-pub use engine::{simulate, SimConfig, Simulation, StepStatus};
+pub use engine::{simulate, simulate_open, simulate_stream, SimConfig, Simulation, StepStatus};
 pub use error::SimError;
 pub use external_load::ExternalLoad;
 pub use outcome::SimOutcome;
 pub use periodic_exec::{replay_apps, unroll_report, TimetablePolicy};
+pub use steady::SteadySummary;
 pub use telemetry::{Telemetry, TelemetrySample, TelemetrySummary};
 pub use trace::{BandwidthTrace, TraceSegment};

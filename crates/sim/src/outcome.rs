@@ -1,70 +1,37 @@
 //! Simulation outcome: the paper's objectives plus engine diagnostics.
 
-use crate::state::AppRuntime;
+use crate::steady::SteadySummary;
 use crate::telemetry::TelemetrySummary;
 use crate::trace::BandwidthTrace;
-use iosched_model::{AppId, AppOutcome, Bytes, ObjectiveReport, Platform, Time};
+use iosched_model::{AppId, Bytes, ObjectiveReport, Time};
 
 /// Everything a finished simulation reports.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
-    /// SysEfficiency / Dilation / per-application detail (§2.2).
+    /// SysEfficiency / Dilation / per-application detail (§2.2). With
+    /// [`crate::SimConfig::per_app_detail`] off, `per_app` is empty and
+    /// only the aggregates are populated (folded streamingly at
+    /// retirement).
     pub report: ObjectiveReport,
     /// Optional full allocation trace.
     pub trace: Option<BandwidthTrace>,
     /// Number of scheduling events processed.
     pub events: usize,
-    /// Final simulation time (= `max_k d_k`).
+    /// Final simulation time (= `max_k d_k`, or the horizon when it
+    /// halted the run).
     pub end_time: Time,
-    /// Bytes actually delivered per application (conservation checks).
+    /// Bytes actually delivered per application, ascending by id
+    /// (conservation checks; empty when the per-app detail is off).
     pub per_app_bytes: Vec<(AppId, Bytes)>,
     /// Per-run congestion record (present iff
     /// [`crate::SimConfig::telemetry`] was set).
     pub telemetry: Option<TelemetrySummary>,
+    /// Warmup-trimmed steady-state record (present iff the run set a
+    /// `warmup`/`horizon` window or was driven by a stream source).
+    pub steady: Option<SteadySummary>,
 }
 
 impl SimOutcome {
-    /// Assemble the outcome from finished runtimes (engine-internal).
-    #[must_use]
-    pub(crate) fn collect(
-        _platform: &Platform,
-        rts: Vec<AppRuntime>,
-        trace: Option<BandwidthTrace>,
-        events: usize,
-        end_time: Time,
-        telemetry: Option<TelemetrySummary>,
-    ) -> Self {
-        let per_app: Vec<AppOutcome> = rts
-            .iter()
-            .map(|rt| {
-                let d = rt
-                    .progress
-                    .finish_time()
-                    .expect("engine only collects finished runs");
-                AppOutcome {
-                    id: rt.spec.id(),
-                    procs: rt.spec.procs(),
-                    release: rt.spec.release(),
-                    finish: d,
-                    rho: rt.progress.rho(d),
-                    rho_tilde: rt.progress.rho_tilde(d),
-                }
-            })
-            .collect();
-        let per_app_bytes = rts
-            .iter()
-            .map(|rt| (rt.spec.id(), rt.bytes_transferred))
-            .collect();
-        Self {
-            report: ObjectiveReport::from_outcomes(per_app),
-            trace,
-            events,
-            end_time,
-            per_app_bytes,
-            telemetry,
-        }
-    }
-
     /// Bytes delivered for one application.
     #[must_use]
     pub fn bytes_of(&self, id: AppId) -> Option<Bytes> {

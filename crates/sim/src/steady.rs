@@ -1,0 +1,210 @@
+//! Warmup-trimmed steady-state metrics for open-system runs.
+//!
+//! A closed-roster simulation is judged by its end state (§2.2
+//! SysEfficiency / Dilation over every application). An *open* stream
+//! has no end state worth judging — the interesting question is the
+//! steady-state behaviour after a warmup transient: how long does the
+//! I/O queue get, how stretched are the jobs flowing through, does the
+//! system keep up with the arrival rate at all? This module accumulates
+//! exactly those time-windowed aggregates while the engine steps, and
+//! exports them as one serializable [`SteadySummary`] on
+//! [`crate::SimOutcome`] whenever [`crate::SimConfig`] sets a `warmup`
+//! or `horizon` (or the run is driven by a stream source).
+//!
+//! The accumulator is an observer: it never steers the engine, so runs
+//! are bit-identical with it on or off.
+
+use crate::telemetry::TelemetrySample;
+use iosched_model::AppOutcome;
+use iosched_model::Time;
+use serde::{Deserialize, Serialize};
+
+/// Streaming accumulator behind [`SteadySummary`] (engine-internal).
+#[derive(Debug, Clone)]
+pub(crate) struct SteadyAccum {
+    warmup: f64,
+    /// Σ of interval lengths clipped to `[warmup, ∞)`.
+    window_secs: f64,
+    /// Σ pending · dt over the window.
+    queue_integral: f64,
+    /// Σ delivered-utilization · dt over the window.
+    utilization_integral: f64,
+    /// Applications finishing at `t ≥ warmup`.
+    completed: usize,
+    stretch_sum: f64,
+    stretch_max: f64,
+}
+
+impl SteadyAccum {
+    pub(crate) fn new(warmup: Time) -> Self {
+        Self {
+            warmup: warmup.as_secs().max(0.0),
+            window_secs: 0.0,
+            queue_integral: 0.0,
+            utilization_integral: 0.0,
+            completed: 0,
+            stretch_sum: 0.0,
+            stretch_max: 0.0,
+        }
+    }
+
+    /// Fold one closed inter-event interval, clipped to the window.
+    pub(crate) fn record_interval(&mut self, sample: &TelemetrySample) {
+        let start = sample.start.as_secs().max(self.warmup);
+        let dt = sample.end.as_secs() - start;
+        if dt <= 0.0 {
+            return;
+        }
+        self.window_secs += dt;
+        self.queue_integral += sample.pending as f64 * dt;
+        self.utilization_integral += sample.utilization() * dt;
+    }
+
+    /// Fold one application completion (its end-to-end stretch `ρ/ρ̃`).
+    pub(crate) fn record_finish(&mut self, outcome: &AppOutcome) {
+        if outcome.finish.as_secs() < self.warmup {
+            return;
+        }
+        let stretch = outcome.dilation();
+        self.completed += 1;
+        self.stretch_sum += stretch;
+        self.stretch_max = self.stretch_max.max(stretch);
+    }
+
+    /// Export, given the whole-run admission bookkeeping.
+    pub(crate) fn summary(&self, admitted: usize, finished: usize) -> SteadySummary {
+        SteadySummary {
+            warmup_secs: self.warmup,
+            window_secs: self.window_secs,
+            admitted,
+            completed: self.completed,
+            left_in_system: admitted - finished,
+            mean_stretch: if self.completed > 0 {
+                self.stretch_sum / self.completed as f64
+            } else {
+                0.0
+            },
+            max_stretch: self.stretch_max,
+            mean_queue: if self.window_secs > 0.0 {
+                self.queue_integral / self.window_secs
+            } else {
+                0.0
+            },
+            mean_utilization: if self.window_secs > 0.0 {
+                self.utilization_integral / self.window_secs
+            } else {
+                0.0
+            },
+            throughput_per_hour: if self.window_secs > 0.0 {
+                self.completed as f64 * 3_600.0 / self.window_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Warmup-trimmed steady-state record of one run: the saturation-curve
+/// observables (mean/max stretch, queue length, utilization,
+/// throughput) over the window `[warmup, end]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteadySummary {
+    /// Trimmed transient, seconds.
+    pub warmup_secs: f64,
+    /// Observed window length, seconds.
+    pub window_secs: f64,
+    /// Applications admitted over the whole run.
+    pub admitted: usize,
+    /// Applications finishing inside the window.
+    pub completed: usize,
+    /// Applications still in the system when the run ended (a growing
+    /// number under repeated horizons = the system is saturated).
+    pub left_in_system: usize,
+    /// Mean end-to-end stretch `ρ/ρ̃ ≥ 1` over window completions
+    /// (0 when none completed).
+    pub mean_stretch: f64,
+    /// Worst stretch over window completions.
+    pub max_stretch: f64,
+    /// Time-weighted mean number of applications wanting I/O.
+    pub mean_queue: f64,
+    /// Time-weighted mean delivered utilization of the PFS.
+    pub mean_utilization: f64,
+    /// Window completions per simulated hour.
+    pub throughput_per_hour: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::{AppId, Bw, Bytes};
+
+    fn sample(start: f64, end: f64, pending: usize, delivered: f64) -> TelemetrySample {
+        TelemetrySample {
+            start: Time::secs(start),
+            end: Time::secs(end),
+            offered: Bw::gib_per_sec(delivered),
+            granted: Bw::gib_per_sec(delivered),
+            delivered: Bw::gib_per_sec(delivered),
+            capacity: Bw::gib_per_sec(10.0),
+            backlog: Bytes::ZERO,
+            pending,
+        }
+    }
+
+    fn finish(at: f64, rho: f64, rho_tilde: f64) -> AppOutcome {
+        AppOutcome {
+            id: AppId(0),
+            procs: 10,
+            release: Time::ZERO,
+            finish: Time::secs(at),
+            rho,
+            rho_tilde,
+        }
+    }
+
+    #[test]
+    fn warmup_clips_intervals_and_completions() {
+        let mut acc = SteadyAccum::new(Time::secs(100.0));
+        // Entirely inside the warmup: ignored.
+        acc.record_interval(&sample(0.0, 50.0, 5, 10.0));
+        // Straddling: only the [100, 120] tail counts.
+        acc.record_interval(&sample(80.0, 120.0, 4, 10.0));
+        // Entirely inside the window.
+        acc.record_interval(&sample(120.0, 160.0, 1, 5.0));
+        acc.record_finish(&finish(90.0, 0.8, 0.8)); // warmup: ignored
+        acc.record_finish(&finish(150.0, 0.8, 0.4)); // stretch 2
+        acc.record_finish(&finish(160.0, 0.8, 0.8)); // stretch 1
+        let s = acc.summary(10, 3);
+        assert!((s.window_secs - 60.0).abs() < 1e-12);
+        // Queue: (4·20 + 1·40) / 60 = 2.
+        assert!((s.mean_queue - 2.0).abs() < 1e-12);
+        // Utilization: (1.0·20 + 0.5·40) / 60 = 2/3.
+        assert!((s.mean_utilization - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.completed, 2);
+        assert!((s.mean_stretch - 1.5).abs() < 1e-12);
+        assert!((s.max_stretch - 2.0).abs() < 1e-12);
+        assert_eq!(s.left_in_system, 7);
+        assert!((s.throughput_per_hour - 2.0 * 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_exports_zeros() {
+        let acc = SteadyAccum::new(Time::secs(10.0));
+        let s = acc.summary(0, 0);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.mean_stretch, 0.0);
+        assert_eq!(s.mean_queue, 0.0);
+        assert_eq!(s.throughput_per_hour, 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut acc = SteadyAccum::new(Time::ZERO);
+        acc.record_interval(&sample(0.0, 10.0, 2, 10.0));
+        acc.record_finish(&finish(5.0, 0.8, 0.4));
+        let s = acc.summary(3, 1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SteadySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -20,9 +20,12 @@
 //! * [`darshan`] — a synthetic Darshan-like JSON log format, a year-long
 //!   log synthesizer and the paper's log→scenario reduction pipeline,
 //! * [`ior_profile`] — the Vesta node-split scenarios of Figs. 14–16,
+//! * [`stream`] — open-system arrival processes (Poisson / MMPP /
+//!   trace-driven) and the lazy application stream they drive,
 //! * [`spec`] — the serializable [`WorkloadSpec`] description unifying
 //!   all of the above behind one `materialize(&Platform)` entry point
-//!   (the campaign layer's workload axis).
+//!   and its lazy twin [`spec::AppSource`] (the campaign layer's
+//!   workload axis).
 
 pub mod categories;
 pub mod congestion;
@@ -31,10 +34,12 @@ pub mod generator;
 pub mod ior_profile;
 pub mod sensibility;
 pub mod spec;
+pub mod stream;
 
 pub use categories::AppCategory;
 pub use congestion::{congested_moment, intrepid_cases, mira_cases};
 pub use darshan::{DarshanLog, DarshanRecord};
 pub use generator::MixConfig;
 pub use ior_profile::{scenario_apps, vesta_scenarios, VestaScenario};
-pub use spec::WorkloadSpec;
+pub use spec::{AppSource, WorkloadSpec};
+pub use stream::{ArrivalProcess, StopRule, StreamIter};

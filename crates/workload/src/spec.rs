@@ -13,14 +13,21 @@
 use crate::darshan::DarshanLog;
 use crate::generator::MixConfig;
 use crate::ior_profile::{scenario_apps, IorParams, VestaScenario};
+use crate::stream::{ArrivalProcess, StopRule, StreamIter};
 use crate::{congestion, sensibility};
-use iosched_model::{app::validate_scenario, AppSpec, Platform};
+use iosched_model::app::{validate_open_scenario, validate_scenario};
+use iosched_model::{AppSpec, Platform};
 use serde::{Deserialize, Serialize};
 
 /// Salt decorrelating a [`WorkloadSpec::Perturbed`] wrapper's perturbation
 /// stream from its base workload's generation stream when one campaign
 /// seed drives both (the Fig. 7 convention: `perturb_seed = seed ^ SALT`).
 pub const PERTURB_SEED_SALT: u64 = 0xABCD;
+
+/// Salt decorrelating a [`WorkloadSpec::Stream`] wrapper's arrival/pick
+/// streams from its template's generation stream when one campaign seed
+/// drives both (mirrors [`PERTURB_SEED_SALT`]).
+pub const STREAM_SEED_SALT: u64 = 0x57EA;
 
 /// One serializable workload description.
 ///
@@ -84,6 +91,54 @@ pub enum WorkloadSpec {
         /// Perturbation seed.
         seed: u64,
     },
+    /// An *open-system* stream: applications arrive dynamically through
+    /// an [`ArrivalProcess`], each drawing its shape from the pool any
+    /// closed `template` family materializes, until the [`StopRule`]
+    /// ends the stream. Open streams drop the closed-roster `Σβ ≤ N`
+    /// budget (each application must fit the machine individually; the
+    /// model does not queue on processors, so a supercritical stream is
+    /// read through its queue/stretch metrics) and materialize lazily
+    /// through [`WorkloadSpec::app_source`].
+    Stream {
+        /// How inter-arrival gaps are drawn.
+        arrivals: ArrivalProcess,
+        /// The closed family whose materialization is the shape pool.
+        template: Box<WorkloadSpec>,
+        /// When the stream ends.
+        stop: StopRule,
+        /// Seed of the arrival/pick draw streams.
+        seed: u64,
+    },
+}
+
+/// A lazily-produced application roster: the one source every consumer
+/// (materialization, the streaming engine, the memory benches) pulls
+/// from. Closed families yield their materialized roster; open streams
+/// generate one application per `next()` and never hold the full list.
+pub enum AppSource {
+    /// A fully materialized (closed) roster.
+    Roster(std::vec::IntoIter<AppSpec>),
+    /// A lazy open-system stream.
+    Stream(StreamIter),
+}
+
+impl AppSource {
+    /// True when this source was produced by an open-system spec.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        matches!(self, Self::Stream(_))
+    }
+}
+
+impl Iterator for AppSource {
+    type Item = AppSpec;
+
+    fn next(&mut self) -> Option<AppSpec> {
+        match self {
+            Self::Roster(it) => it.next(),
+            Self::Stream(it) => it.next(),
+        }
+    }
 }
 
 impl WorkloadSpec {
@@ -160,16 +215,86 @@ impl WorkloadSpec {
                 if *work_x < 0.0 || *vol_x < 0.0 {
                     return Err("sensibility fractions must be non-negative".into());
                 }
+                if base.contains_stream() {
+                    return Err("the sensibility perturbation cannot wrap an open stream; \
+                         perturb the stream's template instead"
+                        .into());
+                }
                 base.validate()
+            }
+            Self::Stream {
+                arrivals,
+                template,
+                stop,
+                ..
+            } => {
+                arrivals.validate()?;
+                stop.validate()?;
+                if template.contains_stream() {
+                    return Err("stream templates must be closed (streams cannot nest)".into());
+                }
+                template.validate()
             }
         }
     }
 
-    /// Generate the applications on `platform`. The single entry point
-    /// every runner uses: validates the spec, generates, and checks the
-    /// result against the platform (dense ids, processor budget).
-    pub fn materialize(&self, platform: &Platform) -> Result<Vec<AppSpec>, String> {
+    /// True when a `Stream` appears anywhere in this spec tree. Used by
+    /// [`WorkloadSpec::validate`] to keep open streams at the top level
+    /// only — wrappers treating an open roster as a closed one would
+    /// silently change its semantics (and [`WorkloadSpec::is_open`]
+    /// relies on top-level-only streams to be accurate).
+    fn contains_stream(&self) -> bool {
+        match self {
+            Self::Stream { .. } => true,
+            Self::Perturbed { base, .. } => base.contains_stream(),
+            _ => false,
+        }
+    }
+
+    /// True for open-system specs: the roster is a dynamic stream, the
+    /// closed `Σβ ≤ N` budget does not apply over its whole extent, and
+    /// runners should prefer [`WorkloadSpec::app_source`] plus the
+    /// streaming engine over full materialization.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        matches!(self, Self::Stream { .. })
+    }
+
+    /// Open the application source on `platform` — the single
+    /// generation path shared by [`WorkloadSpec::materialize`] and the
+    /// open-system runners. `Stream` specs generate **lazily**: a
+    /// consumer that stops early (a horizon-bounded engine, a prefix
+    /// probe) pulls exactly what it uses and a 100k-application stream
+    /// never exists as a `Vec`. Closed families are generated and
+    /// validated whole before the iterator is handed out (their
+    /// generators need the full roster for scaling and the `Σβ ≤ N`
+    /// check), so for them the source only unifies the call shape.
+    pub fn app_source(&self, platform: &Platform) -> Result<AppSource, String> {
         self.validate()?;
+        if let Self::Stream {
+            arrivals,
+            template,
+            stop,
+            seed,
+        } = self
+        {
+            // `validate()` above already recursed into the template;
+            // generate the pool without a second structural pass.
+            let pool = template.generate_closed(platform)?;
+            return Ok(AppSource::Stream(StreamIter::new(
+                pool, arrivals, *stop, *seed,
+            )));
+        }
+        Ok(AppSource::Roster(
+            self.generate_closed(platform)?.into_iter(),
+        ))
+    }
+
+    /// Generate a closed (non-`Stream`) family and check the roster
+    /// against the platform. Structural validation is the caller's job
+    /// ([`WorkloadSpec::app_source`] runs it once for the whole spec
+    /// tree).
+    fn generate_closed(&self, platform: &Platform) -> Result<Vec<AppSpec>, String> {
         let apps = match self {
             Self::Explicit(apps) => apps.clone(),
             Self::Mix { config, seed } => config.generate(platform, *seed),
@@ -211,8 +336,28 @@ impl WorkloadSpec {
                 let periodic = base.materialize(platform)?;
                 sensibility::perturb(&periodic, *work_x, *vol_x, *seed)
             }
+            Self::Stream { .. } => unreachable!("streams cannot nest and are routed above"),
         };
         validate_scenario(platform, &apps).map_err(|e| e.to_string())?;
+        Ok(apps)
+    }
+
+    /// Generate the applications on `platform`. The single eager entry
+    /// point every closed runner uses: validates the spec, generates
+    /// through [`WorkloadSpec::app_source`], and checks the result
+    /// against the platform (closed families: dense ids and the `Σβ ≤ N`
+    /// processor budget; open streams: per-application feasibility).
+    pub fn materialize(&self, platform: &Platform) -> Result<Vec<AppSpec>, String> {
+        let source = self.app_source(platform)?;
+        let open = source.is_open();
+        let apps: Vec<AppSpec> = source.collect();
+        if open && apps.is_empty() {
+            return Err(format!("{} produced no applications", self.label()));
+        }
+        // Open rosters satisfy `validate_open_scenario` by construction
+        // (StreamIter re-ids densely in arrival order over a validated
+        // pool); the runners that consume them re-check per admission.
+        debug_assert!(!open || validate_open_scenario(platform, &apps).is_ok());
         Ok(apps)
     }
 
@@ -262,6 +407,17 @@ impl WorkloadSpec {
                 vol_x: *vol_x,
                 seed: seed ^ PERTURB_SEED_SALT,
             },
+            Self::Stream {
+                arrivals,
+                template,
+                stop,
+                ..
+            } => Self::Stream {
+                arrivals: arrivals.clone(),
+                template: Box::new(template.with_seed(seed)),
+                stop: *stop,
+                seed: seed ^ STREAM_SEED_SALT,
+            },
         }
     }
 
@@ -294,6 +450,17 @@ impl WorkloadSpec {
                 base.label(),
                 work_x * 100.0,
                 vol_x * 100.0
+            ),
+            Self::Stream {
+                arrivals,
+                template,
+                stop,
+                ..
+            } => format!(
+                "stream({}->{}{})",
+                arrivals.label(),
+                template.label(),
+                stop.label()
             ),
         }
     }
@@ -341,6 +508,12 @@ mod tests {
                 vol_x: 0.2,
                 seed: 5 ^ PERTURB_SEED_SALT,
             },
+            WorkloadSpec::Stream {
+                arrivals: ArrivalProcess::Poisson { rate: 0.02 },
+                template: Box::new(WorkloadSpec::Congestion { seed: 0 }),
+                stop: StopRule::Apps(40),
+                seed: 13,
+            },
         ]
     }
 
@@ -359,8 +532,118 @@ mod tests {
                 .materialize(&platform)
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
             assert!(!apps.is_empty(), "{} produced no apps", spec.label());
-            validate_scenario(&platform, &apps).unwrap();
+            if spec.is_open() {
+                // Open streams only promise per-instant feasibility.
+                validate_open_scenario(&platform, &apps).unwrap();
+            } else {
+                validate_scenario(&platform, &apps).unwrap();
+            }
         }
+    }
+
+    #[test]
+    fn stream_materialization_matches_its_lazy_source() {
+        let spec = WorkloadSpec::Stream {
+            arrivals: ArrivalProcess::Poisson { rate: 0.05 },
+            template: Box::new(WorkloadSpec::Congestion { seed: 3 }),
+            stop: StopRule::Apps(200),
+            seed: 9,
+        };
+        let platform = Platform::intrepid();
+        let eager = spec.materialize(&platform).unwrap();
+        let lazy: Vec<AppSpec> = spec.app_source(&platform).unwrap().collect();
+        assert_eq!(eager, lazy);
+        assert_eq!(eager.len(), 200);
+        // Shapes come from the template pool (releases and ids rebound).
+        let pool = WorkloadSpec::Congestion { seed: 3 }
+            .materialize(&platform)
+            .unwrap();
+        for app in &eager {
+            assert!(
+                pool.iter()
+                    .any(|p| p.procs() == app.procs() && p.pattern() == app.pattern()),
+                "{} has a shape outside the pool",
+                app.id()
+            );
+        }
+        // The open roster legitimately oversubscribes the closed budget
+        // (that is the point of the open system)…
+        assert!(validate_scenario(&platform, &eager).is_err());
+        // …but stays per-app feasible.
+        validate_open_scenario(&platform, &eager).unwrap();
+    }
+
+    #[test]
+    fn stream_with_seed_rebinds_template_and_draw_streams() {
+        let template = WorkloadSpec::Stream {
+            arrivals: ArrivalProcess::Poisson { rate: 0.02 },
+            template: Box::new(WorkloadSpec::Congestion { seed: 0 }),
+            stop: StopRule::Apps(10),
+            seed: 0,
+        };
+        let bound = template.with_seed(4);
+        let WorkloadSpec::Stream {
+            template: inner,
+            seed,
+            ..
+        } = &bound
+        else {
+            panic!("with_seed changed the variant");
+        };
+        assert_eq!(*seed, 4 ^ STREAM_SEED_SALT);
+        assert_eq!(**inner, WorkloadSpec::Congestion { seed: 4 });
+    }
+
+    #[test]
+    fn invalid_stream_specs_are_rejected() {
+        let base = |arrivals, stop| WorkloadSpec::Stream {
+            arrivals,
+            template: Box::new(WorkloadSpec::Congestion { seed: 0 }),
+            stop,
+            seed: 0,
+        };
+        assert!(
+            base(ArrivalProcess::Poisson { rate: -1.0 }, StopRule::Apps(5))
+                .validate()
+                .is_err()
+        );
+        assert!(
+            base(ArrivalProcess::Poisson { rate: 1.0 }, StopRule::Apps(0))
+                .validate()
+                .is_err()
+        );
+        // Nested streams are rejected.
+        let nested = WorkloadSpec::Stream {
+            arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+            template: Box::new(base(
+                ArrivalProcess::Poisson { rate: 1.0 },
+                StopRule::Apps(5),
+            )),
+            stop: StopRule::Apps(5),
+            seed: 0,
+        };
+        assert!(nested.validate().is_err());
+        // …including a stream smuggled in through a Perturbed wrapper,
+        // both as a template and at the top level (a wrapped stream
+        // would read as closed and run under the wrong semantics).
+        let wrapped = WorkloadSpec::Perturbed {
+            base: Box::new(base(
+                ArrivalProcess::Poisson { rate: 1.0 },
+                StopRule::Apps(5),
+            )),
+            work_x: 0.1,
+            vol_x: 0.1,
+            seed: 0,
+        };
+        assert!(!wrapped.is_open());
+        assert!(wrapped.validate().is_err());
+        let smuggled = WorkloadSpec::Stream {
+            arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+            template: Box::new(wrapped),
+            stop: StopRule::Apps(5),
+            seed: 0,
+        };
+        assert!(smuggled.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! Open-system workload streams: dynamic job arrivals.
+//!
+//! Everything the paper evaluates is a *closed* system — the full
+//! application roster is known at `t = 0`. Production I/O schedulers
+//! face an *open* stream of arriving jobs, the regime in which both
+//! "Periodic I/O scheduling for super-computers" and "Mitigating Shared
+//! Storage Congestion Using Control Theory" run their steady-state load
+//! sweeps. This module provides the serializable arrival half of that
+//! regime:
+//!
+//! * [`ArrivalProcess`] — how inter-arrival gaps are drawn: a
+//!   deterministic seeded Poisson process, a two-phase MMPP (Markov-
+//!   modulated Poisson: calm/burst phases with exponential dwell times),
+//!   or a trace-driven list of gaps (cycled);
+//! * [`StopRule`] — when the stream ends: after `n` applications or at a
+//!   release-time horizon;
+//! * [`StreamIter`] — the lazy, seeded iterator composing an arrival
+//!   process with a *template pool* of application shapes (any closed
+//!   [`crate::WorkloadSpec`] family), yielding release-sorted
+//!   [`AppSpec`]s with dense ids, one at a time — a 100k-application
+//!   stream never exists as a `Vec`.
+//!
+//! The composition with the rest of the workload layer lives in
+//! [`crate::WorkloadSpec::Stream`].
+
+use iosched_model::{AppSpec, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Salt decorrelating the template-pool *pick* stream from the
+/// inter-arrival *gap* stream when both are driven by one stream seed.
+pub const PICK_SEED_SALT: u64 = 0x9C1E;
+
+/// How inter-arrival gaps are drawn. All processes are deterministic
+/// functions of their parameters and the stream seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: i.i.d. exponential gaps with mean `1/rate`.
+    Poisson {
+        /// Arrival rate λ in applications per second.
+        rate: f64,
+    },
+    /// Two-phase Markov-modulated Poisson process: the stream alternates
+    /// between a calm and a burst phase (exponential dwell times) and
+    /// draws Poisson arrivals at the current phase's rate. `calm_rate`
+    /// may be zero (completely quiet valleys).
+    Mmpp {
+        /// Arrival rate during the calm phase (may be 0).
+        calm_rate: f64,
+        /// Arrival rate during the burst phase (must be positive).
+        burst_rate: f64,
+        /// Mean dwell seconds in the calm phase.
+        calm_secs: f64,
+        /// Mean dwell seconds in the burst phase.
+        burst_secs: f64,
+    },
+    /// Trace-driven gaps: the recorded inter-arrival list, cycled when
+    /// the stop rule outlives it.
+    Trace {
+        /// Inter-arrival gaps in seconds (cycled).
+        gaps: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Structural validation (campaign files fail fast, not deep inside
+    /// a worker thread).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Self::Poisson { rate } => {
+                if !(rate.is_finite() && *rate > 0.0) {
+                    return Err(format!("poisson rate {rate} must be positive and finite"));
+                }
+                Ok(())
+            }
+            Self::Mmpp {
+                calm_rate,
+                burst_rate,
+                calm_secs,
+                burst_secs,
+            } => {
+                if !(calm_rate.is_finite() && *calm_rate >= 0.0) {
+                    return Err(format!(
+                        "mmpp calm rate {calm_rate} must be >= 0 and finite"
+                    ));
+                }
+                if !(burst_rate.is_finite() && *burst_rate > 0.0) {
+                    return Err(format!(
+                        "mmpp burst rate {burst_rate} must be positive and finite"
+                    ));
+                }
+                let dwell_ok = |d: f64| d.is_finite() && d > 0.0;
+                if !dwell_ok(*calm_secs) || !dwell_ok(*burst_secs) {
+                    return Err(format!(
+                        "mmpp dwell times ({calm_secs}s, {burst_secs}s) must be positive"
+                    ));
+                }
+                Ok(())
+            }
+            Self::Trace { gaps } => {
+                if gaps.is_empty() {
+                    return Err("trace arrival process has no gaps".into());
+                }
+                if gaps.iter().any(|g| !g.is_finite() || *g < 0.0) {
+                    return Err("trace gaps must be finite and non-negative".into());
+                }
+                if gaps.iter().sum::<f64>() <= 0.0 {
+                    return Err(
+                        "trace gaps sum to zero: the cycled stream would never advance".into(),
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Seed-free label used in report keys. Labels carry every
+    /// parameter (full precision), so a fine sweep over any knob keeps
+    /// distinct campaign cell labels — the same convention policy
+    /// serde-names follow.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Poisson { rate } => format!("poisson@{rate}/s"),
+            Self::Mmpp {
+                calm_rate,
+                burst_rate,
+                calm_secs,
+                burst_secs,
+            } => format!("mmpp@{calm_rate}~{burst_rate}/s:{calm_secs}+{burst_secs}s"),
+            Self::Trace { gaps } => {
+                format!("trace({}x{}s)", gaps.len(), gaps.iter().sum::<f64>())
+            }
+        }
+    }
+
+    /// Deterministic gap sampler for this process.
+    ///
+    /// # Panics
+    /// Panics on a process [`ArrivalProcess::validate`] rejects — a
+    /// degenerate MMPP (both rates zero, or a zero dwell) would make
+    /// [`ArrivalSampler::next_gap`] spin forever, so misuse fails loudly
+    /// here instead of hanging there.
+    #[must_use]
+    pub fn sampler(&self, seed: u64) -> ArrivalSampler {
+        if let Err(e) = self.validate() {
+            panic!("invalid arrival process: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = match self {
+            Self::Poisson { rate } => SamplerState::Poisson { rate: *rate },
+            Self::Mmpp {
+                calm_rate,
+                burst_rate,
+                calm_secs,
+                burst_secs,
+            } => SamplerState::Mmpp {
+                rates: [*calm_rate, *burst_rate],
+                dwells: [*calm_secs, *burst_secs],
+                phase: 0,
+                phase_left: exponential(&mut rng, 1.0 / *calm_secs),
+            },
+            Self::Trace { gaps } => SamplerState::Trace {
+                gaps: gaps.clone(),
+                cursor: 0,
+            },
+        };
+        ArrivalSampler { rng, state }
+    }
+}
+
+/// Draw an `Exp(rate)` variate; `f64::INFINITY` when the rate is zero.
+fn exponential(rng: &mut StdRng, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    // 1 - u in (0, 1]: ln never sees zero.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate
+}
+
+#[derive(Debug, Clone)]
+enum SamplerState {
+    Poisson {
+        rate: f64,
+    },
+    Mmpp {
+        rates: [f64; 2],
+        dwells: [f64; 2],
+        phase: usize,
+        /// Seconds left in the current phase.
+        phase_left: f64,
+    },
+    Trace {
+        gaps: Vec<f64>,
+        cursor: usize,
+    },
+}
+
+/// Stateful deterministic inter-arrival gap stream (see
+/// [`ArrivalProcess::sampler`]).
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    rng: StdRng,
+    state: SamplerState,
+}
+
+impl ArrivalSampler {
+    /// The gap (seconds) between the previous arrival and the next one.
+    pub fn next_gap(&mut self) -> f64 {
+        match &mut self.state {
+            SamplerState::Poisson { rate } => exponential(&mut self.rng, *rate),
+            SamplerState::Mmpp {
+                rates,
+                dwells,
+                phase,
+                phase_left,
+            } => {
+                // Walk phases until an arrival lands inside one: the gap
+                // accumulates the quiet remainders of crossed phases.
+                let mut gap = 0.0;
+                loop {
+                    let candidate = exponential(&mut self.rng, rates[*phase]);
+                    if candidate <= *phase_left {
+                        *phase_left -= candidate;
+                        return gap + candidate;
+                    }
+                    gap += *phase_left;
+                    *phase = 1 - *phase;
+                    *phase_left = exponential(&mut self.rng, 1.0 / dwells[*phase]);
+                }
+            }
+            SamplerState::Trace { gaps, cursor } => {
+                let gap = gaps[*cursor];
+                *cursor = (*cursor + 1) % gaps.len();
+                gap
+            }
+        }
+    }
+}
+
+/// When a stream stops producing applications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StopRule {
+    /// Exactly this many applications.
+    Apps(usize),
+    /// Applications released strictly before this horizon (seconds).
+    Horizon(f64),
+}
+
+impl StopRule {
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Self::Apps(n) => {
+                if *n == 0 {
+                    return Err("stream stop rule needs at least one application".into());
+                }
+                Ok(())
+            }
+            Self::Horizon(h) => {
+                if !(h.is_finite() && *h > 0.0) {
+                    return Err(format!("stream horizon {h}s must be positive and finite"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Seed-free label used in report keys.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Apps(n) => format!("x{n}"),
+            Self::Horizon(h) => format!("<{h}s"),
+        }
+    }
+}
+
+/// The lazy application stream: arrivals drawn from the sampler,
+/// application *shapes* drawn uniformly from a template pool, ids dense
+/// in arrival order, releases non-decreasing. This is the only producer
+/// of open-system rosters; it is deterministic in `(pool, process, seed)`.
+pub struct StreamIter {
+    pool: Vec<AppSpec>,
+    gaps: ArrivalSampler,
+    picks: StdRng,
+    stop: StopRule,
+    clock: f64,
+    next_id: usize,
+}
+
+impl StreamIter {
+    /// Compose a template pool with an arrival process.
+    ///
+    /// # Panics
+    /// Panics on an empty pool — [`crate::WorkloadSpec::validate`]
+    /// rejects that before any iterator is built.
+    #[must_use]
+    pub fn new(pool: Vec<AppSpec>, process: &ArrivalProcess, stop: StopRule, seed: u64) -> Self {
+        assert!(!pool.is_empty(), "stream template pool is empty");
+        Self {
+            pool,
+            gaps: process.sampler(seed),
+            picks: StdRng::seed_from_u64(seed ^ PICK_SEED_SALT),
+            stop,
+            clock: 0.0,
+            next_id: 0,
+        }
+    }
+
+    /// Applications yielded so far.
+    #[must_use]
+    pub fn yielded(&self) -> usize {
+        self.next_id
+    }
+}
+
+impl Iterator for StreamIter {
+    type Item = AppSpec;
+
+    fn next(&mut self) -> Option<AppSpec> {
+        if let StopRule::Apps(n) = self.stop {
+            if self.next_id >= n {
+                return None;
+            }
+        }
+        self.clock += self.gaps.next_gap();
+        if let StopRule::Horizon(h) = self.stop {
+            if self.clock >= h {
+                return None;
+            }
+        }
+        let shape = &self.pool[self.picks.gen_range(0..self.pool.len())];
+        let mut app = shape.clone();
+        app.set_id(self.next_id);
+        app.set_release(Time::secs(self.clock));
+        self.next_id += 1;
+        Some(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_model::Bytes;
+
+    fn pool() -> Vec<AppSpec> {
+        vec![
+            AppSpec::periodic(0, Time::ZERO, 64, Time::secs(10.0), Bytes::gib(5.0), 2),
+            AppSpec::periodic(
+                1,
+                Time::secs(3.0),
+                128,
+                Time::secs(20.0),
+                Bytes::gib(10.0),
+                3,
+            ),
+        ]
+    }
+
+    #[test]
+    fn poisson_stream_is_deterministic_and_sorted() {
+        let p = ArrivalProcess::Poisson { rate: 0.5 };
+        let a: Vec<AppSpec> = StreamIter::new(pool(), &p, StopRule::Apps(50), 7).collect();
+        let b: Vec<AppSpec> = StreamIter::new(pool(), &p, StopRule::Apps(50), 7).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for (i, app) in a.iter().enumerate() {
+            assert_eq!(app.id().0, i, "ids dense in arrival order");
+        }
+        for w in a.windows(2) {
+            assert!(w[0].release() <= w[1].release(), "releases non-decreasing");
+        }
+        let c: Vec<AppSpec> = StreamIter::new(pool(), &p, StopRule::Apps(50), 8).collect();
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn poisson_rate_is_respected_on_average() {
+        let p = ArrivalProcess::Poisson { rate: 0.25 };
+        let apps: Vec<AppSpec> = StreamIter::new(pool(), &p, StopRule::Apps(2_000), 3).collect();
+        let span = apps.last().unwrap().release().as_secs();
+        let rate = 2_000.0 / span;
+        assert!(
+            (rate - 0.25).abs() < 0.02,
+            "empirical rate {rate} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn horizon_stop_rule_truncates_by_release() {
+        let p = ArrivalProcess::Poisson { rate: 1.0 };
+        let apps: Vec<AppSpec> =
+            StreamIter::new(pool(), &p, StopRule::Horizon(100.0), 11).collect();
+        assert!(!apps.is_empty());
+        assert!(apps.iter().all(|a| a.release().as_secs() < 100.0));
+        // Roughly rate × horizon arrivals.
+        assert!((60..160).contains(&apps.len()), "{} arrivals", apps.len());
+    }
+
+    #[test]
+    fn mmpp_bursts_cluster_arrivals() {
+        let calm = ArrivalProcess::Poisson { rate: 0.1 };
+        let bursty = ArrivalProcess::Mmpp {
+            calm_rate: 0.01,
+            burst_rate: 2.0,
+            calm_secs: 500.0,
+            burst_secs: 50.0,
+        };
+        let n = 1_000;
+        let flat: Vec<f64> = StreamIter::new(pool(), &calm, StopRule::Apps(n), 5)
+            .map(|a| a.release().as_secs())
+            .collect();
+        let clustered: Vec<f64> = StreamIter::new(pool(), &bursty, StopRule::Apps(n), 5)
+            .map(|a| a.release().as_secs())
+            .collect();
+        // Burstiness shows as gap variance far above the flat stream's
+        // (both normalized by their mean gap → squared CoV; ≈1 for
+        // Poisson, ≫1 for the burst-phase MMPP).
+        let cov2 = |ts: &[f64]| {
+            let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let (flat_cov, burst_cov) = (cov2(&flat), cov2(&clustered));
+        assert!(
+            burst_cov > 3.0 * flat_cov,
+            "mmpp CoV² {burst_cov} not clustered vs poisson {flat_cov}"
+        );
+    }
+
+    #[test]
+    fn mmpp_with_silent_calm_phase_still_advances() {
+        let p = ArrivalProcess::Mmpp {
+            calm_rate: 0.0,
+            burst_rate: 1.0,
+            calm_secs: 10.0,
+            burst_secs: 10.0,
+        };
+        let apps: Vec<AppSpec> = StreamIter::new(pool(), &p, StopRule::Apps(100), 1).collect();
+        assert_eq!(apps.len(), 100);
+    }
+
+    #[test]
+    fn trace_gaps_cycle() {
+        let p = ArrivalProcess::Trace {
+            gaps: vec![1.0, 2.0, 3.0],
+        };
+        let apps: Vec<AppSpec> = StreamIter::new(pool(), &p, StopRule::Apps(7), 0).collect();
+        let releases: Vec<f64> = apps.iter().map(|a| a.release().as_secs()).collect();
+        assert_eq!(releases, vec![1.0, 3.0, 6.0, 7.0, 9.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_processes() {
+        assert!(ArrivalProcess::Poisson { rate: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson { rate: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Mmpp {
+            calm_rate: -1.0,
+            burst_rate: 1.0,
+            calm_secs: 1.0,
+            burst_secs: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Mmpp {
+            calm_rate: 0.0,
+            burst_rate: 0.0,
+            calm_secs: 1.0,
+            burst_secs: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Trace { gaps: vec![] }.validate().is_err());
+        assert!(ArrivalProcess::Trace {
+            gaps: vec![0.0, 0.0]
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Trace {
+            gaps: vec![1.0, -2.0]
+        }
+        .validate()
+        .is_err());
+        assert!(StopRule::Apps(0).validate().is_err());
+        assert!(StopRule::Horizon(0.0).validate().is_err());
+        assert!(StopRule::Horizon(f64::INFINITY).validate().is_err());
+        // The valid forms pass.
+        assert!(ArrivalProcess::Poisson { rate: 0.5 }.validate().is_ok());
+        assert!(StopRule::Apps(10).validate().is_ok());
+        assert!(StopRule::Horizon(1_000.0).validate().is_ok());
+    }
+
+    #[test]
+    fn labels_distinguish_every_parameter() {
+        // Dwell times flip: same rates, different burstiness — distinct
+        // labels (two campaign cells must not collapse into one).
+        let a = ArrivalProcess::Mmpp {
+            calm_rate: 0.01,
+            burst_rate: 2.0,
+            calm_secs: 500.0,
+            burst_secs: 50.0,
+        };
+        let b = ArrivalProcess::Mmpp {
+            calm_rate: 0.01,
+            burst_rate: 2.0,
+            calm_secs: 50.0,
+            burst_secs: 500.0,
+        };
+        assert_ne!(a.label(), b.label());
+        // Different traces of equal length stay distinct too.
+        let t1 = ArrivalProcess::Trace {
+            gaps: vec![1.0, 2.0, 3.0],
+        };
+        let t2 = ArrivalProcess::Trace {
+            gaps: vec![5.0, 1.0, 1.0],
+        };
+        assert_ne!(t1.label(), t2.label());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid arrival process")]
+    fn sampler_rejects_degenerate_processes_instead_of_hanging() {
+        // Both rates zero: next_gap() would alternate phases forever.
+        let p = ArrivalProcess::Mmpp {
+            calm_rate: 0.0,
+            burst_rate: 0.0,
+            calm_secs: 10.0,
+            burst_secs: 10.0,
+        };
+        let _ = p.sampler(0);
+    }
+
+    #[test]
+    fn serde_roundtrip_every_process() {
+        for p in [
+            ArrivalProcess::Poisson { rate: 0.05 },
+            ArrivalProcess::Mmpp {
+                calm_rate: 0.01,
+                burst_rate: 0.5,
+                calm_secs: 300.0,
+                burst_secs: 60.0,
+            },
+            ArrivalProcess::Trace {
+                gaps: vec![5.0, 1.0],
+            },
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: ArrivalProcess = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+        for s in [StopRule::Apps(100), StopRule::Horizon(5_000.0)] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: StopRule = serde_json::from_str(&json).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+}

@@ -17,12 +17,17 @@
 //!   closed-loop `control:pi` family vs FairShare / MinDilation /
 //!   `periodic:cong` on congested moments under external communication
 //!   storms, with telemetry export on.
+//! * `examples/campaign_stream.json` is exactly
+//!   `iosched_bench::experiments::load_sweep::campaign(SWEEP_SEEDS)` —
+//!   the open-system saturation sweep: Poisson arrival streams at four
+//!   rates λ, warmup-trimmed steady-state aggregates per
+//!   `(λ, policy)` cell.
 //!
 //! Integration tests pin each file to its in-code campaign, so edit the
 //! code and rerun this, not the JSON.
 
 use iosched_bench::campaign::CampaignSpec;
-use iosched_bench::experiments::{control, fig04, fig06};
+use iosched_bench::experiments::{control, fig04, fig06, load_sweep};
 
 fn write(spec: &CampaignSpec, path: &str) {
     let json = spec.to_json().expect("campaign serializes");
@@ -44,5 +49,9 @@ fn main() {
     write(
         &control::campaign(control::STORM_SEEDS),
         &format!("{dir}/campaign_control.json"),
+    );
+    write(
+        &load_sweep::campaign(load_sweep::SWEEP_SEEDS),
+        &format!("{dir}/campaign_stream.json"),
     );
 }

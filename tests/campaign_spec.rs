@@ -14,7 +14,7 @@ use hpc_io_sched::model::Platform;
 use hpc_io_sched::sim::{replay_apps, simulate, SimConfig};
 use hpc_io_sched::workload::congestion::congested_moment;
 use iosched_bench::campaign::{run_campaign, CampaignSpec};
-use iosched_bench::experiments::{ablations, control, fig04, fig06};
+use iosched_bench::experiments::{ablations, control, fig04, fig06, load_sweep};
 use iosched_bench::runner::ScenarioRunner;
 
 fn example_json() -> String {
@@ -264,6 +264,86 @@ fn telemetry_flag_is_bit_identical_for_the_existing_roster() {
         // utilization aggregate.
         assert!(off_cell.utilization.is_none());
         assert!(on_cell.utilization.is_some());
+    }
+}
+
+#[test]
+fn stream_example_file_is_exactly_the_load_sweep_campaign() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/campaign_stream.json");
+    let text = std::fs::read_to_string(path).expect("examples/campaign_stream.json is checked in");
+    let parsed = CampaignSpec::from_json(&text).expect("example parses");
+    let reference = load_sweep::campaign(load_sweep::SWEEP_SEEDS);
+    assert_eq!(
+        parsed, reference,
+        "examples/campaign_stream.json drifted; \
+        regenerate with `cargo run --release --example export_campaigns`"
+    );
+    // The sweep shape: one stream workload per λ, all open-system, the
+    // four-policy saturation roster, the warmup window campaign-wide.
+    assert_eq!(parsed.workloads.len(), load_sweep::lambdas().len());
+    assert!(parsed.workloads.iter().all(|w| w.is_open()));
+    assert_eq!(parsed.policies.len(), 4);
+    assert!(parsed.policies.iter().any(|p| p.name() == "fairshare"));
+    assert!(parsed.policies.iter().any(|p| p.name() == "control:pi"));
+    assert!(parsed
+        .policies
+        .iter()
+        .any(|p| p.name().starts_with("periodic:cong")));
+    let config = parsed.config.as_ref().expect("shared engine config");
+    assert!(config.warmup.as_secs() > 0.0);
+    assert!(config.telemetry);
+}
+
+/// The campaign path runs stream cells through the same open-system
+/// engine the direct `simulate_open` call uses — bit-identical — and
+/// attaches the steady aggregates the saturation curves read.
+#[test]
+fn stream_campaign_cells_match_direct_open_simulation() {
+    let full = load_sweep::campaign(load_sweep::SWEEP_SEEDS);
+    let spec = CampaignSpec {
+        workloads: vec![full.workloads[0].clone(), full.workloads[1].clone()],
+        policies: vec![
+            iosched_bench::scenario::PolicySpec::parse("fairshare").unwrap(),
+            iosched_bench::scenario::PolicySpec::parse("mindilation").unwrap(),
+        ],
+        seeds: vec![0, 1],
+        ..full
+    };
+    let result = run_campaign(&spec, &ScenarioRunner::with_threads(2)).expect("sweep runs");
+    assert_eq!(result.cells.len(), 4);
+    let config = spec.config.clone().unwrap();
+    for (cell_idx, cell) in result.cells.iter().enumerate() {
+        let queue = cell.queue.as_ref().expect("stream cells aggregate queues");
+        let stretch = cell
+            .stretch
+            .as_ref()
+            .expect("stream cells aggregate stretch");
+        assert!(queue.mean >= 0.0 && stretch.mean >= 1.0);
+        // Recompute the cell's first seed directly.
+        let w = cell_idx / spec.policies.len();
+        let platform = hpc_io_sched::model::Platform::intrepid();
+        let apps = spec.workloads[w]
+            .with_seed(0)
+            .materialize(&platform)
+            .unwrap();
+        let mut policy = spec.policies[cell_idx % spec.policies.len()]
+            .build(&platform, &apps)
+            .unwrap();
+        let direct =
+            hpc_io_sched::sim::simulate_open(&platform, &apps, policy.as_mut(), &config).unwrap();
+        assert_eq!(
+            cell.dilation.min.min(cell.dilation.max),
+            cell.dilation.min,
+            "sanity"
+        );
+        let direct_queue = direct.steady.unwrap().mean_queue;
+        assert!(
+            queue.min <= direct_queue + 1e-12 && direct_queue <= queue.max + 1e-12,
+            "direct seed-0 queue {direct_queue} outside cell range [{}, {}]",
+            queue.min,
+            queue.max
+        );
+        assert_eq!(cell.runs, 2, "every stream cell aggregated both seeds");
     }
 }
 
