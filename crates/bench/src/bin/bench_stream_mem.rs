@@ -150,4 +150,15 @@ fn main() {
         ratio >= 10.0,
         "bounded-memory bar missed: {ratio:.2}x < 10x"
     );
+
+    // Throughput floor: the lazy run clocks ~2.7M events/s on the
+    // reference container (BENCH_PR6.json); the bar sits far below the
+    // measurement so only a genuine ~2x engine regression — not CI-runner
+    // variance — trips it.
+    let events_per_sec = lean.events as f64 / lean_secs;
+    println!("lazy stream engine throughput: {events_per_sec:.0} events/s");
+    assert!(
+        events_per_sec >= 1_000_000.0,
+        "events/s floor missed: {events_per_sec:.0} < 1,000,000"
+    );
 }

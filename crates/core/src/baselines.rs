@@ -14,7 +14,10 @@
 //!   I/O request owns the PFS (§1 cites this as the simplest policy used
 //!   by server-side HPC I/O schedulers).
 
-use crate::policy::{order_by_key_asc, Allocation, OnlinePolicy, SchedContext};
+use crate::policy::{
+    greedy_allocate_into, order_by_key_asc, order_into_by_key_asc, AllocScratch, Allocation,
+    OnlinePolicy, SchedContext,
+};
 use iosched_model::Bw;
 
 /// Uncoordinated concurrent access with max–min fairness.
@@ -66,6 +69,31 @@ impl OnlinePolicy for FairShare {
         grants.sort_by_key(|(id, _)| *id);
         Allocation { grants }
     }
+
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        // The water-filling pass of `allocate`, reusing the scratch
+        // buffers: the same arithmetic on the same values in the same
+        // order, so both entry points are bit-identical.
+        let n = ctx.pending.len();
+        scratch.alloc.grants.clear();
+        if n == 0 {
+            return;
+        }
+        order_into_by_key_asc(ctx, scratch, |a| a.max_bw.get());
+        let grants = &mut scratch.alloc.grants;
+        let mut remaining = ctx.total_bw;
+        let mut left = n;
+        for &i in &scratch.order {
+            let fair = remaining / left as f64;
+            let bw = ctx.pending[i].max_bw.min(fair);
+            if bw.get() > 0.0 {
+                grants.push((ctx.pending[i].id, bw));
+            }
+            remaining = (remaining - bw).max(Bw::ZERO);
+            left -= 1;
+        }
+        grants.sort_unstable_by_key(|&(id, _)| id);
+    }
 }
 
 /// Oldest-request-first baseline (leftover card capacity cascades to the
@@ -80,6 +108,15 @@ impl OnlinePolicy for Fcfs {
 
     fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
         order_by_key_asc(ctx, |a| a.io_requested_at.as_secs())
+    }
+
+    fn order_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        order_into_by_key_asc(ctx, scratch, |a| a.io_requested_at.as_secs());
+    }
+
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        self.order_into(ctx, scratch);
+        greedy_allocate_into(ctx, scratch);
     }
 }
 

@@ -47,7 +47,8 @@
 //! the scenario — reruns are bit-identical.
 
 use crate::policy::{
-    greedy_allocate, order_by_key_asc, Allocation, AppState, OnlinePolicy, SchedContext,
+    greedy_allocate, order_by_key_asc, order_into_by_key_asc, AllocScratch, Allocation, AppState,
+    OnlinePolicy, SchedContext,
 };
 use iosched_model::{Bw, Bytes, Time};
 use serde::{Deserialize, Serialize};
@@ -375,22 +376,11 @@ impl ControlPolicy {
         }
         Allocation { grants }
     }
-}
 
-impl OnlinePolicy for ControlPolicy {
-    fn name(&self) -> String {
-        self.name.clone()
-    }
-
-    /// Most-behind-first: ascending `ρ̃/ρ`, ties by `AppId`.
-    fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
-        order_by_key_asc(ctx, |a| a.dilation_ratio)
-    }
-
-    fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
-        if ctx.pending.is_empty() {
-            return Allocation::empty();
-        }
+    /// The control law proper, shared by both allocation entry points;
+    /// `order` is the most-behind-first permutation (however the caller
+    /// computed it).
+    fn allocate_with_order(&mut self, ctx: &SchedContext<'_>, order: &[usize]) -> Allocation {
         let signal = ctx
             .signal
             .unwrap_or_else(|| CongestionSignal::estimate(ctx));
@@ -398,7 +388,6 @@ impl OnlinePolicy for ControlPolicy {
             .last_obs
             .map_or(0.0, |t| (ctx.now - t).as_secs().max(0.0));
         self.last_obs = Some(ctx.now);
-        let order = self.order(ctx);
 
         let n = ctx.pending.len();
         let refill = ctx.total_bw * (self.pi.setpoint / n as f64);
@@ -430,7 +419,7 @@ impl OnlinePolicy for ControlPolicy {
             self.pi.reset();
             self.smoothed = None;
             self.throttle = 1.0;
-            let alloc = greedy_allocate(ctx, &order);
+            let alloc = greedy_allocate(ctx, order);
             for app in ctx.pending {
                 if let Some(b) = self.buckets.get_mut(&app.id) {
                     b.note_grant(alloc.granted(app.id));
@@ -469,7 +458,7 @@ impl OnlinePolicy for ControlPolicy {
             pending: &self.scratch,
             signal: ctx.signal,
         };
-        let first = greedy_allocate(&capped_ctx, &order);
+        let first = greedy_allocate(&capped_ctx, order);
 
         // Pass 2 — spill: whatever budget the caps left unused is
         // re-offered cap-free in the same order (work conservation
@@ -489,7 +478,7 @@ impl OnlinePolicy for ControlPolicy {
                 pending: &self.scratch,
                 signal: ctx.signal,
             };
-            let spill = greedy_allocate(&spill_ctx, &order);
+            let spill = greedy_allocate(&spill_ctx, order);
             Self::merge(first, spill)
         } else {
             first
@@ -500,6 +489,38 @@ impl OnlinePolicy for ControlPolicy {
             }
         }
         alloc
+    }
+}
+
+impl OnlinePolicy for ControlPolicy {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    /// Most-behind-first: ascending `ρ̃/ρ`, ties by `AppId`.
+    fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
+        order_by_key_asc(ctx, |a| a.dilation_ratio)
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
+        if ctx.pending.is_empty() {
+            return Allocation::empty();
+        }
+        let order = self.order(ctx);
+        self.allocate_with_order(ctx, &order)
+    }
+
+    fn order_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        order_into_by_key_asc(ctx, scratch, |a| a.dilation_ratio);
+    }
+
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        if ctx.pending.is_empty() {
+            scratch.alloc.grants.clear();
+            return;
+        }
+        self.order_into(ctx, scratch);
+        scratch.alloc = self.allocate_with_order(ctx, scratch.order());
     }
 }
 

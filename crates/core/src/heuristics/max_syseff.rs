@@ -18,7 +18,10 @@
 //! Fig. 16 per-application measurements; we implement the reading
 //! consistent with the reported results.
 
-use crate::policy::{order_by_key_asc, OnlinePolicy, SchedContext};
+use crate::policy::{
+    greedy_allocate_into, order_by_key_asc, order_into_by_key_asc, AllocScratch, OnlinePolicy,
+    SchedContext,
+};
 
 /// Serve applications with the highest `β·ρ̃` first.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,6 +34,15 @@ impl OnlinePolicy for MaxSysEff {
 
     fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
         order_by_key_asc(ctx, |a| -a.syseff_key)
+    }
+
+    fn order_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        order_into_by_key_asc(ctx, scratch, |a| -a.syseff_key);
+    }
+
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        self.order_into(ctx, scratch);
+        greedy_allocate_into(ctx, scratch);
     }
 }
 

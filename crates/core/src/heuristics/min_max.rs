@@ -9,7 +9,7 @@
 //! Since `0 ≤ ρ̃/ρ ≤ 1`, MinMax-γ degenerates to MinDilation at `γ = 1`
 //! and to MaxSysEff at `γ = 0` (no ratio can sit strictly below 0).
 
-use crate::policy::{AppState, OnlinePolicy, SchedContext};
+use crate::policy::{greedy_allocate_into, AllocScratch, AppState, OnlinePolicy, SchedContext};
 
 /// Threshold strategy: rescue applications whose dilation ratio fell below
 /// `gamma`, otherwise optimize system efficiency.
@@ -66,6 +66,31 @@ impl OnlinePolicy for MinMax {
                 .then_with(|| ax.id.cmp(&ay.id))
         });
         order
+    }
+
+    fn order_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        // Same comparator as `order`, sorting the reused index buffer in
+        // place. The comparator is strict on distinct applications (the
+        // AppId tie-break), so the unstable sort yields the identical
+        // permutation.
+        scratch.order.clear();
+        scratch.order.extend(0..ctx.pending.len());
+        let gamma = self.gamma;
+        scratch.order.sort_unstable_by(|&x, &y| {
+            let (ax, ay) = (&ctx.pending[x], &ctx.pending[y]);
+            let (bx, by) = (ax.dilation_ratio < gamma, ay.dilation_ratio < gamma);
+            by.cmp(&bx)
+                .then_with(|| match (bx, by) {
+                    (true, true) => ax.dilation_ratio.total_cmp(&ay.dilation_ratio),
+                    _ => ay.syseff_key.total_cmp(&ax.syseff_key),
+                })
+                .then_with(|| ax.id.cmp(&ay.id))
+        });
+    }
+
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        self.order_into(ctx, scratch);
+        greedy_allocate_into(ctx, scratch);
     }
 }
 

@@ -10,7 +10,7 @@
 //! `started_io == true` are ordered first (using `P`'s order among
 //! themselves), the rest follow, also in `P`'s order.
 
-use crate::policy::{OnlinePolicy, SchedContext};
+use crate::policy::{greedy_allocate_into, AllocScratch, OnlinePolicy, SchedContext};
 
 /// Never interrupt an application that already started its current I/O.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,6 +48,33 @@ impl<P: OnlinePolicy> OnlinePolicy for Priority<P> {
         let mut order = started;
         order.extend(fresh);
         order
+    }
+
+    fn order_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        self.inner.order_into(ctx, scratch);
+        // Stable in-place partition of the inner order by `started_io`:
+        // started entries are compacted to the front (the write cursor
+        // never overtakes the read cursor), the rest are staged in `tmp`
+        // and appended — both groups keep the inner policy's relative
+        // preferences, exactly like the allocating `partition` above.
+        scratch.tmp.clear();
+        let mut w = 0;
+        for r in 0..scratch.order.len() {
+            let i = scratch.order[r];
+            if ctx.pending[i].started_io {
+                scratch.order[w] = i;
+                w += 1;
+            } else {
+                scratch.tmp.push(i);
+            }
+        }
+        scratch.order.truncate(w);
+        scratch.order.extend_from_slice(&scratch.tmp);
+    }
+
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        self.order_into(ctx, scratch);
+        greedy_allocate_into(ctx, scratch);
     }
 }
 

@@ -5,7 +5,10 @@
 //! application that finished the I/O transfer of its last instance the
 //! longest time ago is favored."
 
-use crate::policy::{order_by_key_asc, OnlinePolicy, SchedContext};
+use crate::policy::{
+    greedy_allocate_into, order_by_key_asc, order_into_by_key_asc, AllocScratch, OnlinePolicy,
+    SchedContext,
+};
 
 /// FCFS with fairness: least-recently-served application first.
 #[derive(Debug, Clone, Copy, Default)]
@@ -20,6 +23,15 @@ impl OnlinePolicy for RoundRobin {
         // Oldest last-I/O-completion first; apps that never performed I/O
         // carry their release time, so long-waiting newcomers win too.
         order_by_key_asc(ctx, |a| a.last_io_end.as_secs())
+    }
+
+    fn order_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        order_into_by_key_asc(ctx, scratch, |a| a.last_io_end.as_secs());
+    }
+
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        self.order_into(ctx, scratch);
+        greedy_allocate_into(ctx, scratch);
     }
 }
 

@@ -17,7 +17,7 @@
 //! `iosched_sim::periodic_exec`, next to the engine it validates.)
 
 use super::schedule::PeriodicSchedule;
-use crate::policy::{Allocation, OnlinePolicy, SchedContext};
+use crate::policy::{AllocScratch, Allocation, OnlinePolicy, SchedContext};
 use iosched_model::{AppId, Bw, Time, EPS};
 
 /// Replay a [`PeriodicSchedule`] inside a fluid simulator.
@@ -26,6 +26,12 @@ pub struct TimetablePolicy {
     schedule: PeriodicSchedule,
     /// Sorted window boundaries within `[0, T)`.
     boundaries: Vec<Time>,
+    /// `(app, plan position)` pairs sorted by `AppId`: the replay looks
+    /// a pending application's plan up at every event, and a linear
+    /// `find` over the plans turns each allocation into `O(pending ×
+    /// plans)` — the dominant cost of the timetable row in the
+    /// congested-moment bench.
+    plan_index: Vec<(AppId, u32)>,
     /// Report name (`"timetable"` unless the registry overrode it with
     /// the factory's serde name).
     name: String,
@@ -46,9 +52,21 @@ impl TimetablePolicy {
             .collect();
         boundaries.sort_by(|a, b| a.get().total_cmp(&b.get()));
         boundaries.dedup_by(|a, b| a.approx_eq(*b));
+        let mut plan_index: Vec<(AppId, u32)> = schedule
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(k, p)| (p.app, u32::try_from(k).expect("plan count fits u32")))
+            .collect();
+        plan_index.sort_unstable_by_key(|&(id, _)| id);
+        // `planned_bw` keeps the first matching plan (the `find`
+        // contract), so duplicate plans for one app keep the lowest
+        // position after the sort-by-(id, k).
+        plan_index.dedup_by_key(|&mut (id, _)| id);
         Self {
             schedule,
             boundaries,
+            plan_index,
             name: "timetable".into(),
         }
     }
@@ -75,11 +93,11 @@ impl TimetablePolicy {
 
     /// Planned bandwidth of application `id` at period offset `offset`.
     fn planned_bw(&self, id: AppId, offset: Time) -> Bw {
-        self.schedule
-            .plans
-            .iter()
-            .find(|p| p.app == id)
-            .map_or(Bw::ZERO, |plan| {
+        self.plan_index
+            .binary_search_by_key(&id, |&(pid, _)| pid)
+            .ok()
+            .map_or(Bw::ZERO, |k| {
+                let plan = &self.schedule.plans[self.plan_index[k].1 as usize];
                 plan.instances
                     .iter()
                     .find(|i| offset.approx_ge(i.io_start) && offset.approx_lt(i.io_end))
@@ -127,6 +145,24 @@ impl OnlinePolicy for TimetablePolicy {
         Allocation { grants }
     }
 
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        // Same pass as `allocate`, writing into the reused grant buffer.
+        let offset = self.offset(ctx.now);
+        let grants = &mut scratch.alloc.grants;
+        grants.clear();
+        grants.extend(ctx.pending.iter().filter_map(|app| {
+            let bw = self.planned_bw(app.id, offset).min(app.max_bw);
+            (bw.get() > 0.0).then_some((app.id, bw))
+        }));
+        let total: Bw = grants.iter().map(|(_, bw)| *bw).sum();
+        if total.approx_gt(ctx.total_bw) && total.get() > 0.0 {
+            let scale = ctx.total_bw.get() / total.get();
+            for (_, bw) in grants.iter_mut() {
+                *bw = *bw * scale;
+            }
+        }
+    }
+
     /// Next boundary strictly after `now` — *as the driving engine sees
     /// strictness*. The engine compares wakeups with the mixed
     /// absolute/relative [`EPS`] tolerance, whose scale grows with `now`;
@@ -143,15 +179,19 @@ impl OnlinePolicy for TimetablePolicy {
         let period = self.schedule.period;
         let offset = self.offset(now);
         let base = now - offset;
-        for &b in &self.boundaries {
-            if b.approx_gt(offset) {
-                let t = base + b;
-                if t.approx_gt(now) {
-                    return Some(t);
-                }
-                // Rounding collapsed this boundary onto the clock: fall
-                // through to a later one.
+        // Boundaries are sorted and `b ↦ b - tol(b)` is strictly
+        // increasing, so `approx_gt(offset)` flips from false to true at
+        // most once along the vector — the first candidate is found by
+        // binary search instead of scanning the (possibly thousands of)
+        // already-passed boundaries of the period.
+        let first = self.boundaries.partition_point(|&b| !b.approx_gt(offset));
+        for &b in &self.boundaries[first..] {
+            let t = base + b;
+            if t.approx_gt(now) {
+                return Some(t);
             }
+            // Rounding collapsed this boundary onto the clock: fall
+            // through to a later one.
         }
         // Wrap into following periods, trying *every* boundary of each
         // (a collapsed first boundary must fall through to the next

@@ -229,6 +229,53 @@ impl StateBuffer {
     }
 }
 
+/// Reusable workspace for the in-place allocation path
+/// ([`OnlinePolicy::allocate_into`]): the output [`Allocation`] plus the
+/// keyed/order scratch the sorting helpers fill.
+///
+/// Rebuilding a preference order allocates a `Vec<usize>` per event and
+/// recomputes every ordering key once per *comparison*; at millions of
+/// events this dominates the policy-side profile. Drivers keep one
+/// `AllocScratch` alive across events (next to their [`StateBuffer`]) so
+/// a policy that overrides `allocate_into`/`order_into` runs the whole
+/// decision without touching the heap: keys are computed once per
+/// application into `keyed`, the permutation lands in `order`, and the
+/// grants in `alloc.grants` — all retaining their capacity.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    /// The allocation decided by the last [`OnlinePolicy::allocate_into`].
+    pub alloc: Allocation,
+    /// `(key-image, id, pending-index)` sorting workspace of
+    /// [`order_into_by_key_asc`]: the `f64` key mapped through the
+    /// IEEE-754 total-order bijection so the sort compares plain
+    /// integers, with the tie-breaking `AppId` carried inline.
+    pub(crate) keyed: Vec<(u64, u64, usize)>,
+    /// Preference order: indices into the pending slice, most-favored
+    /// first.
+    pub(crate) order: Vec<usize>,
+    /// Secondary index workspace (stable partitions, e.g.
+    /// [`crate::heuristics::Priority`]).
+    pub(crate) tmp: Vec<usize>,
+    /// Per-pending-index grant workspace of [`greedy_allocate_into`]
+    /// (lets the grant list come out in pending order without a sort).
+    pub(crate) grant_buf: Vec<Bw>,
+}
+
+impl AllocScratch {
+    /// A fresh, empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The preference order filled by the last
+    /// [`OnlinePolicy::order_into`] call.
+    #[must_use]
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
 /// An online scheduling strategy (§3.1).
 ///
 /// A strategy is fundamentally a *preference order* over the pending
@@ -249,6 +296,26 @@ pub trait OnlinePolicy: Send {
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
         let order = self.order(ctx);
         greedy_allocate(ctx, &order)
+    }
+
+    /// Fill `scratch.order` with [`OnlinePolicy::order`]'s permutation.
+    /// The default copies the allocating path's result; policies on hot
+    /// paths override it (typically via [`order_into_by_key_asc`]) so the
+    /// steady-state decision allocates nothing. Overrides must produce
+    /// exactly the permutation `order` would.
+    fn order_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        let order = self.order(ctx);
+        scratch.order.clear();
+        scratch.order.extend(order);
+    }
+
+    /// Allocation entry point for drivers that reuse buffers across
+    /// events: decide the grants into `scratch.alloc`. The default
+    /// delegates to [`OnlinePolicy::allocate`]; overrides must be
+    /// bit-identical to it — drivers may use either entry point
+    /// interchangeably (the fluid engine drives this one).
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        scratch.alloc = self.allocate(ctx);
     }
 
     /// Next instant (strictly after `now`) at which this policy wants to
@@ -273,6 +340,12 @@ impl<P: OnlinePolicy + ?Sized> OnlinePolicy for Box<P> {
     }
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> Allocation {
         (**self).allocate(ctx)
+    }
+    fn order_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        (**self).order_into(ctx, scratch);
+    }
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+        (**self).allocate_into(ctx, scratch);
     }
     fn next_wakeup(&self, now: Time) -> Option<Time> {
         (**self).next_wakeup(now)
@@ -306,6 +379,81 @@ pub fn greedy_allocate(ctx: &SchedContext<'_>, order: &[usize]) -> Allocation {
     }
     grants.sort_unstable_by_key(|&(id, _)| id);
     Allocation { grants }
+}
+
+/// In-place twin of [`greedy_allocate`]: run the shared grant loop over
+/// `scratch.order` writing into `scratch.alloc`. Bit-identical to the
+/// allocating path — same operations on the same values in the same
+/// order; only the destination vector is reused.
+pub fn greedy_allocate_into(ctx: &SchedContext<'_>, scratch: &mut AllocScratch) {
+    // The grant loop runs in preference order (the budget consumption is
+    // sequential), but the grants are *scattered* into a per-pending-index
+    // buffer and then emitted in pending order. When the driver's pending
+    // slice is `AppId`-ascending — the fluid engine's `StateBuffer`
+    // contract — the emitted list is already sorted and the final sort is
+    // a no-op check; the grant values are identical either way (same
+    // `remaining` sequence in the same order).
+    scratch.grant_buf.clear();
+    scratch.grant_buf.resize(ctx.pending.len(), Bw::ZERO);
+    let mut remaining = ctx.total_bw;
+    for &idx in &scratch.order {
+        if remaining.get() <= 0.0 || remaining.is_zero() {
+            break;
+        }
+        let app = &ctx.pending[idx];
+        let bw = app.max_bw.min(remaining);
+        if bw.get() > 0.0 {
+            scratch.grant_buf[idx] = bw;
+            remaining -= bw;
+            remaining = remaining.snap_zero();
+        }
+    }
+    let grants = &mut scratch.alloc.grants;
+    grants.clear();
+    for (idx, &bw) in scratch.grant_buf.iter().enumerate() {
+        if bw.get() > 0.0 {
+            grants.push((ctx.pending[idx].id, bw));
+        }
+    }
+    if !grants.is_sorted_by_key(|&(id, _)| id) {
+        grants.sort_unstable_by_key(|&(id, _)| id);
+    }
+}
+
+/// In-place twin of [`order_by_key_asc`]: fill `scratch.order` with the
+/// pending-app indices ordered by `key` ascending, ties broken by
+/// `AppId`. Produces exactly the allocating helper's permutation — the
+/// key is a pure function of the [`AppState`], so computing it once per
+/// application (instead of once per comparison) cannot change it, and
+/// the comparator is strict on distinct applications (ids are unique),
+/// so the unstable sort is deterministic.
+pub fn order_into_by_key_asc<F: FnMut(&AppState) -> f64>(
+    ctx: &SchedContext<'_>,
+    scratch: &mut AllocScratch,
+    mut key: F,
+) {
+    // Map each key through the IEEE-754 total-order bijection (flip all
+    // bits of negatives, set the sign bit of non-negatives): `u64` order
+    // on the images is exactly `f64::total_cmp` on the keys. Sorting
+    // `(image, id)` pairs as integers therefore yields precisely the
+    // comparator-based permutation — and keeps the hot comparison free of
+    // indirect loads. That matters because keys tie *often* (e.g.
+    // `dilation_ratio` saturates at exactly 1.0 for every undelayed
+    // application), and the old closure resolved every tie with two
+    // random-access `pending[·].id` lookups.
+    scratch.keyed.clear();
+    scratch
+        .keyed
+        .extend(ctx.pending.iter().enumerate().map(|(i, a)| {
+            let b = key(a).to_bits();
+            let image = if b >> 63 == 1 { !b } else { b | (1 << 63) };
+            (image, a.id.0 as u64, i)
+        }));
+    scratch.keyed.sort_unstable_by_key(|&(k, id, _)| (k, id));
+    scratch.order.clear();
+    scratch
+        .order
+        .extend(scratch.keyed.iter().map(|&(_, _, i)| i));
 }
 
 /// Sort helper: returns pending-app indices ordered by `key` ascending,
@@ -476,5 +624,54 @@ mod tests {
         let order = order_by_key_asc(&c, |_| 0.0);
         let ids: Vec<usize> = order.iter().map(|&i| pending[i].id.0).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn order_into_matches_the_allocating_helper() {
+        // Unsorted pending with key ties: the scratch path must
+        // reproduce the allocating helper's permutation exactly,
+        // including the AppId tie-break.
+        let mut pending = [app(2, 1.0), app(0, 1.0), app(1, 1.0), app(3, 1.0)];
+        pending[0].dilation_ratio = 0.5;
+        pending[3].dilation_ratio = 0.5;
+        let c = ctx(10.0, &pending);
+        let mut scratch = AllocScratch::new();
+        order_into_by_key_asc(&c, &mut scratch, |a| a.dilation_ratio);
+        assert_eq!(scratch.order(), order_by_key_asc(&c, |a| a.dilation_ratio));
+    }
+
+    #[test]
+    fn greedy_into_is_bit_identical_to_greedy() {
+        let pending = [app(0, 6.0), app(1, 6.0), app(2, 6.0)];
+        let c = ctx(10.0, &pending);
+        let mut scratch = AllocScratch::new();
+        scratch.order = vec![2, 0, 1];
+        greedy_allocate_into(&c, &mut scratch);
+        let reference = greedy_allocate(&c, &[2, 0, 1]);
+        assert_eq!(scratch.alloc.grants.len(), reference.grants.len());
+        for ((ia, ba), (ib, bb)) in scratch.alloc.grants.iter().zip(&reference.grants) {
+            assert_eq!(ia, ib);
+            assert_eq!(ba.get().to_bits(), bb.get().to_bits());
+        }
+    }
+
+    #[test]
+    fn default_allocate_into_delegates_to_allocate() {
+        struct Fixed;
+        impl OnlinePolicy for Fixed {
+            fn name(&self) -> String {
+                "fixed".into()
+            }
+            fn order(&mut self, ctx: &SchedContext<'_>) -> Vec<usize> {
+                (0..ctx.pending.len()).rev().collect()
+            }
+        }
+        let pending = [app(0, 6.0), app(1, 6.0)];
+        let c = ctx(10.0, &pending);
+        let mut scratch = AllocScratch::new();
+        Fixed.allocate_into(&c, &mut scratch);
+        assert_eq!(scratch.alloc, Fixed.allocate(&c));
+        Fixed.order_into(&c, &mut scratch);
+        assert_eq!(scratch.order(), Fixed.order(&c));
     }
 }

@@ -202,6 +202,27 @@ impl AppProgress {
     pub fn syseff_key(&self, t: Time) -> f64 {
         self.procs as f64 * self.rho_tilde(t)
     }
+
+    /// The three prefix sums from which every `t`-dependent key above is
+    /// derived: `(work_done, work_prefix[upto], span_prefix[upto])` with
+    /// `upto` exactly as in [`AppProgress::rho`]. They change only when an
+    /// instance completes, so a per-event hot path can cache them and
+    /// rebuild `ρ̃`, `ρ`, the dilation ratio and the syseff key with the
+    /// same operations on the same values — bit-identical to calling the
+    /// methods here.
+    #[must_use]
+    pub fn key_parts(&self) -> (Time, Time, Time) {
+        let upto = if self.completed == 0 {
+            1
+        } else {
+            self.completed
+        };
+        (
+            self.work_prefix[self.completed],
+            self.work_prefix[upto],
+            self.span_prefix[upto],
+        )
+    }
 }
 
 #[cfg(test)]

@@ -70,19 +70,20 @@
 //! [`iosched_model::units`].
 
 use crate::burst_buffer::BurstBufferState;
+use crate::calendar::{CalendarQueue, ComputeEvent};
 use crate::error::SimError;
 use crate::external_load::ExternalLoad;
 use crate::outcome::SimOutcome;
-use crate::state::{AppRuntime, Phase};
+use crate::state::{AppRuntime, HotState, PhaseTag};
 use crate::steady::SteadyAccum;
 use crate::telemetry::{Telemetry, TelemetrySample};
 use crate::trace::{BandwidthTrace, TraceSegment};
-use iosched_core::policy::{AppState, OnlinePolicy, StateBuffer};
+use iosched_core::policy::{AllocScratch, AppState, OnlinePolicy, StateBuffer};
 use iosched_model::app::{validate_open_arrival, validate_open_scenario, validate_scenario};
 use iosched_model::{
     AppId, AppOutcome, AppSpec, Bw, Bytes, ObjectiveAccumulator, ObjectiveReport, Platform, Time,
+    EPS,
 };
-use std::collections::BinaryHeap;
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -291,39 +292,57 @@ pub enum StepStatus {
     Finished,
 }
 
-/// Compute-completion entry in the event heap, ordered so that
-/// `BinaryHeap::peek` yields the *earliest* completion (ties broken by
-/// `AppId`, which is stable under roster permutation and slot reuse —
-/// the slot index `idx` is only the access path).
-#[derive(Debug, Clone, Copy)]
-struct ComputeEvent {
-    at: Time,
-    id: AppId,
-    idx: usize,
+/// Membership of the I/O-pending set: dense `(AppId, slot)` pairs kept
+/// in ascending `AppId` order (which policies rely on). Storing the id
+/// inline makes the binary searches and the per-event scans touch one
+/// flat array instead of chasing `slot → spec → id` through the arena;
+/// with the pending population tracking *concurrency* (tens, not the
+/// admitted total), the ordered insert's memmove stays within a cache
+/// line or two.
+#[derive(Debug, Default)]
+struct PendingSet {
+    entries: Vec<(AppId, usize)>,
 }
 
-impl PartialEq for ComputeEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
+impl PendingSet {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(n),
+        }
     }
-}
 
-impl Eq for ComputeEvent {}
-
-impl PartialOrd for ComputeEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    fn len(&self) -> usize {
+        self.entries.len()
     }
-}
 
-impl Ord for ComputeEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: the max-heap surfaces the minimum time.
-        other
-            .at
-            .get()
-            .total_cmp(&self.at.get())
-            .then_with(|| other.id.cmp(&self.id))
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn entries(&self) -> &[(AppId, usize)] {
+        &self.entries
+    }
+
+    /// Insert if absent; true when the membership changed.
+    fn insert(&mut self, id: AppId, slot: usize) -> bool {
+        match self.entries.binary_search_by_key(&id, |&(pid, _)| pid) {
+            Err(pos) => {
+                self.entries.insert(pos, (id, slot));
+                true
+            }
+            Ok(_) => false,
+        }
+    }
+
+    /// Remove if present; true when the membership changed.
+    fn remove(&mut self, id: AppId) -> bool {
+        match self.entries.binary_search_by_key(&id, |&(pid, _)| pid) {
+            Ok(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -352,11 +371,17 @@ pub struct Simulation<'a> {
     platform: &'a Platform,
     policy: &'a mut dyn OnlinePolicy,
     config: &'a SimConfig,
-    /// Slot arena of live (and recently finished) application runtimes.
-    /// In closed-roster mode slots are the input positions; in stream
-    /// mode finished slots are recycled through `free`, so the arena
-    /// size tracks peak *concurrency*, not total admissions.
+    /// Cold slot arena of live (and recently finished) application
+    /// records (spec, ρ̃/ρ bookkeeping, instance counter) — touched at
+    /// instance boundaries only. In closed-roster mode slots are the
+    /// input positions; in stream mode finished slots are recycled
+    /// through `free`, so the arena size tracks peak *concurrency*, not
+    /// total admissions.
     rts: Vec<AppRuntime>,
+    /// Dense struct-of-arrays hot state, parallel to `rts`: everything
+    /// the per-event passes (decay, completion scan, policy snapshot,
+    /// grant application) read or write.
+    hot: HotState,
     /// Recycled slots of retired applications (stream mode).
     free: Vec<usize>,
     /// Where new applications come from.
@@ -383,16 +408,23 @@ pub struct Simulation<'a> {
     events: usize,
     finished: usize,
     drain_bw: Bw,
-    /// Slots of applications currently in the `Io` phase, kept in
-    /// ascending `AppId` order (which policies rely on). Maintained
+    /// Aggregate effective inflow installed by the last allocation
+    /// (`Σ effective` over the pending set, accumulated during the
+    /// grant-application walk). Nothing mutates a rate between an
+    /// allocation and the next event scan, so the cache replaces the
+    /// per-scan rescan of the pending set bit-for-bit.
+    inflow: Bw,
+    /// Applications currently in the `Io` phase. Maintained
     /// incrementally by the transition handlers.
-    pending: Vec<usize>,
+    pending: PendingSet,
     /// Future releases of the closed roster, sorted descending by
     /// `(release, id)` so `pop()` yields the earliest; empty in stream
     /// mode.
     releases: Vec<(Time, AppId, usize)>,
-    /// Outstanding compute completions.
-    compute: BinaryHeap<ComputeEvent>,
+    /// Outstanding compute completions (bucket queue with a far-future
+    /// heap fallback; pop order is identical to the former binary
+    /// heap's).
+    compute: CalendarQueue,
     /// Reused scratch: predicted I/O completions, as *absolute* times.
     /// Valid across events as long as no grant, capacity or phase
     /// changed: a transfer at constant rate completes at the same
@@ -400,12 +432,33 @@ pub struct Simulation<'a> {
     /// rescan of all pending applications is skipped until
     /// `predicted_dirty` says otherwise.
     predicted: Vec<(usize, Time)>,
+    /// Double-buffer for the fused rebuild: the grant-merge walk in
+    /// [`Simulation::allocate`] computes every pending application's
+    /// predicted completion *as it installs the rates* — same `now`, same
+    /// residues, same effective rates as the event-scan rebuild would see
+    /// one step later, hence bit-identical — and commits it by swap iff
+    /// the step left the predictions dirty. The scan-time rebuild remains
+    /// only as the rare fallback (first event, empty-pending steps).
+    predicted_next: Vec<(usize, Time)>,
+    /// Minimum of the cached predictions (`INFINITY` when none),
+    /// maintained alongside the rebuild so the clean path folds one value
+    /// into `t_next` instead of rescanning the scratch.
+    predicted_min: Time,
     /// Set by every mutation that can move a predicted completion: a
     /// pending-set change, an instance completion, or an allocation that
     /// installed a different rate for any application.
     predicted_dirty: bool,
+    /// Slots whose transfer completed during the advance to the current
+    /// event, in `AppId` order (inherited from the predicted scan) —
+    /// the settle pass visits exactly these instead of rescanning the
+    /// whole pending set.
+    completed: Vec<usize>,
     /// Reused policy-snapshot arena.
     snapshot: StateBuffer,
+    /// Reused policy workspace: the grant vector the policy fills in
+    /// place plus its ordering scratch — no per-event allocation on
+    /// either side of the policy boundary.
+    scratch: AllocScratch,
     trace: Option<BandwidthTrace>,
     seg_start: Time,
     seg_grants: Vec<(AppId, Bw)>,
@@ -420,6 +473,10 @@ pub struct Simulation<'a> {
     /// The interval opened by the last allocation, closed at the next
     /// event.
     tel_open: TelemetrySample,
+    /// Per-event progress trace on stderr (compiled out unless the
+    /// `sim-debug` feature is on; enabled at runtime via the
+    /// `IOSCHED_SIM_DEBUG` environment variable).
+    #[cfg(feature = "sim-debug")]
     debug: bool,
 }
 
@@ -527,16 +584,24 @@ impl<'a> Simulation<'a> {
         }
         let streamed = matches!(admission, Admission::Stream { .. });
         let n = rts.len();
+        let mut hot = HotState::with_capacity(n);
+        for rt in &rts {
+            hot.push_app(rt, platform);
+        }
         let mut sim = Self {
             platform,
             policy,
             config,
             rts,
+            hot,
             free: Vec::new(),
             admission,
             admitted,
             last_release: Time::ZERO,
-            retired: Vec::new(),
+            // Pre-sized so a closed roster never reallocates mid-run
+            // (`retire` debug-asserts this); streams grow with the flag
+            // on, but the bounded-memory campaigns run with it off.
+            retired: Vec::with_capacity(if config.per_app_detail { n } else { 0 }),
             agg: ObjectiveAccumulator::default(),
             steady: (streamed || config.wants_steady()).then(|| SteadyAccum::new(config.warmup)),
             halted: false,
@@ -545,19 +610,25 @@ impl<'a> Simulation<'a> {
             events: 0,
             finished: 0,
             drain_bw: platform.total_bw,
-            pending: Vec::with_capacity(n),
+            inflow: Bw::ZERO,
+            pending: PendingSet::with_capacity(n),
             releases,
-            compute: BinaryHeap::with_capacity(n),
+            compute: CalendarQueue::new(),
             predicted: Vec::with_capacity(n),
+            predicted_next: Vec::with_capacity(n),
+            predicted_min: Time::INFINITY,
             predicted_dirty: true,
+            completed: Vec::with_capacity(n),
             snapshot: StateBuffer::new(),
+            scratch: AllocScratch::new(),
             trace: config.record_trace.then(BandwidthTrace::default),
             seg_start: Time::ZERO,
-            seg_grants: Vec::new(),
-            seg_effective: Vec::new(),
+            seg_grants: Vec::with_capacity(if config.record_trace { n } else { 0 }),
+            seg_effective: Vec::with_capacity(if config.record_trace { n } else { 0 }),
             seg_capacity: platform.total_bw,
             telemetry: Telemetry::new(config.telemetry),
             tel_open: TelemetrySample::idle(Time::ZERO, platform.total_bw),
+            #[cfg(feature = "sim-debug")]
             debug: std::env::var_os("IOSCHED_SIM_DEBUG").is_some(),
         };
         sim.settle_transitions()?;
@@ -609,20 +680,36 @@ impl<'a> Simulation<'a> {
     }
 
     /// Slot indices of applications currently wanting I/O, in ascending
-    /// `AppId` order. (For a closed release-sorted roster, slots equal
-    /// positions in the input `apps` slice.)
+    /// `AppId` order, materialized into a fresh vector (the membership
+    /// itself lives in a dense id-keyed structure; see
+    /// [`Simulation::pending_len`] for the allocation-free count). For a
+    /// closed release-sorted roster, slots equal positions in the input
+    /// `apps` slice.
     #[must_use]
-    pub fn pending_apps(&self) -> &[usize] {
-        &self.pending
+    pub fn pending_apps(&self) -> Vec<usize> {
+        self.pending.entries().iter().map(|&(_, i)| i).collect()
     }
 
-    /// Per-application runtime slots (inspection hook for steppable
-    /// use). For a closed roster, indices match the input `apps` slice;
-    /// in stream mode a slot may hold a *retired* runtime until a later
-    /// admission recycles it.
+    /// Number of applications currently wanting I/O.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cold per-application runtime slots (inspection hook for
+    /// steppable use). For a closed roster, indices match the input
+    /// `apps` slice; in stream mode a slot may hold a *retired* runtime
+    /// until a later admission recycles it.
     #[must_use]
     pub fn runtimes(&self) -> &[AppRuntime] {
         &self.rts
+    }
+
+    /// Dense hot state parallel to [`Simulation::runtimes`] (phase
+    /// tags, residual volumes, installed rates).
+    #[must_use]
+    pub fn hot(&self) -> &HotState {
+        &self.hot
     }
 
     /// Effective PFS drain bandwidth installed by the last allocation
@@ -652,22 +739,9 @@ impl<'a> Simulation<'a> {
                 limit: self.config.max_events,
             });
         }
+        #[cfg(feature = "sim-debug")]
         if self.debug && self.events.is_multiple_of(100_000) {
-            let window = self
-                .telemetry
-                .windowed(Time::secs(60.0))
-                .map(|s| (s.utilization, s.contention));
-            eprintln!(
-                "[sim] event {}: t={:.6}s pending={} finished={} bb={:?} tel60s={:?}",
-                self.events,
-                self.now.as_secs(),
-                self.pending.len(),
-                self.finished,
-                self.bb
-                    .as_ref()
-                    .map(|b| (b.level().as_gib(), b.is_throttled())),
-                window,
-            );
+            self.debug_tick();
         }
 
         // --- Find the next event. ------------------------------------
@@ -682,8 +756,8 @@ impl<'a> Simulation<'a> {
         {
             t_next = t_next.min(app.release());
         }
-        if let Some(ev) = self.compute.peek() {
-            t_next = t_next.min(ev.at);
+        if let Some(at) = self.compute.peek_min_at() {
+            t_next = t_next.min(at);
         }
         // Predicted I/O completions (to zero residues exactly). The
         // absolute completion instants only move when a rate, the
@@ -691,23 +765,23 @@ impl<'a> Simulation<'a> {
         // the cached predictions are still valid.
         if self.predicted_dirty {
             self.predicted.clear();
-            for &i in &self.pending {
-                let rt = &self.rts[i];
-                if let Phase::Io { remaining, .. } = rt.phase {
-                    if rt.effective_rate.get() > 0.0 {
-                        let done = self.now + remaining / rt.effective_rate;
-                        self.predicted.push((i, done));
-                    }
+            let mut pmin = Time::INFINITY;
+            for &(_, i) in self.pending.entries() {
+                if self.hot.effective[i].get() > 0.0 {
+                    let done = self.now + self.hot.remaining[i] / self.hot.effective[i];
+                    self.predicted.push((i, done));
+                    pmin = pmin.min(done);
                 }
             }
+            self.predicted_min = pmin;
             self.predicted_dirty = false;
         }
-        for &(_, done) in &self.predicted {
-            t_next = t_next.min(done);
-        }
+        // Min-folding is associative on these well-formed times (no NaN,
+        // equal values share one bit pattern), so the cached minimum is
+        // bit-identical to re-folding the scratch here.
+        t_next = t_next.min(self.predicted_min);
         if let Some(b) = &self.bb {
-            let inflow = self.total_inflow();
-            if let Some(dt) = b.next_event_in(inflow, self.drain_bw) {
+            if let Some(dt) = b.next_event_in(self.inflow, self.drain_bw) {
                 t_next = t_next.min(self.now + dt.max(Time::ZERO));
             }
         }
@@ -743,7 +817,7 @@ impl<'a> Simulation<'a> {
         if let Some(h) = self.config.horizon {
             if t_next.is_finite() && t_next.approx_gt(h) {
                 let h = h.max(self.now);
-                self.advance_fluid(h);
+                self.advance_to(h, false);
                 self.now = h;
                 self.tel_open.end = self.now;
                 let closed = self.tel_open;
@@ -773,19 +847,7 @@ impl<'a> Simulation<'a> {
         }
 
         // --- Advance the fluid state to t_next. -----------------------
-        self.advance_fluid(t_next);
-        // Zero the winners' residues exactly.
-        for k in 0..self.predicted.len() {
-            let (i, done) = self.predicted[k];
-            if done.approx_le(t_next) {
-                if let Phase::Io { started, .. } = self.rts[i].phase {
-                    self.rts[i].phase = Phase::Io {
-                        remaining: iosched_model::Bytes::ZERO,
-                        started,
-                    };
-                }
-            }
-        }
+        self.advance_to(t_next, true);
         self.now = t_next;
         // Close the telemetry interval the last allocation opened (the
         // installed rates were constant across it — the fluid model).
@@ -874,54 +936,86 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    /// Decay the pending transfers' volumes (and the burst-buffer level)
-    /// from `self.now` to `t_next` at the installed constant rates.
-    fn advance_fluid(&mut self, t_next: Time) {
+    /// Per-event progress line, outlined off the step path (feature
+    /// `sim-debug`; runtime-enabled via `IOSCHED_SIM_DEBUG`).
+    #[cfg(feature = "sim-debug")]
+    #[cold]
+    #[inline(never)]
+    fn debug_tick(&self) {
+        let window = self
+            .telemetry
+            .windowed(Time::secs(60.0))
+            .map(|s| (s.utilization, s.contention));
+        eprintln!(
+            "[sim] event {}: t={:.6}s pending={} finished={} bb={:?} tel60s={:?}",
+            self.events,
+            self.now.as_secs(),
+            self.pending.len(),
+            self.finished,
+            self.bb
+                .as_ref()
+                .map(|b| (b.level().as_gib(), b.is_throttled())),
+            window,
+        );
+    }
+
+    /// Decay the transferring volumes (and the burst-buffer level) from
+    /// `self.now` to `t_next` at the installed constant rates — one
+    /// fused pass over the predicted set, which is exactly the pending
+    /// slots with a positive effective rate (zero-rate transfers
+    /// neither decay nor complete, and every pending slot entered with
+    /// a positive residue). With `collect`, winners — predicted
+    /// completions at or before `t_next` — have their residues zeroed
+    /// exactly, and they land (together with any residue the decay
+    /// itself rounded to zero) in `completed`, in `AppId` order
+    /// inherited from the predicted scan, for the settle pass. The
+    /// horizon path advances without collecting: every predicted
+    /// completion lies past the horizon, and the approx-tolerant
+    /// winner check must not zero a transfer the pre-horizon halt will
+    /// never settle.
+    fn advance_to(&mut self, t_next: Time, collect: bool) {
         let dt = (t_next - self.now).max(Time::ZERO);
-        let inflow = self.total_inflow();
-        for &i in &self.pending {
-            let rt = &mut self.rts[i];
-            if let Phase::Io { remaining, .. } = rt.phase {
-                if rt.effective_rate.get() > 0.0 && dt.get() > 0.0 {
-                    let moved = rt.effective_rate * dt;
-                    let new_remaining = (remaining - moved).max(iosched_model::Bytes::ZERO);
-                    rt.bytes_transferred += moved.min(remaining);
-                    rt.phase = Phase::Io {
-                        remaining: new_remaining,
-                        started: true,
-                    };
+        let decay = dt.get() > 0.0;
+        if collect {
+            self.completed.clear();
+        }
+        for &(i, done) in &self.predicted {
+            let mut due = false;
+            if decay {
+                let remaining = self.hot.remaining[i];
+                let moved = self.hot.effective[i] * dt;
+                let new_remaining = (remaining - moved).max(Bytes::ZERO);
+                self.hot.bytes_moved[i] += moved.min(remaining);
+                self.hot.started[i] = true;
+                self.hot.remaining[i] = new_remaining;
+                due = new_remaining.is_zero();
+            }
+            if collect {
+                if done.approx_le(t_next) {
+                    // Zero the winner's residue exactly.
+                    self.hot.remaining[i] = Bytes::ZERO;
+                    due = true;
+                }
+                if due {
+                    self.completed.push(i);
                 }
             }
         }
         if let Some(b) = &mut self.bb {
-            b.advance(dt, inflow, self.drain_bw);
+            b.advance(dt, self.inflow, self.drain_bw);
         }
-    }
-
-    /// Aggregate effective inflow of all transferring applications.
-    fn total_inflow(&self) -> Bw {
-        self.pending
-            .iter()
-            .map(|&i| self.rts[i].effective_rate)
-            .sum()
     }
 
     /// The pending set is ordered by `AppId` (stable under roster
     /// permutation and slot reuse); slots are only the access path.
     fn pending_insert(&mut self, i: usize) {
-        let (pending, rts) = (&mut self.pending, &self.rts);
-        let id = rts[i].spec.id();
-        if let Err(pos) = pending.binary_search_by_key(&id, |&s| rts[s].spec.id()) {
-            pending.insert(pos, i);
+        if self.pending.insert(self.hot.id[i], i) {
             self.predicted_dirty = true;
         }
     }
 
     fn pending_remove(&mut self, i: usize) {
-        let (pending, rts) = (&mut self.pending, &self.rts);
-        let id = rts[i].spec.id();
-        if let Ok(pos) = pending.binary_search_by_key(&id, |&s| rts[s].spec.id()) {
-            pending.remove(pos);
+        if self.pending.remove(self.hot.id[i]) {
             self.predicted_dirty = true;
         }
     }
@@ -972,32 +1066,32 @@ impl<'a> Simulation<'a> {
                 *lookahead = next;
             }
         }
-        while let Some(ev) = self.compute.peek() {
-            if !ev.at.approx_le(self.now) {
+        while let Some(at) = self.compute.peek_min_at() {
+            if !at.approx_le(self.now) {
                 break;
             }
+            let ev = self.compute.pop_min().expect("peeked above");
             let i = ev.idx;
-            self.compute.pop();
-            let rt = &mut self.rts[i];
+            let rt = &self.rts[i];
             let inst = rt.spec.instance(rt.instance);
-            rt.io_requested_at = self.now;
-            rt.phase = Phase::Io {
-                remaining: inst.vol,
-                started: false,
-            };
+            self.hot.io_requested_at[i] = self.now;
+            self.hot.tag[i] = PhaseTag::Io;
+            self.hot.remaining[i] = inst.vol;
+            self.hot.started[i] = false;
             self.pending_insert(i);
             self.settle_app(i);
         }
-        // Walk the pending set; `settle_app` may remove the current entry,
-        // in which case the same position holds the next candidate.
-        let mut k = 0;
-        while k < self.pending.len() {
-            let i = self.pending[k];
+        // Transfers whose residue reached zero in the advance to this
+        // event, collected in `AppId` order — every other pending slot
+        // still has a positive residue and nothing to settle. (Slots
+        // admitted or unblocked above settled themselves on entry, and
+        // recycling can't touch these: a collected slot is still live
+        // until its own `settle_app` below retires it.)
+        for k in 0..self.completed.len() {
+            let i = self.completed[k];
             self.settle_app(i);
-            if self.pending.get(k) == Some(&i) {
-                k += 1;
-            }
         }
+        self.completed.clear();
         Ok(())
     }
 
@@ -1017,11 +1111,15 @@ impl<'a> Simulation<'a> {
             // what keeps the arena at peak-concurrency size.
             Some(slot) => {
                 self.rts[slot] = rt;
+                self.hot.reset_slot(slot, &self.rts[slot], self.platform);
                 slot
             }
             None => {
                 self.rts.push(rt);
-                self.rts.len() - 1
+                let slot = self.rts.len() - 1;
+                let hot_slot = self.hot.push_app(&self.rts[slot], self.platform);
+                debug_assert_eq!(slot, hot_slot, "hot state parallel to the arena");
+                slot
             }
         };
         self.admitted += 1;
@@ -1032,14 +1130,14 @@ impl<'a> Simulation<'a> {
     /// Start application `i`'s current instance at `at` and register it
     /// with the matching event source.
     fn begin_instance(&mut self, i: usize, at: Time) {
-        self.rts[i].start_instance(at);
-        match self.rts[i].phase {
-            Phase::Computing { done_at } => self.compute.push(ComputeEvent {
-                at: done_at,
-                id: self.rts[i].spec.id(),
+        self.hot.start_instance(i, &self.rts[i], at);
+        match self.hot.tag[i] {
+            PhaseTag::Computing => self.compute.push(ComputeEvent {
+                at: self.hot.done_at[i],
+                id: self.hot.id[i],
                 idx: i,
             }),
-            Phase::Io { .. } => {
+            PhaseTag::Io => {
                 self.pending_insert(i);
                 self.settle_app(i);
             }
@@ -1054,10 +1152,7 @@ impl<'a> Simulation<'a> {
     /// compute heap.
     fn settle_app(&mut self, i: usize) {
         loop {
-            let Phase::Io { remaining, .. } = self.rts[i].phase else {
-                return;
-            };
-            if !remaining.is_zero() {
+            if self.hot.tag[i] != PhaseTag::Io || !self.hot.remaining[i].is_zero() {
                 return;
             }
             // The completion invalidates this application's predicted
@@ -1065,24 +1160,24 @@ impl<'a> Simulation<'a> {
             self.predicted_dirty = true;
             let rt = &mut self.rts[i];
             rt.progress.complete_instance();
-            rt.last_io_end = self.now;
-            rt.rate = Bw::ZERO;
-            rt.effective_rate = Bw::ZERO;
             rt.instance += 1;
+            self.hot.last_io_end[i] = self.now;
+            self.hot.rate[i] = Bw::ZERO;
+            self.hot.effective[i] = Bw::ZERO;
             if rt.instance == rt.spec.instance_count() {
                 rt.progress.finish(self.now);
-                rt.phase = Phase::Finished;
+                self.hot.tag[i] = PhaseTag::Finished;
                 self.finished += 1;
                 self.pending_remove(i);
                 self.retire(i);
                 return;
             }
-            let now = self.now;
-            self.rts[i].start_instance(now);
-            if let Phase::Computing { done_at } = self.rts[i].phase {
+            self.hot.refresh_keys(i, &rt.progress);
+            self.hot.start_instance(i, &self.rts[i], self.now);
+            if self.hot.tag[i] == PhaseTag::Computing {
                 self.compute.push(ComputeEvent {
-                    at: done_at,
-                    id: self.rts[i].spec.id(),
+                    at: self.hot.done_at[i],
+                    id: self.hot.id[i],
                     idx: i,
                 });
                 self.pending_remove(i);
@@ -1113,7 +1208,14 @@ impl<'a> Simulation<'a> {
             steady.record_finish(&outcome);
         }
         if self.config.per_app_detail {
-            self.retired.push((outcome, rt.bytes_transferred));
+            #[cfg(debug_assertions)]
+            if matches!(self.admission, Admission::Roster) {
+                debug_assert!(
+                    self.retired.len() < self.retired.capacity(),
+                    "closed-roster retirements must fit the pre-sized buffer"
+                );
+            }
+            self.retired.push((outcome, self.hot.bytes_moved[i]));
         } else {
             self.agg.fold(&outcome);
         }
@@ -1149,37 +1251,47 @@ impl<'a> Simulation<'a> {
                 }
                 None => self.platform.total_bw,
             };
+            self.inflow = Bw::ZERO;
             self.tel_open = TelemetrySample::idle(now, capacity);
             return Ok(());
         }
         self.snapshot.clear();
         let mut offered = Bw::ZERO;
         let mut backlog = Bytes::ZERO;
-        for &i in &self.pending {
-            let rt = &self.rts[i];
-            // One phase inspection feeds both the snapshot flag and the
-            // telemetry backlog (pending applications are in `Io` by
-            // invariant).
-            let (started, remaining) = match rt.phase {
-                Phase::Io { remaining, started } => (started, remaining),
-                _ => (false, iosched_model::Bytes::ZERO),
-            };
-            backlog += remaining;
+        for &(id, i) in self.pending.entries() {
+            debug_assert_eq!(self.hot.tag[i], PhaseTag::Io, "pending slots are in Io");
+            backlog += self.hot.remaining[i];
             // Telemetry offered load is the *raw* card limit `β·b` —
             // under a deep storm the capacity-clamped `max_bw` handed to
             // the policy would collapse contention to the pending count,
             // under-reporting demand exactly when congestion is deepest.
-            let card = self.platform.proc_bw * rt.spec.procs() as f64;
+            let card = self.hot.card[i];
             offered += card;
             let max_bw = card.min(capacity);
+            // ρ̃ and the derived keys, rebuilt from the cached prefix
+            // sums with the same operations on the same values as the
+            // `AppProgress` methods — bit-identical, off flat arrays.
+            // ρ's division is hoisted to the key refresh (`key_rho`).
+            let elapsed = now - self.hot.release[i];
+            let rho = self.hot.key_rho[i];
+            let rho_tilde = if elapsed.get() <= EPS {
+                rho
+            } else {
+                self.hot.key_work_done[i] / elapsed
+            };
+            let dilation_ratio = if rho <= 0.0 {
+                1.0
+            } else {
+                (rho_tilde / rho).min(1.0)
+            };
             self.snapshot.push(AppState {
-                id: rt.spec.id(),
-                procs: rt.spec.procs(),
-                dilation_ratio: rt.progress.dilation_ratio(now),
-                syseff_key: rt.progress.syseff_key(now),
-                last_io_end: rt.last_io_end,
-                io_requested_at: rt.io_requested_at,
-                started_io: started,
+                id,
+                procs: self.hot.procs[i],
+                dilation_ratio,
+                syseff_key: self.hot.procs[i] as f64 * rho_tilde,
+                last_io_end: self.hot.last_io_end[i],
+                io_requested_at: self.hot.io_requested_at[i],
+                started_io: self.hot.started[i],
                 max_bw,
             });
         }
@@ -1188,24 +1300,12 @@ impl<'a> Simulation<'a> {
         let ctx = self
             .snapshot
             .context_with_signal(now, capacity, self.telemetry.signal());
-        let alloc = self.policy.allocate(&ctx);
-        alloc
-            .validate(&ctx)
-            .map_err(|detail| SimError::InvalidAllocation {
-                policy: self.policy.name(),
-                detail,
-            })?;
-        // A policy that schedules its own wakeups (a timetable) may stall
-        // everyone between reservation windows; an event-driven policy that
-        // grants nothing would livelock the system.
-        if alloc.total().is_zero() && capacity.get() > 0.0 && self.policy.next_wakeup(now).is_none()
-        {
-            return Err(SimError::PolicyStalledSystem {
-                policy: self.policy.name(),
-                at: now.as_secs(),
-            });
-        }
-        let active = alloc.grants.iter().filter(|(_, b)| b.get() > 0.0).count();
+        // The policy writes its grants into the reused workspace; the
+        // `allocate_into` contract demands bit-identical output to the
+        // allocating `allocate` path.
+        self.policy.allocate_into(&ctx, &mut self.scratch);
+        let grants = &self.scratch.alloc.grants;
+        let active = grants.iter().filter(|(_, b)| b.get() > 0.0).count();
         // Disk-locality interference: `n` uncoordinated streams degrade the
         // disk-backed tier's delivered bandwidth (Fig. 1). Without a burst
         // buffer the penalty hits the application rates directly. With one,
@@ -1225,29 +1325,86 @@ impl<'a> Simulation<'a> {
         // walk applies the grants in O(pending + grants) instead of a
         // binary search per application. Every pending application is
         // visited (non-granted ones install zero), so the walk doubles as
-        // the change detector for the predicted-completion cache.
+        // the change detector for the predicted-completion cache, the
+        // telemetry aggregation pass, *and* the §2.1 capacity screen: the
+        // exact comparisons below over-approximate [`Allocation::validate`]
+        // (`approx_gt` implies `>`), and any hit drops to the cold path
+        // where `validate` produces its canonical first-violation message.
+        // A merge walk that matches every grant has, by construction,
+        // checked sortedness, uniqueness and pending-membership.
+        let states = ctx.pending;
         let mut gi = 0;
+        let mut matched = 0usize;
+        let mut suspect = false;
         let mut total_granted = Bw::ZERO;
         let mut total_delivered = Bw::ZERO;
-        for &i in &self.pending {
-            let id = self.rts[i].spec.id();
-            while gi < alloc.grants.len() && alloc.grants[gi].0 < id {
+        // Fused predicted-completion rebuild: the walk sees exactly the
+        // values the next event scan would (the clock and the residues
+        // only move *after* that scan), so building the predictions here
+        // and committing them iff the step ends dirty is bit-identical to
+        // rebuilding lazily — minus one full pass per event. On the rare
+        // clean step the speculative buffer is simply dropped.
+        self.predicted_next.clear();
+        let mut pmin_next = Time::INFINITY;
+        for (k, &(id, i)) in self.pending.entries().iter().enumerate() {
+            while gi < grants.len() && grants[gi].0 < id {
                 gi += 1;
             }
-            let granted = match alloc.grants.get(gi) {
-                Some(&(gid, bw)) if gid == id => bw,
+            let granted = match grants.get(gi) {
+                Some(&(gid, bw)) if gid == id => {
+                    matched += 1;
+                    suspect |=
+                        !bw.is_finite() || bw.get() < 0.0 || bw.get() > states[k].max_bw.get();
+                    bw
+                }
                 _ => Bw::ZERO,
             };
             let effective = granted * ingest_factor;
-            if self.rts[i].effective_rate.get().to_bits() != effective.get().to_bits() {
+            if self.hot.effective[i].get().to_bits() != effective.get().to_bits() {
                 self.predicted_dirty = true;
             }
-            self.rts[i].rate = granted;
-            self.rts[i].effective_rate = effective;
-            // The walk visits every pending application, so it doubles
-            // as the telemetry aggregation pass too.
+            self.hot.rate[i] = granted;
+            self.hot.effective[i] = effective;
             total_granted += granted;
             total_delivered += effective;
+            if effective.get() > 0.0 {
+                let done = now + self.hot.remaining[i] / effective;
+                self.predicted_next.push((i, done));
+                pmin_next = pmin_next.min(done);
+            }
+        }
+        if self.predicted_dirty {
+            std::mem::swap(&mut self.predicted, &mut self.predicted_next);
+            self.predicted_min = pmin_next;
+            self.predicted_dirty = false;
+        }
+        if matched != grants.len() || total_granted.get() > ctx.total_bw.get() {
+            suspect = true;
+        }
+        if suspect {
+            // Cold path: a screen tripped, but only the tolerance-aware
+            // check decides (an overshoot within EPS is permitted, exactly
+            // as before). The rates already installed above are moot on
+            // the error path — a failed allocation aborts the run.
+            self.scratch
+                .alloc
+                .validate(&ctx)
+                .map_err(|detail| SimError::InvalidAllocation {
+                    policy: self.policy.name(),
+                    detail,
+                })?;
+        }
+        // A policy that schedules its own wakeups (a timetable) may stall
+        // everyone between reservation windows; an event-driven policy that
+        // grants nothing would livelock the system. (`total_granted` folds
+        // in a zero per non-granted application, which leaves the sum
+        // bit-identical to `alloc.total()` — grants are non-negative here.)
+        if total_granted.is_zero() && capacity.get() > 0.0 && self.policy.next_wakeup(now).is_none()
+        {
+            return Err(SimError::PolicyStalledSystem {
+                policy: self.policy.name(),
+                at: now.as_secs(),
+            });
         }
         self.drain_bw = match &mut self.bb {
             Some(b) => {
@@ -1256,6 +1413,7 @@ impl<'a> Simulation<'a> {
             }
             None => self.platform.total_bw,
         };
+        self.inflow = total_delivered;
         // Open the telemetry interval these rates govern (closed at the
         // next event).
         self.tel_open = TelemetrySample {
@@ -1280,6 +1438,13 @@ impl<'a> Simulation<'a> {
         }
         self.seg_grants.clear();
         self.seg_effective.clear();
+        // At most one entry per pending application; reserve up front so
+        // the fill below never reallocates (debug-asserted).
+        let need = self.pending.len();
+        self.seg_grants.reserve(need);
+        self.seg_effective.reserve(need);
+        #[cfg(debug_assertions)]
+        let caps = (self.seg_grants.capacity(), self.seg_effective.capacity());
         let load_factor = self
             .config
             .external_load
@@ -1289,13 +1454,18 @@ impl<'a> Simulation<'a> {
             Some(b) => b.ingest_capacity(self.platform.total_bw),
             None => self.platform.total_bw * load_factor,
         };
-        for &i in &self.pending {
-            let rt = &self.rts[i];
-            if rt.rate.get() > 0.0 {
-                self.seg_grants.push((rt.spec.id(), rt.rate));
-                self.seg_effective.push((rt.spec.id(), rt.effective_rate));
+        for &(id, i) in self.pending.entries() {
+            if self.hot.rate[i].get() > 0.0 {
+                self.seg_grants.push((id, self.hot.rate[i]));
+                self.seg_effective.push((id, self.hot.effective[i]));
             }
         }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            caps,
+            (self.seg_grants.capacity(), self.seg_effective.capacity()),
+            "trace-segment buffers must not reallocate mid-fill"
+        );
     }
 }
 

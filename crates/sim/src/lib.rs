@@ -36,6 +36,7 @@
 //! ```
 
 pub mod burst_buffer;
+mod calendar;
 pub mod engine;
 pub mod error;
 pub mod external_load;
