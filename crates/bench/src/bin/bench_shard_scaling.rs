@@ -1,0 +1,181 @@
+//! Multi-process shard-scaling benchmark: the load sweep
+//! (`examples/campaign_stream.json` shape) executed by 1/2/4/8
+//! single-threaded shard *processes* (the binary re-executes itself in
+//! `--shard-child` mode, files-only IPC through a partial directory),
+//! merged with `shard::merge_dir` and checked bit-identical to the
+//! in-process [`run_campaign`] reference at every point.
+//!
+//! Reports, per shard count: wall-clock seconds, aggregate cells/s,
+//! per-shard CPU milliseconds and peak RSS (from the clean-exit footers
+//! the shards leave behind), plus `projected_scaling` =
+//! `sum(cpu) / max(cpu)` — the speedup the process fan-out delivers on
+//! a machine with at least as many cores as shards. On a single-core
+//! container the wall-clock column cannot show the fan-out win (the
+//! shards time-slice one core); the projection is derived from measured
+//! per-shard CPU time, not an estimate of the work.
+//!
+//! Seed count scales with `REPRO_RUNS` / first CLI argument (default 3,
+//! the checked-in `campaign_stream.json` shape).
+
+use iosched_bench::campaign::{run_campaign, CampaignResult, CampaignSpec};
+use iosched_bench::experiments::load_sweep;
+use iosched_bench::runner::ScenarioRunner;
+use iosched_bench::shard::{merge_dir, run_shard, ShardFooter};
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+fn num(x: f64) -> Value {
+    Value::Num(x)
+}
+
+fn opt_num(x: Option<u64>) -> Value {
+    #[allow(clippy::cast_precision_loss)]
+    x.map_or(Value::Null, |v| Value::Num(v as f64))
+}
+
+fn shard_child(args: &[String]) -> Result<(), String> {
+    let [spec_path, index, of, dir] = args else {
+        return Err("--shard-child needs SPEC INDEX OF DIR".into());
+    };
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = CampaignSpec::from_json(&text)?;
+    let index: usize = index.parse().map_err(|_| format!("bad index '{index}'"))?;
+    let of: usize = of.parse().map_err(|_| format!("bad of '{of}'"))?;
+    let runner = ScenarioRunner::with_threads(1);
+    run_shard(&spec, index, of, Path::new(dir), &runner, |_, _, _| {})?;
+    Ok(())
+}
+
+struct Point {
+    shards: usize,
+    wall_secs: f64,
+    footers: Vec<ShardFooter>,
+}
+
+fn run_point(
+    exe: &Path,
+    spec_path: &Path,
+    base: &Path,
+    shards: usize,
+    reference: &CampaignResult,
+) -> Result<Point, String> {
+    let dir = base.join(format!("shards-{shards}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let started = Instant::now();
+    let children: Vec<_> = (0..shards)
+        .map(|i| {
+            Command::new(exe)
+                .arg("--shard-child")
+                .arg(spec_path)
+                .arg(i.to_string())
+                .arg(shards.to_string())
+                .arg(&dir)
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| format!("spawn shard {i}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    for (i, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().map_err(|e| format!("wait shard {i}: {e}"))?;
+        if !status.success() {
+            return Err(format!("shard {i}/{shards} failed: {status}"));
+        }
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let merged = merge_dir(&dir)?;
+    assert_eq!(
+        &merged.result, reference,
+        "{shards}-shard merge is not bit-identical to the in-process run"
+    );
+    let mut footers = merged.footers;
+    footers.sort_by_key(|f| f.index);
+    assert_eq!(footers.len(), shards, "a shard exited without its footer");
+    std::fs::remove_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    Ok(Point {
+        shards,
+        wall_secs,
+        footers,
+    })
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn report(points: &[Point], cells: usize, single_wall: f64) -> Value {
+    let rows = points
+        .iter()
+        .map(|p| {
+            let cpu: Vec<u64> = p.footers.iter().filter_map(|f| f.cpu_ms).collect();
+            let projected = if cpu.is_empty() || cpu.iter().max() == Some(&0) {
+                Value::Null
+            } else {
+                num(cpu.iter().sum::<u64>() as f64 / *cpu.iter().max().unwrap() as f64)
+            };
+            Value::Map(vec![
+                ("shards".into(), num(p.shards as f64)),
+                ("wall_secs".into(), num(p.wall_secs)),
+                ("cells_per_sec".into(), num(cells as f64 / p.wall_secs)),
+                ("projected_scaling_from_cpu".into(), projected),
+                (
+                    "cpu_ms_per_shard".into(),
+                    Value::Seq(p.footers.iter().map(|f| opt_num(f.cpu_ms)).collect()),
+                ),
+                (
+                    "peak_rss_kib_per_shard".into(),
+                    Value::Seq(p.footers.iter().map(|f| opt_num(f.peak_rss_kib)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        ("cells".into(), num(cells as f64)),
+        ("single_process_wall_secs".into(), num(single_wall)),
+        ("points".into(), Value::Seq(rows)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--shard-child") {
+        if let Err(e) = shard_child(&args[1..]) {
+            eprintln!("shard child: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let seeds = iosched_bench::runs_from_env(3);
+    let spec = load_sweep::campaign(seeds);
+    let base = std::env::temp_dir().join(format!("iosched-shard-scaling-{}", std::process::id()));
+    std::fs::create_dir_all(&base).expect("temp dir");
+    let spec_path: PathBuf = base.join("campaign.json");
+    std::fs::write(&spec_path, spec.to_json().expect("spec serializes")).expect("write spec");
+    let exe = std::env::current_exe().expect("own executable");
+
+    eprintln!(
+        "load sweep: {} blocks, {} cells, {} runs; in-process reference...",
+        spec.block_count(),
+        spec.cell_count(),
+        spec.total_runs()
+    );
+    let started = Instant::now();
+    let reference = run_campaign(&spec, &ScenarioRunner::with_threads(1)).expect("reference run");
+    let single_wall = started.elapsed().as_secs_f64();
+    eprintln!("reference: {single_wall:.2}s single-threaded in-process");
+
+    let mut points = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let point = run_point(&exe, &spec_path, &base, shards, &reference).expect("scaling point");
+        eprintln!(
+            "{} shard(s): {:.2}s wall, bit-identical merge",
+            shards, point.wall_secs
+        );
+        points.push(point);
+    }
+
+    let json = serde_json::to_string_pretty(&report(&points, reference.cells.len(), single_wall))
+        .expect("report serializes");
+    println!("{json}");
+    std::fs::remove_dir_all(&base).expect("cleanup");
+}

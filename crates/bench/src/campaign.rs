@@ -234,6 +234,16 @@ impl CampaignSpec {
         self.cell_count() * self.runs_per_cell()
     }
 
+    /// Number of seed blocks — the unit of parallel (and sharded) work.
+    /// Block `b` covers seed slot `b % runs_per_cell()` of
+    /// workload-group `b / runs_per_cell()` (groups in platform-major,
+    /// workload-minor order) and runs every policy over one shared
+    /// workload materialization.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.platforms.len() * self.workloads.len() * self.runs_per_cell()
+    }
+
     /// Decompose a run index (input order) into axis indices
     /// `(platform, workload, policy, seed_slot)`.
     #[must_use]
@@ -318,8 +328,59 @@ impl CampaignSpec {
     }
 }
 
+/// The raw per-run numbers a campaign aggregates — one value per
+/// metric, extracted from a [`SimOutcome`] the moment it finishes.
+///
+/// This is the unit the sharded partial format (`crate::shard`) carries:
+/// cell summaries are *derived* state (`Summary::from_slice` over a
+/// cell's runs) whose mean/std depend on the fold order at the ulp
+/// level, so shards persist the raw metrics instead and the merge
+/// reducer replays the exact single-process fold. Optional metrics
+/// mirror [`SimOutcome`]: `utilization` is present iff the run carried a
+/// telemetry summary, `queue`/`stretch` iff it carried a steady-state
+/// summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// SysEfficiency (fraction).
+    pub sys_efficiency: f64,
+    /// Dilation.
+    pub dilation: f64,
+    /// Congestion-free upper limit (fraction).
+    pub upper_limit: f64,
+    /// Makespan in seconds (`end_time`, horizon-safe).
+    pub makespan_secs: f64,
+    /// Time-weighted mean delivered utilization, if telemetry was on.
+    pub utilization: Option<f64>,
+    /// Steady-state mean I/O-queue length, if a steady window applied.
+    pub queue: Option<f64>,
+    /// Steady-state mean per-application stretch, same presence as
+    /// `queue`.
+    pub stretch: Option<f64>,
+}
+
+impl RunMetrics {
+    /// Extract the campaign-level metrics from one finished run.
+    #[must_use]
+    pub fn from_outcome(outcome: &SimOutcome) -> Self {
+        Self {
+            sys_efficiency: outcome.report.sys_efficiency,
+            dilation: outcome.report.dilation,
+            upper_limit: outcome.report.upper_limit,
+            // `end_time` equals `report.makespan()` bit-for-bit on
+            // completed runs (the engine's last event is the last
+            // completion), and unlike the report fold it stays correct
+            // when the per-app detail is off (empty `per_app` would fold
+            // to 0) or a horizon cut the run.
+            makespan_secs: outcome.end_time.as_secs(),
+            utilization: outcome.telemetry.as_ref().map(|t| t.mean_utilization),
+            queue: outcome.steady.as_ref().map(|s| s.mean_queue),
+            stretch: outcome.steady.as_ref().map(|s| s.mean_stretch),
+        }
+    }
+}
+
 /// Aggregates of one `(platform, workload, policy)` cell over its seeds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellSummary {
     /// Platform label.
     pub platform: String,
@@ -352,7 +413,7 @@ pub struct CellSummary {
 }
 
 /// Output of [`run_campaign`]: one summary per cell, in cell order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// Campaign name.
     pub name: String,
@@ -400,22 +461,19 @@ struct CellBuffer {
 }
 
 impl CellBuffer {
-    fn push(&mut self, outcome: &SimOutcome) {
-        self.effs.push(outcome.report.sys_efficiency);
-        self.dils.push(outcome.report.dilation);
-        self.uppers.push(outcome.report.upper_limit);
-        // `end_time` equals `report.makespan()` bit-for-bit on completed
-        // runs (the engine's last event is the last completion), and
-        // unlike the report fold it stays correct when the per-app
-        // detail is off (empty `per_app` would fold to 0) or a horizon
-        // cut the run.
-        self.spans.push(outcome.end_time.as_secs());
-        if let Some(telemetry) = &outcome.telemetry {
-            self.utils.push(telemetry.mean_utilization);
+    fn push(&mut self, run: &RunMetrics) {
+        self.effs.push(run.sys_efficiency);
+        self.dils.push(run.dilation);
+        self.uppers.push(run.upper_limit);
+        self.spans.push(run.makespan_secs);
+        if let Some(util) = run.utilization {
+            self.utils.push(util);
         }
-        if let Some(steady) = &outcome.steady {
-            self.queues.push(steady.mean_queue);
-            self.stretches.push(steady.mean_stretch);
+        if let Some(queue) = run.queue {
+            self.queues.push(queue);
+        }
+        if let Some(stretch) = run.stretch {
+            self.stretches.push(stretch);
         }
     }
 
@@ -453,6 +511,67 @@ impl CellBuffer {
     }
 }
 
+/// The campaign's canonical cell fold, shared by [`run_campaign`] and
+/// the shard merge reducer (`crate::shard`): feed every seed block's
+/// [`RunMetrics`] in **ascending block order** and it produces the
+/// per-cell summaries bit-for-bit identically regardless of where the
+/// blocks were computed. Ascending block order is the pinned canonical
+/// merge order — `Summary::from_slice` means/stds are sensitive to
+/// sample order at the ulp level, so any reducer that wants
+/// bit-identity with the single-process run must replay this fold, not
+/// re-merge finished summaries.
+pub(crate) struct CellFold {
+    rpc: usize,
+    n_policies: usize,
+    labels: Vec<(String, String, String)>,
+    cells: Vec<CellSummary>,
+    /// One buffer per policy of the `(platform, workload)` group in
+    /// flight.
+    group: Vec<CellBuffer>,
+}
+
+impl CellFold {
+    pub(crate) fn new(spec: &CampaignSpec) -> Self {
+        Self {
+            rpc: spec.runs_per_cell(),
+            n_policies: spec.policies.len(),
+            labels: spec.cell_labels(),
+            cells: Vec::with_capacity(spec.cell_count()),
+            group: (0..spec.policies.len())
+                .map(|_| CellBuffer::default())
+                .collect(),
+        }
+    }
+
+    /// Fold one seed block's runs (one [`RunMetrics`] per policy, in
+    /// policy order). Blocks must arrive in ascending block order.
+    pub(crate) fn push_block(&mut self, b: usize, runs: &[RunMetrics]) {
+        debug_assert_eq!(runs.len(), self.n_policies);
+        for (buffer, run) in self.group.iter_mut().zip(runs) {
+            buffer.push(run);
+        }
+        if (b + 1).is_multiple_of(self.rpc) {
+            // The group's last seed block: emit its cells in policy
+            // order (= cell order).
+            let group = b / self.rpc;
+            for (pol, buffer) in self.group.iter_mut().enumerate() {
+                let cell = group * self.n_policies + pol;
+                self.cells.push(buffer.summarize(&self.labels[cell]));
+            }
+        }
+    }
+
+    /// Cells finished so far, in cell order.
+    pub(crate) fn cells(&self) -> &[CellSummary] {
+        &self.cells
+    }
+
+    /// Drain into the finished cell list.
+    pub(crate) fn into_cells(self) -> Vec<CellSummary> {
+        self.cells
+    }
+}
+
 /// Marker for blocks skipped because an earlier block already failed —
 /// never surfaced to callers, only used to keep the real error message.
 const ABORTED: &str = "\u{0}aborted";
@@ -484,12 +603,38 @@ fn fold_blocks<A, F>(
     spec: &CampaignSpec,
     runner: &ScenarioRunner,
     init: A,
+    fold: F,
+) -> Result<A, String>
+where
+    F: FnMut(A, usize, &[SimOutcome]) -> A,
+{
+    let blocks: Vec<usize> = (0..spec.block_count()).collect();
+    fold_block_subset(spec, runner, &blocks, init, fold)
+}
+
+/// [`fold_blocks`] over an arbitrary subset of the campaign's seed
+/// blocks, identified by their **global** block indices — the shard
+/// execution primitive. Blocks stream back in `blocks` order (each
+/// block's simulation is bit-identical wherever and with whomever it
+/// runs: the workload is rebound from the spec's seed, never from
+/// neighbouring blocks), and `fold` receives the global block index.
+pub(crate) fn fold_block_subset<A, F>(
+    spec: &CampaignSpec,
+    runner: &ScenarioRunner,
+    blocks: &[usize],
+    init: A,
     mut fold: F,
 ) -> Result<A, String>
 where
     F: FnMut(A, usize, &[SimOutcome]) -> A,
 {
     spec.validate()?;
+    let total = spec.block_count();
+    if let Some(&bad) = blocks.iter().find(|&&b| b >= total) {
+        return Err(format!(
+            "block index {bad} out of range (campaign has {total} blocks)"
+        ));
+    }
     let platforms: Vec<iosched_model::Platform> = spec
         .platforms
         .iter()
@@ -498,14 +643,11 @@ where
     let config = spec.config.clone().unwrap_or_default();
     let rpc = spec.runs_per_cell();
     let n_workloads = spec.workloads.len();
-    // Block `b` covers seed slot `b % rpc` of workload-group `b / rpc`
-    // (groups in platform-major, workload-minor order).
-    let blocks = spec.platforms.len() * n_workloads * rpc;
     let abort = std::sync::atomic::AtomicBool::new(false);
 
     let (acc, error) = runner.fold(
-        0..blocks,
-        |b, _| -> Result<Vec<SimOutcome>, String> {
+        blocks.iter().copied(),
+        |_, &b| -> Result<Vec<SimOutcome>, String> {
             use std::sync::atomic::Ordering;
             if abort.load(Ordering::Relaxed) {
                 return Err(ABORTED.into());
@@ -556,12 +698,12 @@ where
             run_all().inspect_err(|_| abort.store(true, Ordering::Relaxed))
         },
         (init, None::<String>),
-        |(acc, error), b, result| {
+        |(acc, error), i, result| {
             if error.is_some() {
                 return (acc, error);
             }
             match result {
-                Ok(outcomes) => (fold(acc, b, &outcomes), None),
+                Ok(outcomes) => (fold(acc, blocks[i], &outcomes), None),
                 // Skip the abort marker: the block carrying the real
                 // error message is folded too (every produced result is).
                 Err(e) if e == ABORTED => (acc, None),
@@ -618,40 +760,38 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     runner: &ScenarioRunner,
 ) -> Result<CampaignResult, String> {
-    let rpc = spec.runs_per_cell();
-    let n_policies = spec.policies.len();
-    let cell_labels = spec.cell_labels();
+    run_campaign_observed(spec, runner, |_| {})
+}
 
-    struct FoldState {
-        cells: Vec<CellSummary>,
-        /// One buffer per policy of the `(platform, workload)` group in
-        /// flight.
-        group: Vec<CellBuffer>,
-    }
-    let init = FoldState {
-        cells: Vec::with_capacity(spec.cell_count()),
-        group: (0..n_policies).map(|_| CellBuffer::default()).collect(),
-    };
-
-    let state = fold_blocks(spec, runner, init, |mut state, b, outcomes| {
-        for (buffer, outcome) in state.group.iter_mut().zip(outcomes) {
-            buffer.push(outcome);
-        }
-        if (b + 1) % rpc == 0 {
-            // The group's last seed block: emit its cells in policy
-            // order (= cell order).
-            let group = b / rpc;
-            for (pol, buffer) in state.group.iter_mut().enumerate() {
-                let cell = group * n_policies + pol;
-                state.cells.push(buffer.summarize(&cell_labels[cell]));
+/// [`run_campaign`] with a progress hook: `observer` is called once per
+/// finished cell, in cell order, the moment the cell's last seed block
+/// folds in — so long sweeps can stream per-cell rows instead of going
+/// silent until the whole result is buffered. The returned result is
+/// identical to [`run_campaign`]'s.
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    runner: &ScenarioRunner,
+    mut observer: impl FnMut(&CellSummary),
+) -> Result<CampaignResult, String> {
+    let mut seen = 0usize;
+    let fold = fold_blocks(
+        spec,
+        runner,
+        CellFold::new(spec),
+        |mut fold, b, outcomes| {
+            let runs: Vec<RunMetrics> = outcomes.iter().map(RunMetrics::from_outcome).collect();
+            fold.push_block(b, &runs);
+            for cell in &fold.cells()[seen..] {
+                observer(cell);
             }
-        }
-        state
-    })?;
+            seen = fold.cells().len();
+            fold
+        },
+    )?;
     Ok(CampaignResult {
         name: spec.name.clone(),
         total_runs: spec.total_runs(),
-        cells: state.cells,
+        cells: fold.into_cells(),
     })
 }
 

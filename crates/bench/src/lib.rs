@@ -19,10 +19,11 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
 
 pub use campaign::{
-    fold_outcomes, platform_preset, run_campaign, CampaignResult, CampaignSpec, CellSummary,
-    PlatformSpec, ScenarioSpec,
+    fold_outcomes, platform_preset, run_campaign, run_campaign_observed, CampaignResult,
+    CampaignSpec, CellSummary, PlatformSpec, RunMetrics, ScenarioSpec,
 };
 pub use runner::ScenarioRunner;
 pub use scenario::{PolicySpec, Scenario};

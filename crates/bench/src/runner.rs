@@ -120,11 +120,15 @@ impl ScenarioRunner {
     /// of work is not a fluid simulation (workload-synthesis shards).
     ///
     /// Items are pulled from the iterator in chunks of a few times the
-    /// worker count, each chunk is mapped in parallel (input-ordered, via
-    /// [`ScenarioRunner::map`]), and the results are folded sequentially
-    /// before the next chunk starts — so peak memory is `O(threads)`
-    /// items + results regardless of the sweep length, and the fold
-    /// observes exactly the order a sequential loop would produce.
+    /// worker count and each chunk is mapped in parallel, but results
+    /// are **streamed** to `fold` in input order as they complete (a
+    /// reorder buffer holds out-of-order stragglers) rather than
+    /// delivered at a per-chunk join barrier — so peak memory is
+    /// `O(threads)` items + results regardless of the sweep length, the
+    /// fold observes exactly the order a sequential loop would produce,
+    /// and a fold that checkpoints to disk (the shard partial writer)
+    /// persists each result as soon as its turn comes, not a chunk
+    /// later.
     pub fn fold<T, R, A, M, F>(
         &self,
         items: impl IntoIterator<Item = T>,
@@ -138,8 +142,8 @@ impl ScenarioRunner {
         M: Fn(usize, &T) -> R + Sync,
         F: FnMut(A, usize, R) -> A,
     {
-        // Large enough to amortize the per-chunk join barrier, small
-        // enough that a chunk of outcomes never dominates memory.
+        // Large enough to amortize the per-chunk setup, small enough
+        // that a chunk of outcomes never dominates memory.
         let chunk_len = self.threads.max(1) * 4;
         let mut acc = init;
         let mut base = 0usize;
@@ -149,9 +153,52 @@ impl ScenarioRunner {
             if chunk.is_empty() {
                 break;
             }
-            let results = self.map(&chunk, |i, t| map(base + i, t));
-            for (offset, r) in results.into_iter().enumerate() {
-                acc = fold(acc, base + offset, r);
+            let workers = self.threads.min(chunk.len());
+            if workers <= 1 {
+                // Sequential: fold immediately after each map — the
+                // checkpoint granularity a single-threaded shard wants.
+                for (offset, t) in chunk.iter().enumerate() {
+                    let r = map(base + offset, t);
+                    acc = fold(acc, base + offset, r);
+                }
+            } else {
+                let cursor = AtomicUsize::new(0);
+                let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+                let mut acc_slot = Some(acc);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        let tx = tx.clone();
+                        let cursor = &cursor;
+                        let chunk = &chunk;
+                        let map = &map;
+                        scope.spawn(move || loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= chunk.len() {
+                                break;
+                            }
+                            let r = map(base + i, &chunk[i]);
+                            if tx.send((i, r)).is_err() {
+                                break;
+                            }
+                        });
+                    }
+                    drop(tx);
+                    // In-order delivery: buffer stragglers, fold the
+                    // contiguous prefix as it completes.
+                    let mut pending: std::collections::BTreeMap<usize, R> =
+                        std::collections::BTreeMap::new();
+                    let mut next = 0usize;
+                    for (i, r) in rx {
+                        pending.insert(i, r);
+                        while let Some(r) = pending.remove(&next) {
+                            let folded =
+                                fold(acc_slot.take().expect("accumulator"), base + next, r);
+                            acc_slot = Some(folded);
+                            next += 1;
+                        }
+                    }
+                });
+                acc = acc_slot.expect("accumulator");
             }
             base += chunk.len();
         }

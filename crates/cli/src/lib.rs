@@ -36,10 +36,13 @@
 //! }
 //! ```
 
-use iosched_bench::campaign::{run_campaign, CampaignSpec, ScenarioSpec};
+use iosched_bench::campaign::{
+    run_campaign_observed, CampaignResult, CampaignSpec, CellSummary, ScenarioSpec,
+};
 use iosched_bench::report::Table;
 use iosched_bench::runner::ScenarioRunner;
 use iosched_bench::scenario::PolicySpec;
+use iosched_bench::shard;
 use iosched_core::periodic::{
     InsertionHeuristic, PeriodSearch, PeriodicAppSpec, PeriodicObjective,
 };
@@ -532,20 +535,60 @@ pub fn cmd_periodic(
     Ok(out)
 }
 
+/// One-line per-cell progress row, streamed to stderr as cells finish
+/// (stdout keeps the stable aligned table for scripts and tests).
+fn cell_progress_line(done: usize, total: usize, cell: &CellSummary) -> String {
+    format!(
+        "[cell {done}/{total}] {}/{}/{}: eff {:.2}%  dil {:.2}  ({} runs)",
+        cell.platform,
+        cell.workload,
+        cell.policy,
+        cell.sys_efficiency.mean * 100.0,
+        if cell.dilation.mean.is_finite() {
+            cell.dilation.mean
+        } else {
+            f64::INFINITY
+        },
+        cell.runs,
+    )
+}
+
 /// `iosched campaign`: run a declarative cartesian sweep
 /// (`platforms × workloads × policies × seeds`) from a
 /// [`CampaignSpec`] file through the streaming campaign runner and
 /// render the per-cell aggregates.
 pub fn cmd_campaign(spec: &CampaignSpec) -> Result<String, String> {
+    cmd_campaign_result(spec).map(|(_, out)| out)
+}
+
+/// [`cmd_campaign`], also returning the structured [`CampaignResult`]
+/// (the `--json` export — full f64 precision, the artifact sharded and
+/// single-process runs are diffed on). Per-cell rows stream to stderr
+/// the moment each cell's last seed block folds in, so long sweeps show
+/// progress instead of buffering the whole result silently.
+pub fn cmd_campaign_result(spec: &CampaignSpec) -> Result<(CampaignResult, String), String> {
     spec.validate()?;
     let runner = match spec.threads {
         Some(n) => ScenarioRunner::with_threads(n),
         None => ScenarioRunner::new(),
     };
-    let result = run_campaign(spec, &runner)?;
+    let total_cells = spec.cell_count();
+    let mut done = 0usize;
+    let result = run_campaign_observed(spec, &runner, |cell| {
+        done += 1;
+        eprintln!("{}", cell_progress_line(done, total_cells, cell));
+    })?;
+    let out = render_campaign(spec, &result, &format!("{} threads", runner.threads()));
+    Ok((result, out))
+}
+
+/// Render a campaign result as the standard header + aligned tables.
+/// `context` fills the trailing parenthetical of the header line
+/// (`"8 threads"`, `"4 shards"`, `"merged from 4 partial file(s)"`).
+fn render_campaign(spec: &CampaignSpec, result: &CampaignResult, context: &str) -> String {
     let mut out = format!(
         "campaign '{}': {} platform(s) x {} workload(s) x {} policies x {} seed(s) \
-         = {} runs in {} cells ({} threads)\n\n",
+         = {} runs in {} cells ({context})\n\n",
         spec.name,
         spec.platforms.len(),
         spec.workloads.len(),
@@ -553,7 +596,6 @@ pub fn cmd_campaign(spec: &CampaignSpec) -> Result<String, String> {
         spec.runs_per_cell(),
         result.total_runs,
         result.cells.len(),
-        runner.threads(),
     );
     let streamed = spec
         .workloads
@@ -616,7 +658,139 @@ pub fn cmd_campaign(spec: &CampaignSpec) -> Result<String, String> {
             }
         }
     }
-    Ok(out)
+    out
+}
+
+/// `iosched shard`: run one shard of a campaign, appending finished
+/// seed blocks to the partial directory (resuming past work there) and
+/// streaming per-block progress to stderr. This is the worker half of
+/// `iosched campaign --shards N`, but it is a first-class command: the
+/// shards of one campaign can run on different machines, as long as
+/// their partial files land in one directory before `iosched merge`.
+pub fn cmd_shard(
+    spec: &CampaignSpec,
+    index: usize,
+    of: usize,
+    dir: &std::path::Path,
+) -> Result<String, String> {
+    let runner = match spec.threads {
+        Some(n) => ScenarioRunner::with_threads(n),
+        None => ScenarioRunner::new(),
+    };
+    let report = shard::run_shard(spec, index, of, dir, &runner, |block, done, todo| {
+        eprintln!("[shard {index}/{of}] block {block} done ({done}/{todo})");
+    })?;
+    Ok(format!(
+        "shard {}/{} pass {}: {} block(s) assigned, {} skipped (already finished), \
+         {} computed -> {}\n",
+        report.index,
+        report.of,
+        report.pass,
+        report.assigned,
+        report.skipped,
+        report.computed,
+        report.path.display(),
+    ))
+}
+
+/// `iosched campaign --shards N`: the multi-process driver. Launches
+/// `shards` copies of this executable (`iosched shard <spec> --index i
+/// --of N --out DIR`) as independent OS processes — no IPC beyond the
+/// partial files — waits for them, then merges the partials into a
+/// result bit-identical to the single-process run. Because every shard
+/// resumes from the directory, re-running the same command after a
+/// crash (or SIGKILL) recomputes only unfinished blocks.
+pub fn cmd_campaign_sharded(
+    exe: &std::path::Path,
+    spec_path: &str,
+    spec: &CampaignSpec,
+    shards: usize,
+    dir: &std::path::Path,
+) -> Result<(CampaignResult, String), String> {
+    if shards == 0 {
+        return Err("shard count must be at least 1".into());
+    }
+    spec.validate()?;
+    let mut children = Vec::with_capacity(shards);
+    for index in 0..shards {
+        let mut cmd = std::process::Command::new(exe);
+        cmd.arg("shard")
+            .arg(spec_path)
+            .arg("--index")
+            .arg(index.to_string())
+            .arg("--of")
+            .arg(shards.to_string())
+            .arg("--out")
+            .arg(dir);
+        if let Some(threads) = spec.threads {
+            cmd.arg("--threads").arg(threads.to_string());
+        }
+        // Children inherit stderr (their per-block progress streams
+        // through); their stdout summaries would garble ours.
+        cmd.stdout(std::process::Stdio::null());
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning shard {index}: {e}"))?;
+        children.push((index, child));
+    }
+    let mut failures = Vec::new();
+    for (index, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("shard {index} exited with {status}")),
+            Err(e) => failures.push(format!("waiting for shard {index}: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} (see stderr above; rerun the same command to resume from {})",
+            failures.join("; "),
+            dir.display()
+        ));
+    }
+    let merged = shard::merge_dir(dir)?;
+    if shard::spec_hash(spec) != shard::spec_hash(&merged.spec) {
+        return Err(format!(
+            "{}: merged partials belong to a different campaign",
+            dir.display()
+        ));
+    }
+    let out = render_campaign(spec, &merged.result, &format!("{shards} shards"));
+    Ok((merged.result, out))
+}
+
+/// `iosched merge`: reduce a directory of shard partials into the
+/// campaign result (bit-identical to the single-process run — see
+/// `iosched_bench::shard`) and render it with per-shard provenance.
+pub fn cmd_merge(dir: &std::path::Path) -> Result<(CampaignResult, String), String> {
+    let merged = shard::merge_dir(dir)?;
+    let mut out = render_campaign(
+        &merged.spec,
+        &merged.result,
+        &format!("merged from {} partial file(s)", merged.files),
+    );
+    if !merged.footers.is_empty() {
+        out.push_str("\nshard provenance (clean-exit footers):\n");
+        for f in &merged.footers {
+            let _ = writeln!(
+                out,
+                "  shard {} pass {}: {} block(s), wall {:.1}s{}{}",
+                f.index,
+                f.pass,
+                f.blocks_done,
+                f.wall_ms as f64 / 1000.0,
+                f.cpu_ms.map_or_else(String::new, |ms| format!(
+                    ", cpu {:.1}s",
+                    ms as f64 / 1000.0
+                )),
+                f.peak_rss_kib.map_or_else(String::new, |kib| format!(
+                    ", peak rss {:.1} MiB",
+                    kib as f64 / 1024.0
+                )),
+            );
+        }
+    }
+    Ok((merged.result, out))
 }
 
 /// The usage string printed on `--help` or argument errors.
@@ -633,7 +807,10 @@ USAGE:
                     [--external-load PERIOD,BUSY,FRACTION] [-o FILE]
   iosched stream <stream-scenario.json> [-o FILE]
   iosched periodic <scenario.json> [--objective <dilation|syseff>] [--epsilon E]
-  iosched campaign <campaign.json> [--threads N]
+  iosched campaign <campaign.json> [--threads N] [--json FILE]
+                   [--shards N [--out DIR]]
+  iosched shard <campaign.json> --index I --of N [--out DIR] [--threads N]
+  iosched merge <partials-dir> [-o FILE]
 
 CAMPAIGN FILES (see README 'Campaign files' for the full format):
   {\"name\": \"quick\", \"platforms\": [\"intrepid\"],
@@ -644,6 +821,16 @@ CAMPAIGN FILES (see README 'Campaign files' for the full format):
   runs in parallel, and streams into deterministic per-cell aggregates.
   examples/campaign_fig6.json reproduces the paper's Fig. 6 sweep;
   examples/campaign_fig4.json replays the Fig. 4 periodic schedule.
+
+SHARDED CAMPAIGNS (see README 'Sharded campaigns'):
+  --shards N launches N OS processes, each appending finished seed
+  blocks to DIR (default <name>.partials) as mergeable JSONL partials,
+  then merges them — bit-identical to the single-process run, and
+  resumable: rerunning after a crash/SIGKILL recomputes only the
+  unfinished blocks. `iosched shard` runs one worker by hand (the
+  shards of one campaign may run on different machines); `iosched
+  merge` reduces any partial directory. --json exports the result at
+  full f64 precision for byte-exact diffs.
 
 POLICIES (`iosched policies` lists the whole roster):
   online:  roundrobin, mindilation, maxsyseff, minmax-<gamma>, fairshare,

@@ -2,9 +2,11 @@
 
 use iosched_bench::campaign::{CampaignSpec, ScenarioSpec};
 use iosched_cli::{
-    cmd_campaign, cmd_generate, cmd_periodic, cmd_platforms, cmd_policies, cmd_simulate,
-    cmd_stream, cmd_telemetry, GenerateKind, ScenarioFile, USAGE,
+    cmd_campaign_result, cmd_campaign_sharded, cmd_generate, cmd_merge, cmd_periodic,
+    cmd_platforms, cmd_policies, cmd_shard, cmd_simulate, cmd_stream, cmd_telemetry, GenerateKind,
+    ScenarioFile, USAGE,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -31,6 +33,31 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// First positional operand after the subcommand, skipping `--flag
+/// value` pairs (so flags may come before the file, e.g.
+/// `iosched campaign --shards 4 campaign.json`).
+fn positional(args: &[String], value_flags: &[&str]) -> Option<String> {
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        if value_flags.contains(&arg.as_str()) {
+            i += 2;
+        } else if arg.starts_with('-') {
+            i += 1;
+        } else {
+            return Some(arg.clone());
+        }
+    }
+    None
+}
+
+/// Parse a required integer flag.
+fn int_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    flag_value(args, flag)
+        .map(|s| s.parse().map_err(|_| format!("bad {flag} value '{s}'")))
+        .transpose()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -119,19 +146,66 @@ fn run(args: &[String]) -> Result<String, String> {
             cmd_periodic(&scenario, &objective, epsilon)
         }
         Some("campaign") => {
-            let path = args.get(1).ok_or("campaign needs a campaign spec file")?;
-            if path.starts_with("--") {
-                return Err("campaign needs a campaign spec file as its first argument".into());
-            }
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let path = positional(args, &["--threads", "--shards", "--out", "--json"])
+                .ok_or("campaign needs a campaign spec file")?;
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
             let mut spec = CampaignSpec::from_json(&text)?;
-            if let Some(threads) = flag_value(args, "--threads") {
-                let n: usize = threads
-                    .parse()
-                    .map_err(|_| format!("bad thread count '{threads}'"))?;
+            if let Some(n) = int_flag(args, "--threads")? {
                 spec.threads = Some(n);
             }
-            cmd_campaign(&spec)
+            let (result, out) = match int_flag(args, "--shards")? {
+                Some(shards) => {
+                    let dir = flag_value(args, "--out").map_or_else(
+                        || PathBuf::from(format!("{}.partials", spec.name)),
+                        PathBuf::from,
+                    );
+                    let exe = std::env::current_exe()
+                        .map_err(|e| format!("cannot locate own executable: {e}"))?;
+                    cmd_campaign_sharded(&exe, &path, &spec, shards, &dir)?
+                }
+                None => cmd_campaign_result(&spec)?,
+            };
+            match flag_value(args, "--json") {
+                Some(json_path) => {
+                    let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+                    std::fs::write(&json_path, json + "\n")
+                        .map_err(|e| format!("{json_path}: {e}"))?;
+                    Ok(format!("{out}\nwrote campaign result to {json_path}\n"))
+                }
+                None => Ok(out),
+            }
+        }
+        Some("shard") => {
+            let path = positional(args, &["--index", "--of", "--out", "--threads"])
+                .ok_or("shard needs a campaign spec file")?;
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut spec = CampaignSpec::from_json(&text)?;
+            if let Some(n) = int_flag(args, "--threads")? {
+                spec.threads = Some(n);
+            }
+            let index = int_flag(args, "--index")?.ok_or("shard needs --index")?;
+            let of = int_flag(args, "--of")?.ok_or("shard needs --of")?;
+            let dir = flag_value(args, "--out").map_or_else(
+                || PathBuf::from(format!("{}.partials", spec.name)),
+                PathBuf::from,
+            );
+            cmd_shard(&spec, index, of, &dir)
+        }
+        Some("merge") => {
+            let dir =
+                positional(args, &["-o", "--output"]).ok_or("merge needs a partials directory")?;
+            let (result, out) = cmd_merge(std::path::Path::new(&dir))?;
+            match flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+                Some(json_path) => {
+                    let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+                    std::fs::write(&json_path, json + "\n")
+                        .map_err(|e| format!("{json_path}: {e}"))?;
+                    Ok(format!(
+                        "{out}\nwrote merged campaign result to {json_path}\n"
+                    ))
+                }
+                None => Ok(out),
+            }
         }
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'")),

@@ -1,0 +1,194 @@
+//! Kill-and-resume: SIGKILL a shard process mid-campaign, resume the
+//! directory, and the merged result is byte-identical to an
+//! uninterrupted single-process run — with the killed incarnation's
+//! finished blocks never re-simulated (checked through the per-pass
+//! counters the partial files carry).
+
+use iosched_bench::campaign::{CampaignSpec, PlatformSpec};
+use iosched_bench::shard::{partial_path, scan_dir, shard_blocks};
+use iosched_bench::PolicySpec;
+use iosched_workload::stream::{ArrivalProcess, StopRule};
+use iosched_workload::WorkloadSpec;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const EXE: &str = env!("CARGO_BIN_EXE_iosched");
+
+/// An open-stream campaign sized so each seed block takes a couple of
+/// seconds (simulation cost grows superlinearly in the stream length,
+/// debug build) — long enough to reliably land a SIGKILL between the
+/// first and last block of a shard, short enough for CI.
+fn campaign() -> CampaignSpec {
+    let stream = |rate: f64| WorkloadSpec::Stream {
+        arrivals: ArrivalProcess::Poisson { rate },
+        template: Box::new(WorkloadSpec::Congestion { seed: 0 }),
+        stop: StopRule::Apps(1300),
+        seed: 0,
+    };
+    CampaignSpec {
+        name: "resume-it".into(),
+        platforms: vec![PlatformSpec::Preset("vesta".into())],
+        workloads: vec![stream(0.0011), stream(0.0014)],
+        policies: vec![
+            PolicySpec::FairShare,
+            PolicySpec::parse("mindilation").expect("mindilation parses"),
+        ],
+        seeds: vec![0, 1, 2],
+        config: None,
+        threads: Some(1),
+    }
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(EXE)
+        .args(args)
+        .output()
+        .expect("iosched binary runs")
+}
+
+fn assert_ok(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Complete (newline-terminated) `{"block":...}` lines in a partial.
+fn block_lines(path: &Path) -> usize {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut n = 0;
+    let mut rest = text.as_str();
+    while let Some(end) = rest.find('\n') {
+        if rest[..end].starts_with("{\"block\"") {
+            n += 1;
+        }
+        rest = &rest[end + 1..];
+    }
+    n
+}
+
+#[test]
+fn sigkill_resume_matches_uninterrupted_run_without_resimulation() {
+    let base = std::env::temp_dir().join(format!("iosched-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("temp dir");
+    let spec = campaign();
+    let spec_path = base.join("campaign.json");
+    std::fs::write(&spec_path, spec.to_json().expect("spec serializes")).expect("write spec");
+    let spec_arg = spec_path.to_str().expect("utf-8 temp path");
+    let partials: PathBuf = base.join("partials");
+    let partials_arg = partials.to_str().expect("utf-8 temp path");
+    let baseline_path = base.join("base.json");
+    let resumed_path = base.join("resumed.json");
+
+    // Uninterrupted single-process reference.
+    let out = run(&[
+        "campaign",
+        spec_arg,
+        "--json",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "baseline campaign");
+
+    // Launch shard 0 of 2 and SIGKILL it after its first finished block
+    // hits the partial file (but well before its last: three assigned
+    // blocks, each a multi-hundred-arrival stream simulation).
+    let shard_file = partial_path(&partials, 0, 2);
+    let mut child = Command::new(EXE)
+        .args([
+            "shard",
+            spec_arg,
+            "--index",
+            "0",
+            "--of",
+            "2",
+            "--out",
+            partials_arg,
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("shard child spawns");
+    let deadline = Instant::now() + Duration::from_secs(240);
+    while block_lines(&shard_file) < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "shard child wrote no block within the deadline"
+        );
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("shard child exited before the kill: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL lands"); // Child::kill is SIGKILL on Unix
+    child.wait().expect("reap child");
+
+    let killed_bytes = std::fs::read(&shard_file).expect("partial exists");
+    let survivors = block_lines(&shard_file);
+    let assigned = shard_blocks(spec.block_count(), 0, 2);
+    assert!(
+        survivors < assigned.len(),
+        "child finished all {} blocks before the kill; grow the stream",
+        assigned.len()
+    );
+
+    // Resume through the sharded driver: spawns both shards against the
+    // same directory, merges, and must match the baseline byte-for-byte.
+    let out = run(&[
+        "campaign",
+        spec_arg,
+        "--shards",
+        "2",
+        "--out",
+        partials_arg,
+        "--json",
+        resumed_path.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "resumed sharded campaign");
+    let baseline = std::fs::read(&baseline_path).expect("baseline json");
+    let resumed = std::fs::read(&resumed_path).expect("resumed json");
+    assert_eq!(
+        baseline, resumed,
+        "resumed sharded result is not byte-identical to the baseline"
+    );
+
+    // No finished block was re-simulated: the killed incarnation's
+    // blocks survive at pass 0 and the resume (pass 1) computed exactly
+    // the remainder of the shard's stride; the scan sees no duplicate
+    // block indices anywhere in the directory.
+    let scan = scan_dir(&partials).expect("partials scan clean");
+    assert_eq!(scan.duplicates, 0, "a finished block was recomputed");
+    assert_eq!(scan.blocks.len(), spec.block_count());
+    let shard0_pass0 = scan
+        .blocks
+        .values()
+        .filter(|r| assigned.contains(&r.block) && r.pass == 0)
+        .count();
+    let shard0_pass1 = scan
+        .blocks
+        .values()
+        .filter(|r| assigned.contains(&r.block) && r.pass == 1)
+        .count();
+    assert_eq!(shard0_pass0, survivors);
+    assert_eq!(shard0_pass1, assigned.len() - survivors);
+
+    // The killed file's complete lines are preserved verbatim: its
+    // newline-terminated prefix is a prefix of the resumed file (a torn
+    // trailing fragment, if any, is truncated before appending).
+    let keep = killed_bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    let resumed_file = std::fs::read(&shard_file).expect("resumed partial");
+    assert!(
+        resumed_file.starts_with(&killed_bytes[..keep]),
+        "resume rewrote completed lines of the killed partial"
+    );
+
+    std::fs::remove_dir_all(&base).expect("cleanup");
+}

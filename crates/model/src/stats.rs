@@ -107,6 +107,17 @@ impl Summary {
     /// a plain union would let a 10-observation shard outvote a
     /// 10k-observation one in the merged tails. Merging with
     /// [`Summary::empty`] (either side) is the identity.
+    ///
+    /// **Merge order matters bitwise.** In the exact regime the merged
+    /// reservoir is the sorted multiset union of the inputs — the same
+    /// whatever order the parts arrive in — but mean and std use
+    /// floating-point pairwise updates whose rounding depends on the
+    /// association of the folds, so `merge(a, b)` and `merge(b, a)` can
+    /// differ in the last ulp. Every reducer that promises
+    /// bit-identical results to a single-process run must therefore
+    /// fold in one **canonical order**: ascending global seed-block
+    /// index, the order the campaign cell fold performs (see
+    /// `iosched-bench`'s `shard::merge_records`).
     pub fn merge(&mut self, other: &Summary) {
         if other.n == 0 {
             return;
@@ -421,6 +432,47 @@ mod tests {
         assert_eq!(merged.p95.to_bits(), whole.p95.to_bits());
         assert_eq!(merged.p99.to_bits(), whole.p99.to_bits());
         assert_eq!(merged.reservoir, whole.reservoir);
+    }
+
+    #[test]
+    fn merge_order_is_exact_for_reservoirs_but_not_for_means() {
+        // Three parts whose fold order provably flips the merged mean's
+        // last ulp (the pairwise update is not associative) while the
+        // exact-regime reservoir — a sorted multiset union — is
+        // identical under every order. This is why reducers that
+        // promise bit-identity must pin a canonical fold order.
+        let parts: [&[f64]; 3] = [
+            &[
+                5.126_400_780_062_029_5,
+                9.110_832_083_493_658,
+                1.979_512_318_248_661_4,
+                2.913_177_730_270_086_8,
+            ],
+            &[
+                8.477_354_442_440_296,
+                5.102_309_823_738_044,
+                5.931_122_354_027_261,
+                0.441_805_718_498_281_76,
+            ],
+            &[7.462_933_487_402_663, 4.102_452_129_138_324],
+        ];
+        let fold = |order: [usize; 3]| {
+            let mut acc = Summary::from_slice(parts[order[0]]).unwrap();
+            acc.merge(&Summary::from_slice(parts[order[1]]).unwrap());
+            acc.merge(&Summary::from_slice(parts[order[2]]).unwrap());
+            acc
+        };
+        let canonical = fold([0, 1, 2]);
+        let reversed = fold([2, 1, 0]);
+        assert_eq!(canonical.reservoir, reversed.reservoir);
+        assert_eq!(canonical.n, reversed.n);
+        assert!((canonical.mean - reversed.mean).abs() < 1e-12);
+        assert_ne!(
+            canonical.mean.to_bits(),
+            reversed.mean.to_bits(),
+            "these parts were chosen so the orders disagree by one ulp; \
+             if this ever fails the doc claim should be re-examined, not the test weakened"
+        );
     }
 
     #[test]

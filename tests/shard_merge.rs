@@ -1,0 +1,235 @@
+//! Property: any partition of a campaign's seed blocks, computed
+//! independently per part (as shard processes would), JSONL-roundtripped
+//! through the partial-file line format and reduced with
+//! [`merge_records`], is **bit-identical** to the single-process
+//! [`run_campaign`] — means, stds, quantile reservoirs and all.
+//!
+//! The canonical merge order is pinned by `merge_records`: ascending
+//! global block index replayed through the same `CellFold` the live run
+//! uses, so there is exactly one reduction order and it is the one the
+//! single-process runner performs.
+
+use hpc_io_sched::core::heuristics::{BasePolicy, PolicyKind};
+use iosched_bench::campaign::{run_campaign, CampaignSpec, PlatformSpec};
+use iosched_bench::runner::ScenarioRunner;
+use iosched_bench::shard::{
+    block_records, merge_dir, merge_records, spec_hash, BlockRecord, ShardLine,
+};
+use iosched_bench::PolicySpec;
+use iosched_workload::WorkloadSpec;
+use proptest::prelude::*;
+use std::path::Path;
+
+/// A small two-policy campaign: 1 platform x `workload_seeds` congested
+/// moments x (fairshare, maxsyseff) x `seeds`. Congested-moment
+/// scenarios are the cheapest seeded workload the generator offers, so
+/// the property stays fast on one core.
+fn campaign(workload_seeds: &[u64], seeds: &[u64]) -> CampaignSpec {
+    CampaignSpec {
+        name: "prop-shard".into(),
+        platforms: vec![PlatformSpec::Preset("vesta".into())],
+        workloads: workload_seeds
+            .iter()
+            .map(|&seed| WorkloadSpec::Congestion { seed })
+            .collect(),
+        policies: vec![
+            PolicySpec::Kind(PolicyKind::plain(BasePolicy::MaxSysEff)),
+            PolicySpec::FairShare,
+        ],
+        seeds: seeds.to_vec(),
+        config: None,
+        threads: Some(1),
+    }
+}
+
+/// Random spec shape plus a random assignment of every seed block to
+/// one of `parts` parts (parts may end up empty — a shard whose stride
+/// never fires is legal too).
+fn spec_and_partition() -> impl Strategy<Value = (CampaignSpec, Vec<Vec<usize>>)> {
+    (
+        prop::collection::vec(0u64..50, 1..3), // congestion workload seeds
+        prop::collection::vec(1u64..40, 0..4), // campaign seed axis (may be empty)
+        1usize..4,                             // number of parts
+    )
+        .prop_flat_map(|(wseeds, seeds, parts)| {
+            let spec = campaign(&wseeds, &seeds);
+            let total = spec.block_count();
+            (
+                Just(spec),
+                prop::collection::vec(0..parts, total),
+                Just(parts),
+            )
+                .prop_map(|(spec, owner, parts)| {
+                    let mut partition = vec![Vec::new(); parts];
+                    for (block, part) in owner.iter().enumerate() {
+                        partition[*part].push(block);
+                    }
+                    (spec, partition)
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole's correctness contract, satellite 1 of the PR:
+    /// random partitions merged == one-process run, bit for bit.
+    #[test]
+    fn any_partition_merges_bit_identical_to_single_process(
+        (spec, partition) in spec_and_partition()
+    ) {
+        let runner = ScenarioRunner::with_threads(1);
+        let whole = run_campaign(&spec, &runner).expect("single-process run");
+
+        // Each part computed independently, as its own "process".
+        let mut records = Vec::new();
+        for (pass, blocks) in partition.iter().enumerate() {
+            let part = block_records(&spec, &runner, blocks, pass)
+                .expect("partition part computes");
+            // Roundtrip every record through the partial-file JSONL
+            // line format — merge must survive the on-disk encoding.
+            for record in part {
+                let line = serde_json::to_string(&ShardLine::Block(record))
+                    .expect("block line serializes");
+                match serde_json::from_str::<ShardLine>(&line) {
+                    Ok(ShardLine::Block(back)) => records.push(back),
+                    other => panic!("block line did not roundtrip: {other:?}"),
+                }
+            }
+        }
+
+        // Merge order must not matter: scramble the record order before
+        // reduction (merge re-sorts by global block index).
+        records.reverse();
+        let merged = merge_records(&spec, records).expect("merge");
+        prop_assert_eq!(&merged, &whole);
+        // PartialEq on Summary covers the quantile reservoirs, but pin
+        // the headline statistic bitwise too, for the avoidance of doubt.
+        for (m, w) in merged.cells.iter().zip(&whole.cells) {
+            prop_assert_eq!(
+                m.sys_efficiency.mean.to_bits(),
+                w.sys_efficiency.mean.to_bits()
+            );
+            prop_assert_eq!(&m.sys_efficiency.reservoir, &w.sys_efficiency.reservoir);
+        }
+    }
+}
+
+/// Duplicated block records (a torn line recomputed by a later pass)
+/// must not change the reduction: first occurrence wins and results are
+/// deterministic anyway.
+#[test]
+fn duplicate_blocks_do_not_change_the_merge() {
+    let spec = campaign(&[3], &[1, 2]);
+    let runner = ScenarioRunner::with_threads(1);
+    let whole = run_campaign(&spec, &runner).expect("run");
+    let all: Vec<usize> = (0..spec.block_count()).collect();
+    let records = block_records(&spec, &runner, &all, 0).expect("records");
+    let mut doubled = records.clone();
+    doubled.extend(records.iter().cloned().map(|mut r| {
+        r.pass = 1;
+        r
+    }));
+    let merged = merge_records(&spec, doubled).expect("merge tolerates duplicates");
+    assert_eq!(merged, whole);
+}
+
+/// Missing coverage must refuse loudly, never produce a silently
+/// partial campaign result.
+#[test]
+fn incomplete_coverage_refuses() {
+    let spec = campaign(&[3], &[1, 2]);
+    let runner = ScenarioRunner::with_threads(1);
+    let all: Vec<usize> = (0..spec.block_count()).collect();
+    let mut records = block_records(&spec, &runner, &all, 0).expect("records");
+    records.remove(1);
+    let err = merge_records(&spec, records).unwrap_err();
+    assert!(
+        err.contains("incomplete partials"),
+        "unexpected error: {err}"
+    );
+}
+
+/// The spec hash excludes execution knobs: the same campaign resumed
+/// with a different `threads` override is still the same campaign.
+#[test]
+fn spec_hash_ignores_thread_override() {
+    let a = campaign(&[1], &[1]);
+    let mut b = a.clone();
+    b.threads = Some(8);
+    let mut c = a.clone();
+    c.threads = None;
+    assert_eq!(spec_hash(&a), spec_hash(&b));
+    assert_eq!(spec_hash(&a), spec_hash(&c));
+    // ...but a change to a science axis is a different campaign.
+    let mut d = a.clone();
+    d.seeds = vec![2];
+    assert_ne!(spec_hash(&a), spec_hash(&d));
+}
+
+/// Records claiming a different policy arity than the spec are refused
+/// (a partial from a drifted spec must not silently merge).
+#[test]
+fn wrong_policy_arity_refuses() {
+    let spec = campaign(&[3], &[1]);
+    let runner = ScenarioRunner::with_threads(1);
+    let all: Vec<usize> = (0..spec.block_count()).collect();
+    let mut records = block_records(&spec, &runner, &all, 0).expect("records");
+    records[0].runs.pop();
+    let err = merge_records(&spec, records).unwrap_err();
+    assert!(err.contains("policies"), "unexpected error: {err}");
+}
+
+/// The checked-in fixture partials (`examples/partials/`) merge to the
+/// same result as re-running the campaign they embed — the on-disk
+/// format written by today's binary stays readable, and the reducer's
+/// bit-identity contract holds across the file boundary. Regenerate
+/// with `iosched shard` on the embedded spec if the format ever
+/// changes (see README "Sharded campaigns").
+#[test]
+fn checked_in_fixture_partials_merge_bit_identical() {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/partials"));
+    let merged = merge_dir(dir).expect("fixture partials merge");
+    assert_eq!(merged.files, 2);
+    assert_eq!(merged.blocks, merged.spec.block_count());
+    assert_eq!(merged.footers.len(), 2, "fixtures carry clean-exit footers");
+    let rerun =
+        run_campaign(&merged.spec, &ScenarioRunner::with_threads(1)).expect("embedded spec runs");
+    assert_eq!(merged.result, rerun);
+}
+
+/// Manifest and footer lines roundtrip through the JSONL encoding too
+/// (the fixture-merge CI step depends on parsing checked-in files).
+#[test]
+fn manifest_and_footer_lines_roundtrip() {
+    let spec = campaign(&[1], &[1, 2]);
+    let manifest = iosched_bench::shard::ShardManifest {
+        index: 1,
+        of: 2,
+        pass: 3,
+        blocks: spec.block_count(),
+        spec_hash: spec_hash(&spec),
+        spec: spec.clone(),
+    };
+    let footer = iosched_bench::shard::ShardFooter {
+        index: 1,
+        pass: 3,
+        blocks_done: 4,
+        wall_ms: 123,
+        cpu_ms: Some(77),
+        peak_rss_kib: None,
+    };
+    for line in [
+        ShardLine::Manifest(manifest),
+        ShardLine::Done(footer),
+        ShardLine::Block(BlockRecord {
+            block: 0,
+            pass: 0,
+            runs: vec![],
+        }),
+    ] {
+        let text = serde_json::to_string(&line).expect("serializes");
+        let back: ShardLine = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, line);
+    }
+}
