@@ -1,0 +1,228 @@
+//! Serve-path admission benchmark: what does it cost to run the engine
+//! behind the daemon's protocol instead of driving it directly?
+//!
+//! Three measurements, recorded in `BENCH_PR8.json`:
+//!
+//! 1. **Submission→admission latency** — the full protocol path per
+//!    accepted submission: parse the JSONL line, stamp id/release,
+//!    `Simulation::offer`, write-ahead journal append with per-line
+//!    flush. Mean and p99 over 10k submissions (the flush is *in* the
+//!    measured path on purpose: it is the durability the daemon
+//!    acknowledges).
+//! 2. **Sustained admission throughput** — submissions interleaved with
+//!    engine driving (the daemon's steady state), total wall over a 2k
+//!    submission session including the completion run.
+//! 3. **Peak allocation per resident application** — the PR 2 counting
+//!    allocator around the interleaved session (lean config), peak
+//!    live-bytes delta divided by the peak resident-application count.
+//!
+//! Honesty rules (as in BENCH_PR5/PR7): measured on whatever container
+//! runs this (1 CPU core on the reference box), assertions sit far
+//! below the measured values so only a genuine regression — not runner
+//! variance — trips them, and the session outcome is cross-checked
+//! bit-identical against `simulate_stream` over the journal before any
+//! number is reported.
+
+use iosched_core::registry::PolicyFactory;
+use iosched_model::{Platform, Time};
+use iosched_serve::journal::{Journal, ServeSpec};
+use iosched_serve::protocol::{parse_request, Request};
+use iosched_serve::session::Session;
+use iosched_sim::{simulate_stream, SimConfig, Simulation};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// `System` wrapped with live-bytes and peak-live-bytes counters.
+struct TrackingAllocator;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn phase_start() -> usize {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    live
+}
+
+fn phase_peak(baseline: usize) -> usize {
+    PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+}
+
+fn spec() -> ServeSpec {
+    ServeSpec {
+        platform: Platform::intrepid(),
+        policy: PolicyFactory::parse("maxsyseff").unwrap(),
+        accel: 0.0,
+        config: SimConfig {
+            per_app_detail: false,
+            ..SimConfig::default()
+        },
+    }
+}
+
+fn submit_line(k: usize, release: f64) -> String {
+    format!(
+        r#"{{"cmd":"submit","procs":{},"work":{},"vol":{},"count":2,"release":{}}}"#,
+        128 << (k % 3),
+        40.0 + (k % 7) as f64,
+        192.0 + 32.0 * (k % 5) as f64,
+        release,
+    )
+}
+
+fn journal_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("iosched-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn main() {
+    let spec = spec();
+
+    // --- 1. Per-submission admission latency (protocol path). ----------
+    const LAT_N: usize = 10_000;
+    let path = journal_path("latency.jsonl");
+    let mut policy = spec.policy.build_online(&spec.platform).unwrap();
+    let sim = Simulation::open(&spec.platform, policy.as_mut(), &spec.config).unwrap();
+    let journal = Journal::create(&path, &spec).unwrap();
+    let mut session = Session::new(sim, journal, &[]).unwrap();
+    let lines: Vec<String> = (0..LAT_N)
+        .map(|k| submit_line(k, 10.0 + k as f64))
+        .collect();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(LAT_N);
+    let wall = Instant::now();
+    for line in &lines {
+        let t0 = Instant::now();
+        let Ok(Request::Submit {
+            submission,
+            release,
+        }) = parse_request(line)
+        else {
+            panic!("benchmark line failed to parse");
+        };
+        session
+            .submit(submission, release, Time::ZERO)
+            .expect("accepted")
+            .expect("journaled");
+        latencies_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    drop(session);
+    latencies_ns.sort_unstable();
+    let mean_us = latencies_ns.iter().sum::<u64>() as f64 / LAT_N as f64 / 1000.0;
+    let p99_us = latencies_ns[LAT_N * 99 / 100] as f64 / 1000.0;
+    let burst_rate = LAT_N as f64 / wall_secs;
+    println!(
+        "admission latency over {LAT_N} submissions: mean {mean_us:.1} us, p99 {p99_us:.1} us \
+         ({burst_rate:.0} admissions/s burst, journal flush included)"
+    );
+
+    // --- 2+3. Interleaved session: throughput + memory per resident. ---
+    const RUN_N: usize = 2_000;
+    let path = journal_path("steady.jsonl");
+    let baseline = phase_start();
+    let mut policy = spec.policy.build_online(&spec.platform).unwrap();
+    let sim = Simulation::open(&spec.platform, policy.as_mut(), &spec.config).unwrap();
+    let journal = Journal::create(&path, &spec).unwrap();
+    let mut session = Session::new(sim, journal, &[]).unwrap();
+    let mut peak_resident = 0usize;
+    let wall = Instant::now();
+    for k in 0..RUN_N {
+        // One arrival every 30 virtual seconds; each application spans
+        // several arrivals' worth of work, so a steady resident
+        // population forms and retires continuously — the daemon's
+        // steady state under load.
+        let release = 30.0 * (k + 1) as f64;
+        let Ok(Request::Submit {
+            submission,
+            release: r,
+        }) = parse_request(&submit_line(k, release))
+        else {
+            panic!("benchmark line failed to parse");
+        };
+        session
+            .submit(submission, r, Time::ZERO)
+            .expect("accepted")
+            .expect("journaled");
+        session.advance(Time::secs(release)).expect("advance");
+        peak_resident = peak_resident.max(session.status(Time::secs(release)).live);
+    }
+    let (outcome, accepted) = session.finish().expect("session completes");
+    let steady_wall = wall.elapsed().as_secs_f64();
+    let peak_bytes = phase_peak(baseline);
+    let sustained = RUN_N as f64 / steady_wall;
+    let per_resident = peak_bytes as f64 / peak_resident.max(1) as f64;
+    println!(
+        "interleaved session: {RUN_N} submissions + {} events in {steady_wall:.3} s \
+         ({sustained:.0} admissions/s sustained incl. completion run)",
+        outcome.events
+    );
+    println!(
+        "peak allocation +{peak_bytes} B at peak {peak_resident} resident apps \
+         -> {:.1} KiB per resident app",
+        per_resident / 1024.0
+    );
+
+    // --- Cross-check before reporting: serve path == simulate_stream. --
+    let contents = Journal::load(&path).expect("journal loads");
+    assert_eq!(contents.arrivals.len(), accepted);
+    let mut policy = spec.policy.build_online(&spec.platform).unwrap();
+    let reference = simulate_stream(
+        &spec.platform,
+        contents.arrivals.into_iter(),
+        policy.as_mut(),
+        &spec.config,
+    )
+    .expect("reference runs");
+    assert_eq!(outcome.events, reference.events, "serve path diverged");
+    assert_eq!(
+        outcome.report.sys_efficiency.to_bits(),
+        reference.report.sys_efficiency.to_bits(),
+        "serve path diverged"
+    );
+    println!("cross-check: serve session bit-identical to simulate_stream over the journal");
+
+    // Bars far below the measured values (see module docs).
+    assert!(
+        mean_us < 500.0,
+        "mean admission latency {mean_us:.1} us >= 500 us"
+    );
+    assert!(
+        p99_us < 5_000.0,
+        "p99 admission latency {p99_us:.1} us >= 5 ms"
+    );
+    assert!(
+        burst_rate > 5_000.0,
+        "burst admission rate {burst_rate:.0}/s <= 5000/s"
+    );
+    assert!(
+        sustained > 500.0,
+        "sustained admission rate {sustained:.0}/s <= 500/s"
+    );
+    assert!(
+        per_resident < 256.0 * 1024.0,
+        "per-resident-app peak allocation {per_resident:.0} B >= 256 KiB"
+    );
+}

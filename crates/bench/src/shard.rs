@@ -92,50 +92,13 @@ pub fn partial_path(dir: &Path, index: usize, of: usize) -> PathBuf {
 //
 // The vendored serde_json prints non-finite floats as `null` and `-0.0`
 // as `0`; both would silently break the bit-identity contract, so the
-// partial format encodes the four lossy cases as strings and everything
-// else as a plain JSON number (which round-trips exactly).
+// partial format uses the shared lossless encoding
+// ([`iosched_model::lossless`]): the four lossy cases become strings,
+// everything else a plain JSON number (which round-trips exactly).
 
-fn float_to_value(x: f64) -> serde::Value {
-    if x.is_nan() {
-        serde::Value::Str(format!("nan:{:016x}", x.to_bits()))
-    } else if x == f64::INFINITY {
-        serde::Value::Str("inf".into())
-    } else if x == f64::NEG_INFINITY {
-        serde::Value::Str("-inf".into())
-    } else if x == 0.0 && x.is_sign_negative() {
-        serde::Value::Str("-0".into())
-    } else {
-        serde::Value::Num(x)
-    }
-}
-
-fn float_from_value(v: &serde::Value) -> Result<f64, serde::Error> {
-    if let Some(n) = v.as_f64() {
-        return Ok(n);
-    }
-    match v.as_str() {
-        Some("inf") => Ok(f64::INFINITY),
-        Some("-inf") => Ok(f64::NEG_INFINITY),
-        Some("-0") => Ok(-0.0),
-        Some(s) => s
-            .strip_prefix("nan:")
-            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
-            .map(f64::from_bits)
-            .ok_or_else(|| serde::Error::custom(format!("invalid float encoding '{s}'"))),
-        None => Err(serde::Error::custom("expected a number or float string")),
-    }
-}
-
-fn opt_float_to_value(x: Option<f64>) -> serde::Value {
-    x.map_or(serde::Value::Null, float_to_value)
-}
-
-fn opt_float_from_value(v: &serde::Value) -> Result<Option<f64>, serde::Error> {
-    match v {
-        serde::Value::Null => Ok(None),
-        other => float_from_value(other).map(Some),
-    }
-}
+use iosched_model::lossless::{
+    float_from_value, float_to_value, opt_float_from_value, opt_float_to_value,
+};
 
 impl serde::Serialize for RunMetrics {
     fn to_value(&self) -> serde::Value {

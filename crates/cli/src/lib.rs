@@ -576,10 +576,20 @@ pub fn cmd_campaign_result(spec: &CampaignSpec) -> Result<(CampaignResult, Strin
     let mut done = 0usize;
     let result = run_campaign_observed(spec, &runner, |cell| {
         done += 1;
-        eprintln!("{}", cell_progress_line(done, total_cells, cell));
+        progress_line(&cell_progress_line(done, total_cells, cell));
     })?;
     let out = render_campaign(spec, &result, &format!("{} threads", runner.threads()));
     Ok((result, out))
+}
+
+/// Emit one progress row, explicitly flushed. `eprintln!` happens to be
+/// unbuffered on today's std, but progress visibility under redirection
+/// (campaign logs tailed from a file, CI pipes) is a contract here, not
+/// an accident of the standard library's buffering policy.
+fn progress_line(line: &str) {
+    use std::io::Write as _;
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{line}").and_then(|()| err.flush());
 }
 
 /// Render a campaign result as the standard header + aligned tables.
@@ -678,7 +688,9 @@ pub fn cmd_shard(
         None => ScenarioRunner::new(),
     };
     let report = shard::run_shard(spec, index, of, dir, &runner, |block, done, todo| {
-        eprintln!("[shard {index}/{of}] block {block} done ({done}/{todo})");
+        progress_line(&format!(
+            "[shard {index}/{of}] block {block} done ({done}/{todo})"
+        ));
     })?;
     Ok(format!(
         "shard {}/{} pass {}: {} block(s) assigned, {} skipped (already finished), \
@@ -811,6 +823,10 @@ USAGE:
                    [--shards N [--out DIR]]
   iosched shard <campaign.json> --index I --of N [--out DIR] [--threads N]
   iosched merge <partials-dir> [-o FILE]
+  iosched serve --platform <name> --policy <name> --journal FILE
+                [--socket PATH] [--accelerate N]
+  iosched serve --replay --journal FILE
+  iosched serve --connect SOCKET
 
 CAMPAIGN FILES (see README 'Campaign files' for the full format):
   {\"name\": \"quick\", \"platforms\": [\"intrepid\"],
@@ -848,6 +864,19 @@ TELEMETRY:
   contention means + p95/p99 tails, peak backlog, peak pending).
   --external-load 240,90,0.7 squeezes 70% of the PFS away for the first
   90s of every 240s cycle (the storm used by campaign_control.json).
+
+SCHEDULER AS A SERVICE (see README 'Scheduler as a service'):
+  `iosched serve` runs the engine as a long-lived daemon speaking a
+  line-delimited JSON protocol on stdin and/or a Unix socket: submit,
+  status, telemetry [follow], checkpoint, drain, shutdown. Every
+  accepted arrival is journaled (flushed, write-ahead) before it is
+  acknowledged; `drain` checkpoints and exits, and re-running with the
+  same --journal resumes bit-identically to a run that was never
+  interrupted. --accelerate N maps N virtual seconds onto each wall
+  second (0 = frozen clock: fully deterministic, engine runs at
+  shutdown). `--replay` re-simulates a journal and prints the same
+  {\"final\":…} line the live session printed; `--connect` pipes stdin
+  to a daemon's socket (client mode).
 
 OPEN-SYSTEM STREAMS:
   `iosched stream` runs one scenario-spec file whose workload is a

@@ -207,9 +207,55 @@ fn run(args: &[String]) -> Result<String, String> {
                 None => Ok(out),
             }
         }
+        Some("serve") => cmd_serve(args),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `iosched serve`: the scheduler daemon (and its `--replay` verifier
+/// and `--connect` client). The daemon writes all protocol output
+/// itself (flushed per line); this function returns text only for the
+/// replay and error paths.
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    // Client mode: pipe stdin to a running daemon's socket.
+    if let Some(socket) = flag_value(args, "--connect") {
+        iosched_serve::connect(std::path::Path::new(&socket))?;
+        return Ok(String::new());
+    }
+    let journal = flag_value(args, "--journal").ok_or("serve needs --journal FILE")?;
+    // Batch mode: replay a journal through `simulate_stream` and print
+    // the `{\"final\":…}` line a live session would have produced.
+    if has_flag(args, "--replay") {
+        return iosched_serve::replay(std::path::Path::new(&journal)).map(|line| line + "\n");
+    }
+    let platform = flag_value(args, "--platform").ok_or("serve needs --platform")?;
+    let policy = flag_value(args, "--policy").ok_or("serve needs --policy")?;
+    let accel: f64 = flag_value(args, "--accelerate")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("bad --accelerate value '{s}'"))
+        })
+        .transpose()?
+        .unwrap_or(0.0);
+    let config = iosched_sim::SimConfig {
+        // The live feed (`telemetry --follow`) is a serve feature;
+        // turning the series on never changes simulated results.
+        telemetry: true,
+        ..iosched_sim::SimConfig::default()
+    };
+    let spec = iosched_serve::ServeSpec {
+        platform: iosched_cli::platform_by_name(&platform)?,
+        policy: iosched_core::registry::PolicyFactory::parse(&policy)?,
+        accel,
+        config,
+    };
+    let opts = iosched_serve::DaemonOptions {
+        journal: PathBuf::from(journal),
+        socket: flag_value(args, "--socket").map(PathBuf::from),
+    };
+    iosched_serve::run_daemon(&spec, &opts)?;
+    Ok(String::new())
 }
 
 fn load(path: &str) -> Result<ScenarioFile, String> {

@@ -477,6 +477,28 @@ impl PolicyFactory {
         }
     }
 
+    /// Instantiate the policy for an *online* context — a live daemon or
+    /// any caller whose arrival sequence is not known up front. The
+    /// offline periodic family is rejected with an actionable error: its
+    /// stage-2 schedule search needs the complete roster before the run
+    /// starts, which an open admission stream can never provide. Every
+    /// context-free factory builds exactly as [`PolicyFactory::build`]
+    /// with an empty roster would — which is also what makes a
+    /// checkpoint replay reinstantiate the identical policy: the factory
+    /// name is the whole recipe.
+    pub fn build_online(&self, platform: &Platform) -> Result<Box<dyn OnlinePolicy>, String> {
+        if self.is_offline() {
+            return Err(format!(
+                "policy '{}' is an offline periodic schedule: it must see the \
+                 complete application roster before the run starts and cannot \
+                 serve online submissions; pick an online policy \
+                 (e.g. maxsyseff, mindilation, fairshare, or control:pi)",
+                self.name()
+            ));
+        }
+        self.build(platform, &[])
+    }
+
     /// True for factories whose build step actually uses the scenario
     /// (the offline periodic family); the §3.1 heuristics and baselines
     /// are context-free.
@@ -913,6 +935,25 @@ mod tests {
                 err.contains(needle),
                 "{bad}: error '{err}' lacks '{needle}'"
             );
+        }
+    }
+
+    #[test]
+    fn build_online_serves_every_context_free_factory_and_refuses_offline() {
+        let (platform, _) = scenario();
+        for factory in PolicyFactory::complete_roster() {
+            if factory.is_offline() {
+                let err = match factory.build_online(&platform) {
+                    Ok(_) => panic!("{} must refuse online builds", factory.name()),
+                    Err(e) => e,
+                };
+                assert!(err.contains("offline periodic"), "{err}");
+                assert!(err.contains(&factory.name()), "{err}");
+                assert!(err.contains("pick an online policy"), "{err}");
+            } else {
+                let policy = factory.build_online(&platform).unwrap();
+                assert_eq!(policy.name(), factory.name());
+            }
         }
     }
 

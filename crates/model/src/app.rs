@@ -250,24 +250,37 @@ impl AppSpec {
                 self.id, self.release
             )));
         }
-        for (i, inst) in self.pattern.iter().enumerate() {
-            if !inst.work.is_finite() || inst.work.get() < 0.0 {
+        let check = |i: usize, work: Time, vol: Bytes| -> Result<(), ModelError> {
+            if !work.is_finite() || work.get() < 0.0 {
                 return Err(ModelError::InvalidApp(format!(
-                    "{} instance {i} has invalid work {}",
-                    self.id, inst.work
+                    "{} instance {i} has invalid work {work}",
+                    self.id
                 )));
             }
-            if !inst.vol.is_finite() || inst.vol.get() < 0.0 {
+            if !vol.is_finite() || vol.get() < 0.0 {
                 return Err(ModelError::InvalidApp(format!(
-                    "{} instance {i} has invalid I/O volume {}",
-                    self.id, inst.vol
+                    "{} instance {i} has invalid I/O volume {vol}",
+                    self.id
                 )));
             }
-            if inst.work.get() <= 0.0 && inst.vol.get() <= 0.0 {
+            if work.get() <= 0.0 && vol.get() <= 0.0 {
                 return Err(ModelError::InvalidApp(format!(
                     "{} instance {i} has neither work nor I/O",
                     self.id
                 )));
+            }
+            Ok(())
+        };
+        // A periodic pattern repeats one instance: checking it once is
+        // enough, and must NOT loop — `count` is attacker-controlled in
+        // online-submission contexts, and iterating 10^19 identical
+        // instances would hang validation.
+        match &self.pattern {
+            InstancePattern::Periodic { work, vol, .. } => check(0, *work, *vol)?,
+            InstancePattern::Explicit(instances) => {
+                for (i, inst) in instances.iter().enumerate() {
+                    check(i, inst.work, inst.vol)?;
+                }
             }
         }
         Ok(())

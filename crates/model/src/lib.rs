@@ -39,6 +39,7 @@
 pub mod app;
 pub mod error;
 pub mod interference;
+pub mod lossless;
 pub mod objectives;
 pub mod platform;
 pub mod progress;

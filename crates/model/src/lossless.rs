@@ -1,0 +1,118 @@
+//! Lossless `f64` ↔ JSON value encoding, shared by every JSONL line
+//! format in the workspace (shard partials, serve telemetry/status
+//! lines, the telemetry summary export).
+//!
+//! The vendored `serde_json` prints non-finite floats as `null` and
+//! `-0.0` as `0`; both would silently break the bit-identity contract
+//! the partial/checkpoint formats rely on. This module encodes the four
+//! lossy cases as strings and everything else as a plain JSON number
+//! (whose shortest decimal spelling round-trips exactly):
+//!
+//! * `NaN`  → `"nan:<16-hex-digit bit pattern>"` (payload preserved),
+//! * `+∞`   → `"inf"`, `-∞` → `"-inf"`,
+//! * `-0.0` → `"-0"`.
+//!
+//! Decoding accepts both plain numbers and the string forms, so formats
+//! that previously wrote plain numbers stay readable.
+
+use serde::{Error, Value};
+
+/// Encode one `f64` without losing any bit pattern.
+#[must_use]
+pub fn float_to_value(x: f64) -> Value {
+    if x.is_nan() {
+        Value::Str(format!("nan:{:016x}", x.to_bits()))
+    } else if x == f64::INFINITY {
+        Value::Str("inf".into())
+    } else if x == f64::NEG_INFINITY {
+        Value::Str("-inf".into())
+    } else if x == 0.0 && x.is_sign_negative() {
+        Value::Str("-0".into())
+    } else {
+        Value::Num(x)
+    }
+}
+
+/// Decode a float written by [`float_to_value`] (or a plain number).
+pub fn float_from_value(v: &Value) -> Result<f64, Error> {
+    if let Some(n) = v.as_f64() {
+        return Ok(n);
+    }
+    match v.as_str() {
+        Some("inf") => Ok(f64::INFINITY),
+        Some("-inf") => Ok(f64::NEG_INFINITY),
+        Some("-0") => Ok(-0.0),
+        Some(s) => s
+            .strip_prefix("nan:")
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .map(f64::from_bits)
+            .ok_or_else(|| Error::custom(format!("invalid float encoding '{s}'"))),
+        None => Err(Error::custom("expected a number or float string")),
+    }
+}
+
+/// [`float_to_value`] lifted over `Option` (`None` → `null`).
+#[must_use]
+pub fn opt_float_to_value(x: Option<f64>) -> Value {
+    x.map_or(Value::Null, float_to_value)
+}
+
+/// [`float_from_value`] lifted over `Option` (`null` → `None`).
+pub fn opt_float_from_value(v: &Value) -> Result<Option<f64>, Error> {
+    match v {
+        Value::Null => Ok(None),
+        other => float_from_value(other).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_special_case_round_trips_bitwise() {
+        let specials = [
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // payload NaN
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            -f64::MAX,
+        ];
+        for &x in &specials {
+            let v = float_to_value(x);
+            let back = float_from_value(&v).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} lost bits");
+        }
+    }
+
+    #[test]
+    fn finite_floats_stay_plain_numbers() {
+        assert!(matches!(float_to_value(2.5), Value::Num(n) if n == 2.5));
+        assert!(matches!(float_to_value(0.0), Value::Num(n) if n == 0.0));
+    }
+
+    #[test]
+    fn options_map_none_to_null() {
+        assert!(matches!(opt_float_to_value(None), Value::Null));
+        assert_eq!(opt_float_from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            opt_float_from_value(&float_to_value(-0.0))
+                .unwrap()
+                .unwrap()
+                .to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn malformed_strings_are_rejected() {
+        for bad in ["nan", "nan:xyz", "Infinity", ""] {
+            assert!(float_from_value(&Value::Str(bad.into())).is_err(), "{bad}");
+        }
+        assert!(float_from_value(&Value::Bool(true)).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! The daemon's virtual clock.
+//!
+//! A serve session maps wall time onto engine time through an
+//! acceleration factor: `virtual_now = base + accel · wall_elapsed`.
+//! Three regimes matter:
+//!
+//! * `accel = 1` — real time: one simulated second per wall second, the
+//!   mode a daemon fronting live clients would run.
+//! * `accel > 1` — accelerated: a day-long workload drains in seconds,
+//!   the mode CI and demos use.
+//! * `accel = 0` — frozen: the clock never moves, the engine only runs
+//!   at shutdown (`run_to_completion`). This is the fully deterministic
+//!   mode — no wall-clock reading ever influences the trajectory, so a
+//!   frozen session with explicit submission releases is bit-identical
+//!   across machines and runs.
+//!
+//! The clock only ever *reads* wall time; the engine itself remains a
+//! pure function of the accepted arrival sequence. Wall time decides
+//! *how far* the engine is driven between protocol messages — and by
+//! the bounded-driving theorem pinned in the engine's tests
+//! (`bounded_driving_matches_free_running`), *where* the drive pauses
+//! never changes *what* it computes.
+
+use iosched_model::Time;
+use std::time::Instant;
+
+/// Monotonic wall→virtual time mapping.
+#[derive(Debug)]
+pub struct VirtualClock {
+    base: Time,
+    accel: f64,
+    started: Instant,
+}
+
+impl VirtualClock {
+    /// Start the clock at virtual instant `base`, advancing at `accel`
+    /// virtual seconds per wall second from now on.
+    #[must_use]
+    pub fn new(base: Time, accel: f64) -> Self {
+        Self {
+            base,
+            accel,
+            started: Instant::now(),
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        if self.accel == 0.0 {
+            return self.base;
+        }
+        self.base + Time::secs(self.started.elapsed().as_secs_f64() * self.accel)
+    }
+
+    /// The acceleration factor.
+    #[must_use]
+    pub fn accel(&self) -> f64 {
+        self.accel
+    }
+
+    /// Wall seconds until the clock reaches virtual instant `t` (0 if
+    /// already past; `None` if it never will — frozen clock).
+    #[must_use]
+    pub fn wall_until(&self, t: Time) -> Option<f64> {
+        if self.accel == 0.0 {
+            return None;
+        }
+        Some(((t - self.now()).get() / self.accel).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_clock_never_moves() {
+        let clock = VirtualClock::new(Time::secs(42.0), 0.0);
+        assert_eq!(clock.now().get().to_bits(), 42.0f64.to_bits());
+        assert_eq!(clock.wall_until(Time::secs(100.0)), None);
+    }
+
+    #[test]
+    fn accelerated_clock_moves_forward_from_base() {
+        let clock = VirtualClock::new(Time::secs(10.0), 1000.0);
+        let a = clock.now();
+        assert!(a.get() >= 10.0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a, "clock went backwards: {a} -> {b}");
+        // A virtual instant 3600s ahead is at most 3.6 wall seconds away.
+        let wall = clock.wall_until(b + Time::secs(3600.0)).unwrap();
+        assert!(wall <= 3.6, "{wall}");
+    }
+}

@@ -84,6 +84,7 @@ use iosched_model::{
     AppId, AppOutcome, AppSpec, Bw, Bytes, ObjectiveAccumulator, ObjectiveReport, Platform, Time,
     EPS,
 };
+use std::collections::VecDeque;
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -290,6 +291,29 @@ pub enum StepStatus {
     Advanced,
     /// Every application has finished; the step was a no-op.
     Finished,
+    /// Open admission, nothing in the system and nothing queued: the
+    /// engine is waiting for an external [`Simulation::offer`]. The
+    /// step was a no-op (no event was consumed, the clock did not
+    /// move). Never returned by the closed-roster or stream modes —
+    /// there an eventless unfinished system is a policy bug and stays
+    /// the [`SimError::PolicyStalledSystem`] diagnostic.
+    Idle,
+}
+
+/// Where [`Simulation::run_until`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunStatus {
+    /// Every admitted application finished and admission is exhausted
+    /// (or the horizon halted the run).
+    Finished,
+    /// The next scheduling event lies past the requested bound; the
+    /// payload is its time. The engine clock stays at the last event —
+    /// advancement bounds never inject events, which is what keeps a
+    /// bounded drive bit-identical to free running.
+    Blocked(Time),
+    /// Open admission with nothing to do before the bound: the engine
+    /// is waiting for an external [`Simulation::offer`].
+    Idle,
 }
 
 /// Membership of the I/O-pending set: dense `(AppId, slot)` pairs kept
@@ -347,18 +371,28 @@ impl PendingSet {
 }
 
 /// Where applications come from: the closed roster installed at
-/// construction, or an open stream admitted on release.
+/// construction, or open admission fed by a queue.
 enum Admission<'a> {
     /// Every application was installed up-front; future releases sit on
     /// the pre-sorted stack.
     Roster,
-    /// Applications are pulled from the (release-sorted) source as the
-    /// clock reaches them — the engine never holds more than the live
-    /// set plus one lookahead.
-    Stream {
-        source: Box<dyn Iterator<Item = AppSpec> + 'a>,
-        /// The next arrival (`None` once the source is exhausted).
-        lookahead: Option<AppSpec>,
+    /// Open admission: arrivals wait in release order on `queue` until
+    /// the clock reaches them. The queue has two writers — an optional
+    /// `feeder` iterator auto-refilled after every admission (the
+    /// stream mode: the engine never holds more than the live set plus
+    /// one lookahead), and external [`Simulation::offer`] calls (the
+    /// daemon mode). Admission is *exhausted* once `closed` is set, the
+    /// feeder is drained and the queue is empty.
+    Open {
+        queue: VecDeque<AppSpec>,
+        /// Auto-refill source (`None` when drained or never installed).
+        /// Installed by [`Simulation::from_stream`]; mutually exclusive
+        /// with external offers.
+        feeder: Option<Box<dyn Iterator<Item = AppSpec> + 'a>>,
+        /// No further arrivals can appear: set at construction by the
+        /// stream mode (the feeder is the only source) and by
+        /// [`Simulation::close_admission`] in daemon mode.
+        closed: bool,
     },
 }
 
@@ -533,11 +567,14 @@ impl<'a> Simulation<'a> {
             .validate()
             .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
         let mut source: Box<dyn Iterator<Item = AppSpec> + 'a> = Box::new(source);
-        let lookahead = source.next();
-        if lookahead.is_none() {
-            return Err(SimError::InvalidScenario(
-                "application stream produced no applications".into(),
-            ));
+        let mut queue = VecDeque::new();
+        match source.next() {
+            Some(first) => queue.push_back(first),
+            None => {
+                return Err(SimError::InvalidScenario(
+                    "application stream produced no applications".into(),
+                ))
+            }
         }
         Self::start(
             platform,
@@ -545,7 +582,46 @@ impl<'a> Simulation<'a> {
             config,
             Vec::new(),
             Vec::new(),
-            Admission::Stream { source, lookahead },
+            Admission::Open {
+                queue,
+                feeder: Some(source),
+                closed: true, // the feeder is the only source
+            },
+            0,
+        )
+    }
+
+    /// Reentrant open-system construction: the engine starts empty with
+    /// admission *open*, and arrivals are pushed in from outside via
+    /// [`Simulation::offer`] while stepping — the daemon mode. Stepping
+    /// an empty open engine yields [`StepStatus::Idle`] instead of the
+    /// stalled-system error; [`Simulation::close_admission`] declares
+    /// the arrival sequence complete, after which the run can finish.
+    ///
+    /// The trajectory is a pure function of the accepted offer sequence:
+    /// driving an open engine through the same arrivals as a
+    /// release-sorted stream produces bit-identical state, event counts
+    /// and outcomes (see [`Simulation::offer`] for the invariant that
+    /// guarantees it).
+    pub fn open(
+        platform: &'a Platform,
+        policy: &'a mut dyn OnlinePolicy,
+        config: &'a SimConfig,
+    ) -> Result<Self, SimError> {
+        platform
+            .validate()
+            .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+        Self::start(
+            platform,
+            policy,
+            config,
+            Vec::new(),
+            Vec::new(),
+            Admission::Open {
+                queue: VecDeque::new(),
+                feeder: None,
+                closed: false,
+            },
             0,
         )
     }
@@ -582,7 +658,7 @@ impl<'a> Simulation<'a> {
                 ));
             }
         }
-        let streamed = matches!(admission, Admission::Stream { .. });
+        let streamed = matches!(admission, Admission::Open { .. });
         let n = rts.len();
         let mut hot = HotState::with_capacity(n);
         for rt in &rts {
@@ -656,9 +732,118 @@ impl<'a> Simulation<'a> {
     pub fn is_finished(&self) -> bool {
         let exhausted = match &self.admission {
             Admission::Roster => true, // everything admitted at construction
-            Admission::Stream { lookahead, .. } => lookahead.is_none(),
+            Admission::Open {
+                queue,
+                feeder,
+                closed,
+            } => *closed && feeder.is_none() && queue.is_empty(),
         };
         self.halted || (exhausted && self.finished == self.admitted)
+    }
+
+    /// True while external [`Simulation::offer`]s can still be accepted:
+    /// open admission that has not been closed. Always false for the
+    /// closed-roster and stream modes.
+    #[must_use]
+    pub fn admission_open(&self) -> bool {
+        matches!(
+            &self.admission,
+            Admission::Open { closed: false, .. } if !self.halted
+        )
+    }
+
+    /// Arrivals accepted but not yet admitted (their releases lie ahead
+    /// of the clock). At most 1 in stream mode (the lookahead).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        match &self.admission {
+            Admission::Roster => 0,
+            Admission::Open { queue, .. } => queue.len(),
+        }
+    }
+
+    /// Push one external arrival into open admission. The accepted offer
+    /// sequence fully determines the trajectory: replaying the same
+    /// sequence into a fresh [`Simulation::open`] engine reproduces the
+    /// run bit-for-bit — which is what makes a write-ahead journal of
+    /// accepted offers a complete checkpoint.
+    ///
+    /// Three acceptance rules, each rejected with an actionable error
+    /// and no state change:
+    ///
+    /// * admission must be open (not a roster/stream engine, not closed,
+    ///   not halted),
+    /// * the app must be a valid open-system arrival at its queue
+    ///   position ([`validate_open_arrival`]: individually feasible,
+    ///   dense id, release no earlier than the last queued release),
+    /// * its release must lie strictly *after* the engine clock
+    ///   ([`Time::approx_gt`]). This is the equivalence invariant: every
+    ///   accepted offer enters the queue before the clock reaches its
+    ///   release — exactly the relationship a release-sorted stream's
+    ///   lookahead has — so the open engine admits it at the same event,
+    ///   with the same event count, as [`simulate_stream`] over the same
+    ///   sequence would.
+    pub fn offer(&mut self, app: AppSpec) -> Result<(), SimError> {
+        if self.halted {
+            return Err(SimError::InvalidScenario(
+                "admission is closed: the horizon already halted this run".into(),
+            ));
+        }
+        let (queue, position, last) = match &mut self.admission {
+            Admission::Roster => {
+                return Err(SimError::InvalidScenario(
+                    "this engine was built from a closed roster; \
+                     external submissions need Simulation::open"
+                        .into(),
+                ))
+            }
+            Admission::Open {
+                feeder: Some(_), ..
+            } => {
+                return Err(SimError::InvalidScenario(
+                    "admission is fed by a stream source; \
+                     external submissions need Simulation::open"
+                        .into(),
+                ))
+            }
+            Admission::Open { closed: true, .. } => {
+                return Err(SimError::InvalidScenario(
+                    "admission has been closed; no further submissions are accepted".into(),
+                ))
+            }
+            Admission::Open {
+                queue,
+                feeder: None,
+                closed: false,
+            } => {
+                let last = queue.back().map_or(self.last_release, AppSpec::release);
+                let position = self.admitted + queue.len();
+                (queue, position, last)
+            }
+        };
+        if !app.release().approx_gt(self.now) {
+            return Err(SimError::InvalidScenario(format!(
+                "submission release {} is not after the engine clock {}; \
+                 assign a release strictly later than the current time",
+                app.release(),
+                self.now
+            )));
+        }
+        validate_open_arrival(self.platform, &app, position, last)
+            .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+        queue.push_back(app);
+        Ok(())
+    }
+
+    /// Declare the external arrival sequence complete: no further
+    /// [`Simulation::offer`] is accepted, and once the queue drains and
+    /// every admitted application finishes the run is
+    /// [`Simulation::is_finished`]. Idempotent; a no-op for the
+    /// closed-roster and stream modes (they are born closed).
+    pub fn close_admission(&mut self) {
+        if let Admission::Open { closed, .. } = &mut self.admission {
+            *closed = true;
+        }
     }
 
     /// Applications admitted so far (the full roster for a closed run).
@@ -726,35 +911,20 @@ impl<'a> Simulation<'a> {
         &self.telemetry
     }
 
-    /// Advance to the next scheduling event: pick the earliest event
-    /// time, move the fluid state there, fire the enabled transitions and
-    /// re-run the policy.
-    pub fn step(&mut self) -> Result<StepStatus, SimError> {
-        if self.is_finished() {
-            return Ok(StepStatus::Finished);
-        }
-        self.events += 1;
-        if self.events > self.config.max_events {
-            return Err(SimError::EventLimitExceeded {
-                limit: self.config.max_events,
-            });
-        }
-        #[cfg(feature = "sim-debug")]
-        if self.debug && self.events.is_multiple_of(100_000) {
-            self.debug_tick();
-        }
-
-        // --- Find the next event. ------------------------------------
+    /// Min-fold over every event source: the earliest instant at which
+    /// anything can happen (`INFINITY` when nothing ever will). Mutating
+    /// only through the predicted-completion cache fill — the exact scan
+    /// [`Simulation::step`] would run — so peeking then stepping is
+    /// bit-identical to stepping directly.
+    fn peek_next_event(&mut self) -> Time {
         let mut t_next = Time::INFINITY;
         if let Some(&(t, _, _)) = self.releases.last() {
             t_next = t_next.min(t);
         }
-        if let Admission::Stream {
-            lookahead: Some(app),
-            ..
-        } = &self.admission
-        {
-            t_next = t_next.min(app.release());
+        if let Admission::Open { queue, .. } = &self.admission {
+            if let Some(app) = queue.front() {
+                t_next = t_next.min(app.release());
+            }
         }
         if let Some(at) = self.compute.peek_min_at() {
             t_next = t_next.min(at);
@@ -800,6 +970,72 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+        t_next
+    }
+
+    /// The instant of the next scheduling event, `None` when no event is
+    /// currently scheduled (run finished, or an open engine waiting for
+    /// offers). A daemon uses this to sleep until either the event or
+    /// the next external submission, whichever comes first.
+    #[must_use]
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        if self.is_finished() {
+            return None;
+        }
+        let t = self.peek_next_event();
+        t.is_finite().then_some(t)
+    }
+
+    /// Drive [`Simulation::step`] through every event scheduled at or
+    /// before `bound`, then report why the drive stopped. The clock only
+    /// ever sits on event instants — a bound between events does **not**
+    /// advance the fluid state to the bound, so driving in bounded
+    /// increments is bit-identical to free running (same events, same
+    /// telemetry intervals, same outcome). This is the daemon's main
+    /// loop primitive: advance to the virtual wall-clock, then wait for
+    /// the earlier of the next event and the next submission.
+    pub fn run_until(&mut self, bound: Time) -> Result<RunStatus, SimError> {
+        loop {
+            if self.is_finished() {
+                return Ok(RunStatus::Finished);
+            }
+            let next = self.peek_next_event();
+            if !next.is_finite() {
+                if self.admission_open() && self.live() == 0 {
+                    return Ok(RunStatus::Idle);
+                }
+                return Err(SimError::PolicyStalledSystem {
+                    policy: self.policy.name(),
+                    at: self.now.as_secs(),
+                });
+            }
+            if next.approx_gt(bound) {
+                return Ok(RunStatus::Blocked(next));
+            }
+            self.step()?;
+        }
+    }
+
+    /// Advance to the next scheduling event: pick the earliest event
+    /// time, move the fluid state there, fire the enabled transitions and
+    /// re-run the policy.
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
+        if self.is_finished() {
+            return Ok(StepStatus::Finished);
+        }
+        self.events += 1;
+        if self.events > self.config.max_events {
+            return Err(SimError::EventLimitExceeded {
+                limit: self.config.max_events,
+            });
+        }
+        #[cfg(feature = "sim-debug")]
+        if self.debug && self.events.is_multiple_of(100_000) {
+            self.debug_tick();
+        }
+
+        // --- Find the next event. ------------------------------------
+        let t_next = self.peek_next_event();
         // The horizon halts the run before the next event would land
         // past it: advance the fluid state to exactly the horizon (so
         // the windowed integrals cover it) and stop. No transition is
@@ -839,6 +1075,15 @@ impl<'a> Simulation<'a> {
             }
         }
         if !t_next.is_finite() {
+            if self.admission_open() && self.live() == 0 {
+                // Nothing in the system and admission still open: the
+                // engine is waiting for an external offer. Hand the
+                // event number back — an idle poll consumed nothing, and
+                // the count must stay bit-identical to a run where the
+                // poll never happened.
+                self.events -= 1;
+                return Ok(StepStatus::Idle);
+            }
             // Applications remain but nothing can ever happen again.
             return Err(SimError::PolicyStalledSystem {
                 policy: self.policy.name(),
@@ -878,7 +1123,15 @@ impl<'a> Simulation<'a> {
     /// the horizon halts the run) and assemble the outcome.
     pub fn run_to_completion(mut self) -> Result<SimOutcome, SimError> {
         while !self.is_finished() {
-            self.step()?;
+            if self.step()? == StepStatus::Idle {
+                // Waiting forever on offers that cannot come — the
+                // caller forgot to close admission.
+                return Err(SimError::InvalidScenario(
+                    "open admission was never closed; call close_admission \
+                     before running to completion"
+                        .into(),
+                ));
+            }
         }
         if self.finished == 0 {
             // Only a horizon can halt a run before anything finished;
@@ -1043,27 +1296,35 @@ impl<'a> Simulation<'a> {
         }
         loop {
             let due = match &self.admission {
-                Admission::Stream {
-                    lookahead: Some(app),
-                    ..
-                } => app.release().approx_le(self.now),
-                _ => false,
+                Admission::Open { queue, .. } => queue
+                    .front()
+                    .is_some_and(|app| app.release().approx_le(self.now)),
+                Admission::Roster => false,
             };
             if !due {
                 break;
             }
-            let (app, next) = match &mut self.admission {
-                Admission::Stream {
-                    source, lookahead, ..
-                } => {
-                    let app = lookahead.take().expect("checked above");
-                    (app, source.next())
-                }
-                Admission::Roster => unreachable!("due implies stream"),
+            let app = match &mut self.admission {
+                Admission::Open { queue, .. } => queue.pop_front().expect("checked above"),
+                Admission::Roster => unreachable!("due implies open admission"),
             };
             self.admit_streamed(app)?;
-            if let Admission::Stream { lookahead, .. } = &mut self.admission {
-                *lookahead = next;
+            // Eager feeder refill right after the admission — the
+            // stream mode's lookahead discipline: exhaustion (and thus
+            // `is_finished`) is decided the moment the last arrival is
+            // admitted, never a step later.
+            if let Admission::Open {
+                queue,
+                feeder: feeder @ Some(_),
+                ..
+            } = &mut self.admission
+            {
+                if queue.is_empty() {
+                    match feeder.as_mut().expect("matched above").next() {
+                        Some(next) => queue.push_back(next),
+                        None => *feeder = None,
+                    }
+                }
             }
         }
         while let Some(at) = self.compute.peek_min_at() {
@@ -1219,7 +1480,7 @@ impl<'a> Simulation<'a> {
         } else {
             self.agg.fold(&outcome);
         }
-        if matches!(self.admission, Admission::Stream { .. }) {
+        if matches!(self.admission, Admission::Open { .. }) {
             self.free.push(i);
         }
     }
@@ -2315,7 +2576,9 @@ mod tests {
         let err = loop {
             match sim.step() {
                 Ok(StepStatus::Advanced) => {}
-                Ok(StepStatus::Finished) => panic!("unsorted stream must error"),
+                Ok(StepStatus::Finished | StepStatus::Idle) => {
+                    panic!("unsorted stream must error")
+                }
                 Err(e) => break e,
             }
         };
@@ -2366,5 +2629,248 @@ mod tests {
         for w in trace.segments.windows(2) {
             assert!(w[0].end.approx_le(w[1].start));
         }
+    }
+
+    /// Arrivals staggered so offers and engine events interleave.
+    fn staggered(n: usize) -> Vec<AppSpec> {
+        (0..n)
+            .map(|k| {
+                let mut a = app(k, 2);
+                a.set_release(Time::secs(0.25 + 3.0 * k as f64));
+                a
+            })
+            .collect()
+    }
+
+    /// The reentrant-admission contract: driving an open engine through
+    /// externally offered arrivals — interleaved with bounded stepping —
+    /// is bit-identical to `simulate_stream` over the same sequence, to
+    /// the event count.
+    #[test]
+    fn open_offers_match_simulate_stream_bit_for_bit() {
+        let p = platform();
+        let config = SimConfig::default();
+        let apps = staggered(6);
+
+        let mut pol = MinDilation;
+        let baseline = simulate_stream(&p, apps.iter().cloned(), &mut pol, &config).unwrap();
+
+        let mut pol = MinDilation;
+        let mut sim = Simulation::open(&p, &mut pol, &config).unwrap();
+        for a in &apps {
+            // Drive to just before the arrival, then offer it — every
+            // offer lands with the clock strictly behind its release.
+            let bound = a.release() - Time::secs(0.1);
+            sim.run_until(bound).unwrap();
+            sim.offer(a.clone()).unwrap();
+        }
+        sim.close_admission();
+        let out = sim.run_to_completion().unwrap();
+
+        assert_eq!(out.events, baseline.events, "event counts diverged");
+        assert_eq!(
+            out.end_time.get().to_bits(),
+            baseline.end_time.get().to_bits()
+        );
+        assert_eq!(
+            out.report.dilation.to_bits(),
+            baseline.report.dilation.to_bits()
+        );
+        assert_eq!(
+            out.report.sys_efficiency.to_bits(),
+            baseline.report.sys_efficiency.to_bits()
+        );
+        for a in &apps {
+            let ours = out.report.app(a.id()).unwrap();
+            let theirs = baseline.report.app(a.id()).unwrap();
+            assert_eq!(ours.finish.get().to_bits(), theirs.finish.get().to_bits());
+            assert_eq!(ours.rho_tilde.to_bits(), theirs.rho_tilde.to_bits());
+        }
+    }
+
+    /// Replaying a prefix of the offer sequence, then the rest, matches
+    /// offering everything up front — the property the daemon's
+    /// journal-replay checkpoint relies on.
+    #[test]
+    fn offer_sequence_replay_is_deterministic() {
+        let p = platform();
+        let config = SimConfig::default();
+        let apps = staggered(5);
+
+        // All offers before any stepping.
+        let mut pol = MinDilation;
+        let mut sim = Simulation::open(&p, &mut pol, &config).unwrap();
+        for a in &apps {
+            sim.offer(a.clone()).unwrap();
+        }
+        sim.close_admission();
+        let all_up_front = sim.run_to_completion().unwrap();
+
+        // Offers trickled in while the engine runs between them.
+        let mut pol = MinDilation;
+        let mut sim = Simulation::open(&p, &mut pol, &config).unwrap();
+        for (k, a) in apps.iter().enumerate() {
+            sim.offer(a.clone()).unwrap();
+            if k == 2 {
+                // Mid-sequence drive: the clock advances through the
+                // first arrivals before the rest are even known.
+                sim.run_until(a.release() - Time::secs(0.05)).unwrap();
+            }
+        }
+        sim.close_admission();
+        let trickled = sim.run_to_completion().unwrap();
+
+        assert_eq!(all_up_front.events, trickled.events);
+        assert_eq!(
+            all_up_front.end_time.get().to_bits(),
+            trickled.end_time.get().to_bits()
+        );
+        assert_eq!(
+            all_up_front.report.dilation.to_bits(),
+            trickled.report.dilation.to_bits()
+        );
+    }
+
+    #[test]
+    fn idle_open_engine_waits_without_consuming_events() {
+        let p = platform();
+        let config = SimConfig::default();
+        let mut pol = MinDilation;
+        let mut sim = Simulation::open(&p, &mut pol, &config).unwrap();
+        assert!(sim.admission_open());
+        assert!(!sim.is_finished());
+        // Stepping an empty open engine is a no-op poll.
+        assert_eq!(sim.step().unwrap(), StepStatus::Idle);
+        assert_eq!(sim.events(), 0);
+        assert_eq!(sim.run_until(Time::secs(100.0)).unwrap(), RunStatus::Idle);
+
+        // A queued future arrival turns Idle into Blocked at its release.
+        let mut a = app(0, 1);
+        a.set_release(Time::secs(5.0));
+        sim.offer(a).unwrap();
+        assert_eq!(sim.queued(), 1);
+        assert_eq!(sim.next_event_time(), Some(Time::secs(5.0)));
+        assert_eq!(
+            sim.run_until(Time::secs(2.0)).unwrap(),
+            RunStatus::Blocked(Time::secs(5.0))
+        );
+        assert!(sim.now().is_zero());
+
+        sim.close_admission();
+        assert!(!sim.admission_open());
+        assert_eq!(sim.run_until(Time::INFINITY).unwrap(), RunStatus::Finished);
+        assert!(sim.is_finished());
+        let out = sim.into_outcome();
+        assert_eq!(out.report.per_app.len(), 1);
+    }
+
+    #[test]
+    fn rejected_offers_leave_the_engine_untouched() {
+        let p = platform();
+        let config = SimConfig::default();
+
+        // Roster engines take no offers.
+        let mut pol = MinDilation;
+        let mut sim = Simulation::new(&p, &[app(0, 1)], &mut pol, &config).unwrap();
+        let err = sim.offer(app(1, 1)).unwrap_err();
+        assert!(err.to_string().contains("closed roster"), "{err}");
+
+        // Stream engines take no offers either.
+        let apps = staggered(2);
+        let mut pol = MinDilation;
+        let mut sim = Simulation::from_stream(&p, apps.into_iter(), &mut pol, &config).unwrap();
+        let err = sim.offer(app(2, 1)).unwrap_err();
+        assert!(err.to_string().contains("stream source"), "{err}");
+
+        // Open engine: each rejection names its rule and changes nothing.
+        let mut pol = MinDilation;
+        let mut sim = Simulation::open(&p, &mut pol, &config).unwrap();
+
+        // Release not after the clock (now = 0).
+        let err = sim.offer(app(0, 1)).unwrap_err();
+        assert!(
+            err.to_string().contains("not after the engine clock"),
+            "{err}"
+        );
+
+        // Id not dense at its queue position.
+        let mut late = app(7, 1);
+        late.set_release(Time::secs(1.0));
+        let err = sim.offer(late).unwrap_err();
+        assert!(err.to_string().contains("dense"), "{err}");
+
+        // Wider than the machine.
+        let mut huge = AppSpec::periodic(
+            0,
+            Time::secs(1.0),
+            10_000,
+            Time::secs(1.0),
+            Bytes::gib(1.0),
+            1,
+        );
+        huge.set_release(Time::secs(1.0));
+        let err = sim.offer(huge).unwrap_err();
+        assert!(err.to_string().contains("processors"), "{err}");
+
+        // Nothing was queued or admitted by any rejection.
+        assert_eq!(sim.queued(), 0);
+        assert_eq!(sim.admitted(), 0);
+
+        // A valid offer still goes through, and closing shuts the door.
+        let mut ok = app(0, 1);
+        ok.set_release(Time::secs(1.0));
+        sim.offer(ok).unwrap();
+        sim.close_admission();
+        let mut more = app(1, 1);
+        more.set_release(Time::secs(2.0));
+        let err = sim.offer(more).unwrap_err();
+        assert!(err.to_string().contains("has been closed"), "{err}");
+        assert_eq!(sim.run_until(Time::INFINITY).unwrap(), RunStatus::Finished);
+    }
+
+    /// `run_until` in many small hops is the same run as free stepping —
+    /// bounds never inject events.
+    #[test]
+    fn bounded_driving_matches_free_running() {
+        let p = platform();
+        let config = SimConfig::default();
+        let apps = staggered(4);
+
+        let mut pol = MaxSysEff;
+        let free = simulate_stream(&p, apps.iter().cloned(), &mut pol, &config).unwrap();
+
+        let mut pol = MaxSysEff;
+        let mut sim = Simulation::from_stream(&p, apps.into_iter(), &mut pol, &config).unwrap();
+        let mut bound = Time::ZERO;
+        loop {
+            match sim.run_until(bound).unwrap() {
+                RunStatus::Finished => break,
+                RunStatus::Blocked(next) => {
+                    assert!(next.approx_gt(bound));
+                    bound = bound.max(next - Time::secs(0.001)) + Time::secs(0.7);
+                }
+                RunStatus::Idle => unreachable!("stream mode never idles"),
+            }
+        }
+        let hopped = sim.into_outcome();
+        assert_eq!(free.events, hopped.events);
+        assert_eq!(
+            free.end_time.get().to_bits(),
+            hopped.end_time.get().to_bits()
+        );
+        assert_eq!(
+            free.report.sys_efficiency.to_bits(),
+            hopped.report.sys_efficiency.to_bits()
+        );
+    }
+
+    #[test]
+    fn unclosed_open_engine_cannot_run_to_completion() {
+        let p = platform();
+        let config = SimConfig::default();
+        let mut pol = MinDilation;
+        let sim = Simulation::open(&p, &mut pol, &config).unwrap();
+        let err = sim.run_to_completion().unwrap_err();
+        assert!(err.to_string().contains("close_admission"), "{err}");
     }
 }

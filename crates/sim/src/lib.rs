@@ -47,7 +47,9 @@ pub mod steady;
 pub mod telemetry;
 pub mod trace;
 
-pub use engine::{simulate, simulate_open, simulate_stream, SimConfig, Simulation, StepStatus};
+pub use engine::{
+    simulate, simulate_open, simulate_stream, RunStatus, SimConfig, Simulation, StepStatus,
+};
 pub use error::SimError;
 pub use external_load::ExternalLoad;
 pub use outcome::SimOutcome;

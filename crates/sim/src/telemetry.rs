@@ -21,6 +21,7 @@
 //! [`SchedContext::signal`]: iosched_core::policy::SchedContext::signal
 
 use iosched_core::control::CongestionSignal;
+use iosched_model::lossless::{float_from_value, float_to_value};
 use iosched_model::stats::Summary;
 use iosched_model::{Bw, Bytes, Time};
 use serde::{Deserialize, Serialize};
@@ -208,6 +209,21 @@ impl Telemetry {
         self.samples
     }
 
+    /// The (up to) `n` most recently closed intervals, oldest first —
+    /// the view a live telemetry subscriber streams from: after each
+    /// engine step it asks for the intervals closed since its last read
+    /// and forwards them in chronological order.
+    #[must_use]
+    pub fn recent(&self, n: usize) -> Vec<TelemetrySample> {
+        let take = n.min(self.ring.len());
+        (0..take)
+            .map(|k| {
+                let idx = (self.head + self.ring.len() - take + k) % self.ring.len();
+                self.ring[idx]
+            })
+            .collect()
+    }
+
     /// The most recently closed interval.
     #[must_use]
     pub fn last(&self) -> Option<&TelemetrySample> {
@@ -282,7 +298,7 @@ impl Telemetry {
 /// Exportable per-run congestion record (the `iosched telemetry`
 /// command prints and serializes this; campaign cells aggregate the
 /// time-weighted mean utilization across seeds).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TelemetrySummary {
     /// Positive-length inter-event intervals observed.
     pub samples: usize,
@@ -301,6 +317,57 @@ pub struct TelemetrySummary {
     pub peak_backlog_gib: f64,
     /// Peak number of simultaneously pending applications.
     pub peak_pending: usize,
+}
+
+// Manual serde through the shared lossless float encoding
+// ([`iosched_model::lossless`]): a mean over an empty window or an
+// infinite backlog must survive a JSON round trip bit-for-bit, and the
+// derived impl would flatten NaN/∞ to `null` and `-0.0` to `0`.
+impl Serialize for TelemetrySummary {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("samples".into(), self.samples.to_value()),
+            ("busy_secs".into(), float_to_value(self.busy_secs)),
+            (
+                "mean_utilization".into(),
+                float_to_value(self.mean_utilization),
+            ),
+            (
+                "mean_contention".into(),
+                float_to_value(self.mean_contention),
+            ),
+            ("utilization".into(), self.utilization.to_value()),
+            ("contention".into(), self.contention.to_value()),
+            (
+                "peak_backlog_gib".into(),
+                float_to_value(self.peak_backlog_gib),
+            ),
+            ("peak_pending".into(), self.peak_pending.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TelemetrySummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a telemetry-summary object"))?;
+        let float = |key: &str| float_from_value(serde::map_get(m, key)).map_err(|e| e.at(key));
+        Ok(Self {
+            samples: usize::from_value(serde::map_get(m, "samples"))
+                .map_err(|e| e.at("samples"))?,
+            busy_secs: float("busy_secs")?,
+            mean_utilization: float("mean_utilization")?,
+            mean_contention: float("mean_contention")?,
+            utilization: Summary::from_value(serde::map_get(m, "utilization"))
+                .map_err(|e| e.at("utilization"))?,
+            contention: Summary::from_value(serde::map_get(m, "contention"))
+                .map_err(|e| e.at("contention"))?,
+            peak_backlog_gib: float("peak_backlog_gib")?,
+            peak_pending: usize::from_value(serde::map_get(m, "peak_pending"))
+                .map_err(|e| e.at("peak_pending"))?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +452,43 @@ mod tests {
         // A partial window weights the older interval's tail.
         let w = t.windowed(Time::secs(15.0)).unwrap();
         assert!((w.utilization - (0.5 * 10.0 + 1.0 * 5.0) / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recent_returns_chronological_tail() {
+        let mut t = Telemetry::new(false);
+        assert!(t.recent(4).is_empty());
+        for k in 0..(RING_CAPACITY + 5) {
+            let start = k as f64;
+            t.record(sample(start, start + 1.0, 1.0, 10.0));
+        }
+        let tail = t.recent(3);
+        assert_eq!(tail.len(), 3);
+        // Oldest first, ending at the newest interval — across a wrap.
+        let newest_end = (RING_CAPACITY + 5) as f64;
+        assert!(tail[2].end.approx_eq(Time::secs(newest_end)));
+        assert!(tail[0].end.approx_eq(Time::secs(newest_end - 2.0)));
+        // Asking for more than the ring holds returns the whole ring.
+        assert_eq!(t.recent(RING_CAPACITY * 2).len(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn summary_serde_round_trips_non_finite_fields() {
+        let mut t = Telemetry::new(true);
+        t.record(sample(0.0, 30.0, 9.0, 10.0));
+        let mut s = t.summary().unwrap();
+        s.mean_contention = f64::NAN;
+        s.peak_backlog_gib = f64::INFINITY;
+        s.busy_secs = -0.0;
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TelemetrySummary = serde_json::from_str(&json).unwrap();
+        assert!(back.mean_contention.is_nan());
+        assert_eq!(back.peak_backlog_gib, f64::INFINITY);
+        assert_eq!(back.busy_secs.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.samples, s.samples);
+        // Summary serde intentionally drops the quantile reservoir.
+        assert_eq!(back.utilization.mean, s.utilization.mean);
+        assert_eq!(back.utilization.p99, s.utilization.p99);
     }
 
     #[test]

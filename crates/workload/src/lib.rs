@@ -35,6 +35,7 @@ pub mod ior_profile;
 pub mod sensibility;
 pub mod spec;
 pub mod stream;
+pub mod submission;
 
 pub use categories::AppCategory;
 pub use congestion::{congested_moment, intrepid_cases, mira_cases};
@@ -43,3 +44,4 @@ pub use generator::MixConfig;
 pub use ior_profile::{scenario_apps, vesta_scenarios, VestaScenario};
 pub use spec::{AppSource, WorkloadSpec};
 pub use stream::{ArrivalProcess, StopRule, StreamIter};
+pub use submission::AppSubmission;
