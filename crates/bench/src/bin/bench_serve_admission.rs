@@ -25,6 +25,7 @@
 
 use iosched_core::registry::PolicyFactory;
 use iosched_model::{Platform, Time};
+use iosched_obs::BenchReport;
 use iosched_serve::journal::{Journal, ServeSpec};
 use iosched_serve::protocol::{parse_request, Request};
 use iosched_serve::session::Session;
@@ -129,6 +130,9 @@ fn main() {
         latencies_ns.push(t0.elapsed().as_nanos() as u64);
     }
     let wall_secs = wall.elapsed().as_secs_f64();
+    // The session's own registry timed every journal append alongside
+    // our external stopwatch — exported below as the report's metrics.
+    let admission_metrics = session.metrics_snapshot(Time::ZERO);
     drop(session);
     latencies_ns.sort_unstable();
     let mean_us = latencies_ns.iter().sum::<u64>() as f64 / LAT_N as f64 / 1000.0;
@@ -225,4 +229,34 @@ fn main() {
         per_resident < 256.0 * 1024.0,
         "per-resident-app peak allocation {per_resident:.0} B >= 256 KiB"
     );
+
+    // Provenance-stamped artifact payload (BENCH_*.json schema); the
+    // metrics block is the latency-phase session's own registry —
+    // 10k `serve.journal.append.ns` samples measured from the inside.
+    use serde::{Serialize, Value};
+    let mut report = BenchReport::new(
+        "bench_serve_admission",
+        10,
+        "cargo run --release -p iosched-bench --bin bench_serve_admission",
+    )
+    .with_results(Value::Map(vec![
+        ("admission_latency_mean_us".into(), Value::Num(mean_us)),
+        ("admission_latency_p99_us".into(), Value::Num(p99_us)),
+        ("burst_admissions_per_sec".into(), Value::Num(burst_rate)),
+        ("sustained_admissions_per_sec".into(), Value::Num(sustained)),
+        (
+            "peak_alloc_delta_bytes".into(),
+            (peak_bytes as u64).to_value(),
+        ),
+        (
+            "peak_resident_apps".into(),
+            (peak_resident as u64).to_value(),
+        ),
+        (
+            "peak_alloc_per_resident_app_kib".into(),
+            Value::Num(per_resident / 1024.0),
+        ),
+    ]));
+    report.metrics = admission_metrics;
+    println!("{}", report.to_json_pretty());
 }

@@ -161,4 +161,35 @@ fn main() {
         events_per_sec >= 1_000_000.0,
         "events/s floor missed: {events_per_sec:.0} < 1,000,000"
     );
+
+    // Provenance-stamped artifact payload (BENCH_*.json schema): phase
+    // wall times through the obs registry, results inline.
+    use iosched_obs::{BenchReport, Registry};
+    use serde::{Serialize, Value};
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let registry = {
+        let registry = Registry::new();
+        registry
+            .histogram("bench.naive.ns")
+            .record((naive_secs * 1e9) as u64);
+        registry
+            .histogram("bench.lazy.ns")
+            .record((lean_secs * 1e9) as u64);
+        registry
+    };
+    let report = BenchReport::new(
+        "bench_stream_mem",
+        10,
+        "cargo run --release -p iosched-bench --bin bench_stream_mem",
+    )
+    .with_results(Value::Map(vec![
+        ("apps".into(), (naive_apps as u64).to_value()),
+        ("events".into(), (lean.events as u64).to_value()),
+        ("naive_peak_bytes".into(), (naive_peak as u64).to_value()),
+        ("lazy_peak_bytes".into(), (lean_peak as u64).to_value()),
+        ("peak_ratio_naive_over_lazy".into(), Value::Num(ratio)),
+        ("events_per_sec".into(), Value::Num(events_per_sec)),
+    ]))
+    .with_registry(&registry);
+    println!("{}", report.to_json_pretty());
 }

@@ -41,6 +41,7 @@
 
 use crate::campaign::{fold_block_subset, CampaignResult, CampaignSpec, CellFold, RunMetrics};
 use crate::runner::ScenarioRunner;
+use iosched_obs::{Histogram, HistogramSnapshot, Stopwatch};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -189,6 +190,11 @@ pub struct ShardFooter {
     /// Peak resident set (`VmHWM` of `/proc/self/status`), KiB; `None`
     /// off Linux.
     pub peak_rss_kib: Option<u64>,
+    /// Per-block wall-time distribution (nanoseconds per finished
+    /// block, write included). `None` when the incarnation computed
+    /// nothing — and in partials recorded before the field existed,
+    /// which still parse.
+    pub block_time_ns: Option<HistogramSnapshot>,
 }
 
 /// One line of a shard partial file.
@@ -519,6 +525,11 @@ pub fn run_shard(
 
     let mut computed = 0usize;
     let mut io_error: Option<String> = None;
+    // Per-block wall time (compute + serialized write), lapped at each
+    // block completion — the fold hands blocks back in order, so the
+    // inter-completion gap is the block's cost.
+    let block_hist = Histogram::detached();
+    let mut block_watch = Stopwatch::start();
     fold_block_subset(spec, runner, &todo, (), |(), b, outcomes| {
         if io_error.is_some() {
             return;
@@ -531,6 +542,7 @@ pub fn run_shard(
         match write_line(&mut file, &ShardLine::Block(record)) {
             Ok(()) => {
                 computed += 1;
+                block_watch.lap(&block_hist);
                 progress(b, computed, todo.len());
             }
             Err(e) => io_error = Some(e),
@@ -551,6 +563,7 @@ pub fn run_shard(
             wall_ms,
             cpu_ms: proc_cpu_ms(),
             peak_rss_kib: proc_peak_rss_kib(),
+            block_time_ns: (computed > 0).then(|| block_hist.snapshot()),
         }),
     )?;
 
@@ -580,6 +593,11 @@ pub struct MergeReport {
     pub blocks: usize,
     /// Clean-exit footers found (per-shard wall/CPU/RSS provenance).
     pub footers: Vec<ShardFooter>,
+    /// Per-block wall-time distribution pooled across every footer that
+    /// recorded one; `None` when no footer did (pre-field partials or
+    /// all-crashed shards). Execution provenance only — never part of
+    /// the bit-identity surface.
+    pub block_time_ns: Option<HistogramSnapshot>,
 }
 
 /// Reduce block records into a [`CampaignResult`] by replaying the
@@ -643,13 +661,27 @@ pub fn merge_dir(dir: &Path) -> Result<MergeReport, String> {
         .clone();
     let blocks = scan.blocks.len();
     let result = merge_records(&spec, scan.blocks.into_values())?;
+    let block_time_ns = pooled_block_time(&scan.footers);
     Ok(MergeReport {
         spec,
         result,
         files: scan.files,
         blocks,
         footers: scan.footers,
+        block_time_ns,
     })
+}
+
+/// Pool the per-block timing of every footer that carries one.
+#[must_use]
+pub fn pooled_block_time(footers: &[ShardFooter]) -> Option<HistogramSnapshot> {
+    let mut pooled: Option<HistogramSnapshot> = None;
+    for snap in footers.iter().filter_map(|f| f.block_time_ns.as_ref()) {
+        pooled
+            .get_or_insert_with(HistogramSnapshot::default)
+            .merge(snap);
+    }
+    pooled
 }
 
 #[cfg(test)]
@@ -748,6 +780,33 @@ mod tests {
             assert_eq!(report.skipped, report.assigned);
         }
         assert_eq!(merge_dir(&dir).unwrap().result, single);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn footers_stamp_per_block_timing_and_merge_pools_it() {
+        let spec = small_campaign();
+        let runner = ScenarioRunner::with_threads(1);
+        let dir = tmp_dir("blocktime");
+        for i in 0..2 {
+            run_shard(&spec, i, 2, &dir, &runner, |_, _, _| {}).unwrap();
+        }
+        let merged = merge_dir(&dir).unwrap();
+        for footer in &merged.footers {
+            let snap = footer.block_time_ns.as_ref().expect("footer timing");
+            assert_eq!(snap.count as usize, footer.blocks_done);
+        }
+        let pooled = merged.block_time_ns.expect("pooled timing");
+        assert_eq!(pooled.count as usize, spec.block_count());
+        assert!(pooled.quantile(0.5) >= pooled.min);
+        // Footers recorded before the field existed still parse (the
+        // checked-in example partials predate it).
+        let legacy = r#"{"done":{"index":0,"pass":0,"blocks_done":2,"wall_ms":5,"cpu_ms":null,"peak_rss_kib":null}}"#;
+        let line: ShardLine = serde_json::from_str(legacy).unwrap();
+        let ShardLine::Done(footer) = line else {
+            panic!("expected a footer");
+        };
+        assert_eq!(footer.block_time_ns, None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

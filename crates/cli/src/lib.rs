@@ -802,7 +802,117 @@ pub fn cmd_merge(dir: &std::path::Path) -> Result<(CampaignResult, String), Stri
             );
         }
     }
+    if let Some(bt) = &merged.block_time_ns {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "  block time over {} block(s): mean {:.1} ms, p50 {:.1} ms, \
+             p99 {:.1} ms, max {:.1} ms",
+            bt.count,
+            bt.mean() / 1e6,
+            ms(bt.quantile(0.5)),
+            ms(bt.quantile(0.99)),
+            ms(bt.max),
+        );
+    }
     Ok((merged.result, out))
+}
+
+/// `iosched trace`: run a simulation with a bounded decision trace
+/// attached and export it as JSONL — one structured scheduling decision
+/// (admission, grant set, capacity-screen fallback, retirement, policy
+/// wakeup, journal flush) per line, oldest first.
+///
+/// Two sources share the machinery: a scenario file plus a policy name
+/// (the `simulate` shape), or a serve journal (the arrivals of a live —
+/// possibly drained-and-resumed — daemon session, replayed through
+/// `simulate_stream` exactly like `iosched serve --replay`). The trace
+/// is observation-only: the outcome with it attached is bit-identical
+/// to one without, a contract pinned by the workspace obs-identity
+/// tests.
+///
+/// Returns `(jsonl, summary)`. Every line is re-parsed and re-serialized
+/// before being returned — the export is self-verifying.
+pub fn cmd_trace_scenario(
+    scenario: &ScenarioFile,
+    policy_name: &str,
+    capacity: usize,
+) -> Result<(String, String), String> {
+    scenario.validate()?;
+    let mut policy = policy_for_scenario(policy_name, scenario)?;
+    let config = SimConfig::default();
+    let mut sim =
+        iosched_sim::Simulation::new(&scenario.platform, &scenario.apps, policy.as_mut(), &config)
+            .map_err(|e| e.to_string())?;
+    sim.enable_decision_trace(capacity);
+    let outcome = sim.run_to_completion().map_err(|e| e.to_string())?;
+    render_trace(
+        &outcome,
+        &format!(
+            "{} applications on {} under {policy_name}",
+            scenario.apps.len(),
+            scenario.platform.name
+        ),
+    )
+}
+
+/// `iosched trace --journal`: trace the replay of a serve journal (see
+/// [`cmd_trace_scenario`] for the export contract).
+pub fn cmd_trace_journal(
+    journal: &std::path::Path,
+    capacity: usize,
+) -> Result<(String, String), String> {
+    let contents = iosched_serve::Journal::load(journal)?;
+    contents.spec.validate()?;
+    if contents.arrivals.is_empty() {
+        return Err(format!(
+            "journal {} holds no arrivals; nothing to trace",
+            journal.display()
+        ));
+    }
+    let arrivals = contents.arrivals.len();
+    let mut policy = contents.spec.policy.build_online(&contents.spec.platform)?;
+    let mut sim = iosched_sim::Simulation::from_stream(
+        &contents.spec.platform,
+        contents.arrivals.into_iter(),
+        policy.as_mut(),
+        &contents.spec.config,
+    )
+    .map_err(|e| e.to_string())?;
+    sim.enable_decision_trace(capacity);
+    let outcome = sim.run_to_completion().map_err(|e| e.to_string())?;
+    render_trace(
+        &outcome,
+        &format!("journal {} ({arrivals} arrivals)", journal.display()),
+    )
+}
+
+/// Export a finished run's decision trace, re-parsing every emitted
+/// line (parse + re-serialize must reproduce the line byte-for-byte —
+/// the lossless float encoding makes that a meaningful check).
+fn render_trace(outcome: &iosched_sim::SimOutcome, what: &str) -> Result<(String, String), String> {
+    let trace = outcome
+        .decision_trace
+        .as_ref()
+        .ok_or("engine returned no decision trace")?;
+    let jsonl = trace.to_jsonl();
+    for line in jsonl.lines() {
+        let record = iosched_sim::DecisionTrace::parse_line(line)?;
+        let back = serde_json::to_string(&record).map_err(|e| e.to_string())?;
+        if back != line {
+            return Err(format!(
+                "trace line failed the roundtrip check:\n  emitted: {line}\n  reparsed: {back}"
+            ));
+        }
+    }
+    let summary = format!(
+        "traced {what}: {} engine events, kept {} of {} trace records ({} dropped by the ring)\n",
+        outcome.events,
+        trace.len(),
+        trace.total(),
+        trace.dropped(),
+    );
+    Ok((jsonl, summary))
 }
 
 /// The usage string printed on `--help` or argument errors.
@@ -827,6 +937,8 @@ USAGE:
                 [--socket PATH] [--accelerate N]
   iosched serve --replay --journal FILE
   iosched serve --connect SOCKET
+  iosched trace <scenario.json> --policy <name> [--capacity N] [-o FILE]
+  iosched trace --journal FILE [--capacity N] [-o FILE]
 
 CAMPAIGN FILES (see README 'Campaign files' for the full format):
   {\"name\": \"quick\", \"platforms\": [\"intrepid\"],
@@ -877,6 +989,16 @@ SCHEDULER AS A SERVICE (see README 'Scheduler as a service'):
   shutdown). `--replay` re-simulates a journal and prints the same
   {\"final\":…} line the live session printed; `--connect` pipes stdin
   to a daemon's socket (client mode).
+
+DECISION TRACES (see README 'Observability'):
+  `iosched trace` re-runs a scenario (or replays a serve journal) with
+  the engine's bounded decision trace attached and streams it as JSONL
+  on stdout (or to -o FILE): one structured record per scheduling
+  decision — admission, grant set, capacity-screen fallback,
+  retirement, policy wakeup, journal flush — each tagged with a global
+  sequence number. The ring keeps the last N records (--capacity,
+  default 65536; older records are counted, then dropped). The trace
+  is observation-only: outcomes are bit-identical with it on or off.
 
 OPEN-SYSTEM STREAMS:
   `iosched stream` runs one scenario-spec file whose workload is a

@@ -3,8 +3,8 @@
 use iosched_bench::campaign::{CampaignSpec, ScenarioSpec};
 use iosched_cli::{
     cmd_campaign_result, cmd_campaign_sharded, cmd_generate, cmd_merge, cmd_periodic,
-    cmd_platforms, cmd_policies, cmd_shard, cmd_simulate, cmd_stream, cmd_telemetry, GenerateKind,
-    ScenarioFile, USAGE,
+    cmd_platforms, cmd_policies, cmd_shard, cmd_simulate, cmd_stream, cmd_telemetry,
+    cmd_trace_journal, cmd_trace_scenario, GenerateKind, ScenarioFile, USAGE,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -205,6 +205,38 @@ fn run(args: &[String]) -> Result<String, String> {
                     ))
                 }
                 None => Ok(out),
+            }
+        }
+        Some("trace") => {
+            let capacity = int_flag(args, "--capacity")?.unwrap_or(65_536);
+            if capacity == 0 {
+                return Err("--capacity must be at least 1".into());
+            }
+            let (jsonl, summary) = match flag_value(args, "--journal") {
+                Some(journal) => cmd_trace_journal(std::path::Path::new(&journal), capacity)?,
+                None => {
+                    let path = positional(args, &["--policy", "--capacity", "-o", "--output"])
+                        .ok_or("trace needs a scenario file or --journal FILE")?;
+                    let scenario = load(&path)?;
+                    let policy = flag_value(args, "--policy")
+                        .ok_or("trace needs --policy (or --journal)")?;
+                    cmd_trace_scenario(&scenario, &policy, capacity)?
+                }
+            };
+            match flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+                Some(out_path) => {
+                    std::fs::write(&out_path, &jsonl).map_err(|e| format!("{out_path}: {e}"))?;
+                    Ok(format!(
+                        "{summary}wrote {} trace line(s) to {out_path}\n",
+                        jsonl.lines().count()
+                    ))
+                }
+                None => {
+                    // JSONL on stdout, summary on stderr: the stream
+                    // stays machine-parseable when piped.
+                    eprint!("{summary}");
+                    Ok(jsonl)
+                }
             }
         }
         Some("serve") => cmd_serve(args),

@@ -1,0 +1,111 @@
+//! Provenance-stamped bench report export.
+//!
+//! The checked-in `BENCH_*.json` artifacts used to be hand-rolled JSON
+//! with no record of which binary or PR produced them — which is how
+//! `BENCH_PR6.json` ended up holding PR 7's numbers. [`BenchReport`] is
+//! the one envelope every `bench_*` binary now emits: a `bench_id`
+//! naming the producing binary, the `pr` the numbers belong to, the
+//! command that regenerates them, the bench-specific `results` payload,
+//! and a [`MetricsSnapshot`] of whatever the run's registry observed.
+
+use serde::{map_get, Deserialize, Error, Serialize, Value};
+
+use crate::registry::{MetricsSnapshot, Registry};
+
+/// A provenance-stamped bench artifact (`BENCH_*.json` schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Name of the producing bench binary (e.g. `bench_obs_overhead`).
+    pub bench_id: String,
+    /// The PR whose changes these numbers measure.
+    pub pr: u32,
+    /// Command line that regenerates the artifact.
+    pub command: String,
+    /// Bench-specific results payload (free-form JSON).
+    pub results: Value,
+    /// Snapshot of the run's metrics registry.
+    pub metrics: MetricsSnapshot,
+}
+
+impl BenchReport {
+    /// An empty report for `bench_id` / `pr`.
+    #[must_use]
+    pub fn new(bench_id: &str, pr: u32, command: &str) -> Self {
+        Self {
+            bench_id: bench_id.to_string(),
+            pr,
+            command: command.to_string(),
+            results: Value::Null,
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Attach the bench-specific results payload.
+    #[must_use]
+    pub fn with_results(mut self, results: Value) -> Self {
+        self.results = results;
+        self
+    }
+
+    /// Snapshot `registry` into the report.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.metrics = registry.snapshot();
+        self
+    }
+
+    /// Pretty-printed JSON, the on-disk `BENCH_*.json` form.
+    ///
+    /// # Panics
+    /// Never — reports always serialize.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench reports serialize")
+    }
+}
+
+impl Serialize for BenchReport {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("bench_id".to_string(), self.bench_id.to_value()),
+            ("pr".to_string(), self.pr.to_value()),
+            ("command".to_string(), self.command.to_value()),
+            ("results".to_string(), self.results.clone()),
+            ("metrics".to_string(), self.metrics.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BenchReport {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::custom("expected map"))?;
+        Ok(Self {
+            bench_id: String::from_value(map_get(m, "bench_id")).map_err(|e| e.at("bench_id"))?,
+            pr: u32::from_value(map_get(m, "pr")).map_err(|e| e.at("pr"))?,
+            command: String::from_value(map_get(m, "command")).map_err(|e| e.at("command"))?,
+            results: map_get(m, "results").clone(),
+            metrics: MetricsSnapshot::from_value(map_get(m, "metrics"))
+                .map_err(|e| e.at("metrics"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_with_registry_snapshot() {
+        let r = Registry::new();
+        r.counter("events").add(42);
+        r.histogram("iter.ns").record(1000);
+        let report = BenchReport::new("bench_demo", 9, "cargo run --bin bench_demo")
+            .with_results(Value::Map(vec![("ratio".to_string(), Value::Num(1.01))]))
+            .with_registry(&r);
+        let json = report.to_json_pretty();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.pr, 9);
+        assert_eq!(back.metrics.counter("events"), Some(42));
+    }
+}

@@ -1,0 +1,125 @@
+//! Span/section timing on top of the metrics registry.
+//!
+//! Replaces ad-hoc instrumentation (the engine's former rdtsc section
+//! counters and `sim-debug` eprintln ticks): time a region with a
+//! [`Stopwatch`], record the elapsed nanoseconds into a registered
+//! histogram, and read the distribution back through
+//! [`crate::Registry::snapshot`]. [`Sections`] packages the common case
+//! of a fixed set of named regions (the engine's `step()` phases, the
+//! daemon's request kinds) registered once up front.
+//!
+//! Timing is observation-only by construction — nothing here feeds back
+//! into what it measures — so consumers may leave it attached in
+//! bit-identity-pinned paths. Cost when attached is one `Instant` pair
+//! plus a handful of relaxed atomics per region; consumers that cannot
+//! afford even that gate the call sites behind a compile-time feature
+//! (the engine uses `obs-timing`).
+
+use std::time::Instant;
+
+use crate::registry::{Histogram, Registry};
+
+/// A started wall-clock span.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX` (584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Record the elapsed nanoseconds into `hist` and restart the span,
+    /// returning what was recorded — the idiom for timing consecutive
+    /// phases with one watch.
+    pub fn lap(&mut self, hist: &Histogram) -> u64 {
+        let ns = self.elapsed_ns();
+        hist.record(ns);
+        self.0 = Instant::now();
+        ns
+    }
+
+    /// Record the elapsed nanoseconds into `hist` without restarting.
+    pub fn record(&self, hist: &Histogram) -> u64 {
+        let ns = self.elapsed_ns();
+        hist.record(ns);
+        ns
+    }
+}
+
+/// A fixed set of named timing sections registered under a common
+/// prefix: section `i` of `Sections::new(reg, "sim.step", &["peek",
+/// "advance"])` records into the histogram `sim.step.peek.ns` etc.
+#[derive(Debug)]
+pub struct Sections {
+    hists: Vec<Histogram>,
+}
+
+impl Sections {
+    /// Register `prefix.<name>.ns` histograms for every section name.
+    #[must_use]
+    pub fn new(registry: &Registry, prefix: &str, names: &[&str]) -> Self {
+        Self {
+            hists: names
+                .iter()
+                .map(|n| registry.histogram(&format!("{prefix}.{n}.ns")))
+                .collect(),
+        }
+    }
+
+    /// Record `ns` into section `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range (programmer error — the section
+    /// list is fixed at construction).
+    pub fn record(&self, i: usize, ns: u64) {
+        self.hists[i].record(ns);
+    }
+
+    /// Number of sections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hists.len()
+    }
+
+    /// True when no sections were registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_laps_record_into_histograms() {
+        let h = Histogram::detached();
+        let mut w = Stopwatch::start();
+        let a = w.lap(&h);
+        let b = w.record(&h);
+        assert_eq!(h.count(), 2);
+        assert!(a > 0 || b > 0 || cfg!(miri)); // monotonic clocks tick
+    }
+
+    #[test]
+    fn sections_register_under_prefix() {
+        let r = Registry::new();
+        let s = Sections::new(&r, "sim.step", &["peek", "advance"]);
+        assert_eq!(s.len(), 2);
+        s.record(0, 10);
+        s.record(1, 20);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("sim.step.peek.ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("sim.step.advance.ns").unwrap().sum, 20);
+    }
+}

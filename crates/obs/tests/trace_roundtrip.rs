@@ -1,0 +1,135 @@
+//! Property test: every decision-trace event survives the JSONL
+//! export/parse roundtrip bit-for-bit, including hostile floats (NaN
+//! payloads, infinities, `-0.0`) — the [`iosched_model::lossless`]
+//! encoding contract lifted to whole trace records.
+
+use iosched_obs::{DecisionTrace, TraceEvent};
+use proptest::prelude::*;
+
+/// Arbitrary `f64` *bit patterns* — uniform over all 2^64, so NaN
+/// payloads, both infinities, subnormals and `-0.0` all occur.
+fn any_bits_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn any_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        0u64..6,
+        // Integer fields ride the workspace serde data model, which is
+        // exact up to 2^53 (ids and counts never approach it).
+        0u64..(1 << 53),
+        any_bits_f64(),
+        any_bits_f64(),
+        any_bits_f64(),
+        any::<bool>(),
+    )
+        .prop_map(|(kind, n, a, b, c, flag)| match kind {
+            0 => TraceEvent::Admission {
+                id: n,
+                t: a,
+                release: b,
+            },
+            1 => TraceEvent::Grant {
+                t: a,
+                pending: n,
+                granted: n / 2,
+                total_bw: b,
+                capacity: c,
+            },
+            2 => TraceEvent::CapacityScreen {
+                t: a,
+                policy: format!("policy-{}", n % 100),
+            },
+            3 => TraceEvent::Retirement { id: n, t: a },
+            4 => TraceEvent::PolicyWakeup { t: a },
+            _ => TraceEvent::JournalFlush {
+                t: a,
+                arrivals: n,
+                synced: flag,
+            },
+        })
+}
+
+/// Bitwise equality over events (plain `==` is false for NaN fields).
+fn bits_eq(x: &TraceEvent, y: &TraceEvent) -> bool {
+    let f = |v: f64| v.to_bits();
+    match (x, y) {
+        (
+            TraceEvent::Admission {
+                id: i1,
+                t: t1,
+                release: r1,
+            },
+            TraceEvent::Admission {
+                id: i2,
+                t: t2,
+                release: r2,
+            },
+        ) => i1 == i2 && f(*t1) == f(*t2) && f(*r1) == f(*r2),
+        (
+            TraceEvent::Grant {
+                t: t1,
+                pending: p1,
+                granted: g1,
+                total_bw: b1,
+                capacity: c1,
+            },
+            TraceEvent::Grant {
+                t: t2,
+                pending: p2,
+                granted: g2,
+                total_bw: b2,
+                capacity: c2,
+            },
+        ) => p1 == p2 && g1 == g2 && f(*t1) == f(*t2) && f(*b1) == f(*b2) && f(*c1) == f(*c2),
+        (
+            TraceEvent::CapacityScreen { t: t1, policy: p1 },
+            TraceEvent::CapacityScreen { t: t2, policy: p2 },
+        ) => p1 == p2 && f(*t1) == f(*t2),
+        (TraceEvent::Retirement { id: i1, t: t1 }, TraceEvent::Retirement { id: i2, t: t2 }) => {
+            i1 == i2 && f(*t1) == f(*t2)
+        }
+        (TraceEvent::PolicyWakeup { t: t1 }, TraceEvent::PolicyWakeup { t: t2 }) => {
+            f(*t1) == f(*t2)
+        }
+        (
+            TraceEvent::JournalFlush {
+                t: t1,
+                arrivals: a1,
+                synced: s1,
+            },
+            TraceEvent::JournalFlush {
+                t: t2,
+                arrivals: a2,
+                synced: s2,
+            },
+        ) => a1 == a2 && s1 == s2 && f(*t1) == f(*t2),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn jsonl_roundtrip_is_bitwise_lossless(
+        events in prop::collection::vec(any_event(), 1..24)
+    ) {
+        let mut trace = DecisionTrace::new(events.len());
+        for ev in &events {
+            trace.push(ev.clone());
+        }
+        let jsonl = trace.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        prop_assert_eq!(lines.len(), events.len());
+        for (line, original) in lines.iter().zip(trace.records()) {
+            let back = DecisionTrace::parse_line(line)
+                .map_err(TestCaseError::fail)?;
+            prop_assert_eq!(back.seq, original.seq);
+            prop_assert!(
+                bits_eq(&back.event, &original.event),
+                "event lost bits: {:?} vs {:?}", back.event, original.event
+            );
+        }
+    }
+}

@@ -27,11 +27,12 @@
 use crate::clock::VirtualClock;
 use crate::journal::{Journal, JournalContents, ServeSpec};
 use crate::protocol::{
-    self, checkpoint_line, drain_line, error_line, final_line, status_line, submit_line,
-    telemetry_line, Request,
+    self, checkpoint_line, drain_line, error_line, final_line, metrics_line, status_line,
+    submit_line, telemetry_line, Request,
 };
 use crate::session::Session;
 use iosched_model::Time;
+use iosched_obs::Stopwatch;
 use iosched_sim::Simulation;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -237,26 +238,43 @@ fn drive(
                 let request = match protocol::parse_request(&line) {
                     Ok(request) => request,
                     Err(e) => {
+                        session.metrics().parse_errors.inc();
                         respond(&mut writers, id, &error_line(&e));
                         continue;
                     }
                 };
+                // Per-request latency: one watch per parsed line, recorded
+                // into the command's histogram after its response went out
+                // (the handle is an Arc clone so the borrow of `session`
+                // ends before the handlers take it mutably).
+                session.metrics().requests.inc();
+                let hist = session.metrics().request_hist(&request).clone();
+                let watch = Stopwatch::start();
                 match request {
                     Request::Submit {
                         submission,
                         release,
-                    } => match session.submit(submission, release, clock.now()) {
-                        Err(rejected) => respond(&mut writers, id, &error_line(&rejected)),
-                        Ok(Err(fatal)) => {
-                            broadcast(&mut writers, &error_line(&fatal));
-                            return Err(fatal);
+                    } => {
+                        match session.submit(submission, release, clock.now()) {
+                            Err(rejected) => respond(&mut writers, id, &error_line(&rejected)),
+                            Ok(Err(fatal)) => {
+                                broadcast(&mut writers, &error_line(&fatal));
+                                return Err(fatal);
+                            }
+                            Ok(Ok((app_id, stamped))) => {
+                                respond(&mut writers, id, &submit_line(app_id, stamped));
+                            }
                         }
-                        Ok(Ok((app_id, stamped))) => {
-                            respond(&mut writers, id, &submit_line(app_id, stamped));
-                        }
-                    },
+                        watch.record(&hist);
+                    }
                     Request::Status => {
                         respond(&mut writers, id, &status_line(&session.status(clock.now())));
+                        watch.record(&hist);
+                    }
+                    Request::Metrics => {
+                        let snapshot = session.metrics_snapshot(clock.now());
+                        respond(&mut writers, id, &metrics_line(&snapshot));
+                        watch.record(&hist);
                     }
                     Request::Telemetry { follow } => {
                         if follow && !subscribers.contains(&id) {
@@ -267,6 +285,7 @@ fn drive(
                             |s| telemetry_line(&s),
                         );
                         respond(&mut writers, id, &line);
+                        watch.record(&hist);
                     }
                     Request::Checkpoint => {
                         let line = match session.checkpoint() {
@@ -274,10 +293,12 @@ fn drive(
                             Err(e) => error_line(&e),
                         };
                         respond(&mut writers, id, &line);
+                        watch.record(&hist);
                     }
                     Request::Drain => {
                         let n = session.drain(clock.now())?;
                         broadcast(&mut writers, &drain_line(n, clock.now().get()));
+                        watch.record(&hist);
                         return Ok(());
                     }
                     Request::Shutdown => {
@@ -291,6 +312,7 @@ fn drive(
                                      applications are undefined (drain instead)",
                                 ),
                             );
+                            watch.record(&hist);
                             continue;
                         }
                         let (outcome, accepted) = session.finish()?;

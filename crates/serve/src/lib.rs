@@ -3,7 +3,7 @@
 //! The scheduler as a long-lived service: a daemon wrapping the
 //! open-admission engine of `iosched-sim` behind a line-delimited JSON
 //! protocol (stdin and/or a Unix-domain socket) — `submit`, `status`,
-//! `telemetry`, `checkpoint`, `drain`, `shutdown`.
+//! `telemetry`, `metrics`, `checkpoint`, `drain`, `shutdown`.
 //!
 //! The paper's scheduler is meant to run *online* inside a machine's
 //! I/O middleware, deciding bandwidth shares as applications arrive
@@ -28,18 +28,21 @@
 //!
 //! Modules, inside out: [`protocol`] (wire format), [`journal`]
 //! (write-ahead arrival log + [`journal::ServeSpec`] manifest),
-//! [`clock`] (wall→virtual mapping), [`session`] (the I/O-free state
-//! machine), [`daemon`] (threads, sockets, the drive loop, plus the
-//! `--replay` verifier and `--connect` client).
+//! [`clock`] (wall→virtual mapping), [`metrics`] (the daemon's
+//! observability catalog over `iosched-obs`), [`session`] (the I/O-free
+//! state machine), [`daemon`] (threads, sockets, the drive loop, plus
+//! the `--replay` verifier and `--connect` client).
 
 pub mod clock;
 pub mod daemon;
 pub mod journal;
+pub mod metrics;
 pub mod protocol;
 pub mod session;
 
 pub use clock::VirtualClock;
 pub use daemon::{connect, replay, run_daemon, DaemonOptions};
 pub use journal::{Journal, JournalContents, ServeSpec};
+pub use metrics::ServeMetrics;
 pub use protocol::{parse_request, Request, StatusReport};
 pub use session::Session;

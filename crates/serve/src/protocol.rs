@@ -9,6 +9,7 @@
 //! {"cmd":"status"}
 //! {"cmd":"telemetry"}            // one-shot: latest interval
 //! {"cmd":"telemetry","follow":true}   // subscribe to the live feed
+//! {"cmd":"metrics"}              // observability snapshot (see `metrics`)
 //! {"cmd":"checkpoint"}           // fsync the journal
 //! {"cmd":"drain"}                // stop accepting, checkpoint, exit
 //! {"cmd":"shutdown"}             // close admission, run to completion
@@ -33,6 +34,7 @@
 
 use iosched_model::lossless::float_to_value;
 use iosched_model::Time;
+use iosched_obs::MetricsSnapshot;
 use iosched_sim::{SimOutcome, TelemetrySample};
 use iosched_workload::AppSubmission;
 use serde::{Serialize, Value};
@@ -56,6 +58,9 @@ pub enum Request {
         /// Subscribe instead of one-shot.
         follow: bool,
     },
+    /// Snapshot the daemon's metrics registry (request latency
+    /// histograms, journal timings, queue-depth gauges).
+    Metrics,
     /// Force the journal to durable storage.
     Checkpoint,
     /// Stop accepting submissions, checkpoint, and exit (the session
@@ -131,12 +136,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "status" => bare(Request::Status),
+        "metrics" => bare(Request::Metrics),
         "checkpoint" => bare(Request::Checkpoint),
         "drain" => bare(Request::Drain),
         "shutdown" => bare(Request::Shutdown),
         other => Err(format!(
             "unknown command '{other}' (expected submit, status, telemetry, \
-             checkpoint, drain or shutdown)"
+             metrics, checkpoint, drain or shutdown)"
         )),
     }
 }
@@ -231,6 +237,17 @@ pub fn telemetry_line(sample: &TelemetrySample) -> String {
     )])
 }
 
+/// `{"ok":"metrics","metrics":{"counters":…,"gauges":…,"histograms":…}}`
+/// — the full registry snapshot; histogram values carry the raw
+/// log₂-bucket counts so clients derive whichever quantiles they want.
+#[must_use]
+pub fn metrics_line(snapshot: &MetricsSnapshot) -> String {
+    object(vec![
+        ("ok", Value::Str("metrics".into())),
+        ("metrics", snapshot.to_value()),
+    ])
+}
+
 /// `{"ok":"checkpoint","arrivals":…,"path":"…"}`
 #[must_use]
 pub fn checkpoint_line(arrivals: usize, path: &str) -> String {
@@ -279,6 +296,7 @@ pub fn final_line(outcome: &SimOutcome, admitted: usize) -> String {
 mod tests {
     use super::*;
     use iosched_model::InstancePattern;
+    use serde::Deserialize;
 
     #[test]
     fn submit_requests_parse_with_and_without_release() {
@@ -317,6 +335,26 @@ mod tests {
         assert_eq!(parse_request(r#"{"cmd":"drain"}"#).unwrap(), Request::Drain);
         let err = parse_request(r#"{"cmd":"drain","now":true}"#).unwrap_err();
         assert!(err.contains("'now'"), "{err}");
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        let err = parse_request(r#"{"cmd":"metrics","format":"text"}"#).unwrap_err();
+        assert!(err.contains("'format'"), "{err}");
+    }
+
+    #[test]
+    fn metrics_line_is_a_parseable_registry_snapshot() {
+        let registry = iosched_obs::Registry::new();
+        registry.counter("serve.requests").add(4);
+        registry.histogram("serve.request.status.ns").record(1500);
+        let line = metrics_line(&registry.snapshot());
+        assert!(line.starts_with(r#"{"ok":"metrics","metrics":{"#), "{line}");
+        let v = serde_json::parse(&line).unwrap();
+        let snap =
+            MetricsSnapshot::from_value(serde::map_get(v.as_map().unwrap(), "metrics")).unwrap();
+        assert_eq!(snap.counter("serve.requests"), Some(4));
+        assert_eq!(snap.histogram("serve.request.status.ns").unwrap().count, 1);
     }
 
     #[test]

@@ -29,9 +29,11 @@
 //! invariant that makes the trajectory replayable).
 
 use crate::journal::Journal;
+use crate::metrics::ServeMetrics;
 use crate::protocol::StatusReport;
 use iosched_model::{AppSpec, Time, EPS};
-use iosched_sim::{RunStatus, SimOutcome, Simulation, TelemetrySample};
+use iosched_obs::{MetricsSnapshot, Stopwatch};
+use iosched_sim::{RunStatus, SimOutcome, Simulation, TelemetrySample, TraceEvent};
 use iosched_workload::AppSubmission;
 
 /// Live session state: the open engine plus the write-ahead journal.
@@ -41,6 +43,7 @@ pub struct Session<'a> {
     last_release: Time,
     tel_seen: usize,
     draining: bool,
+    metrics: ServeMetrics,
 }
 
 /// The first virtual instant strictly past `now` under the engine's
@@ -67,6 +70,7 @@ impl<'a> Session<'a> {
             last_release: Time::ZERO,
             tel_seen: 0,
             draining: false,
+            metrics: ServeMetrics::new(),
         };
         for app in recovered {
             session
@@ -92,6 +96,7 @@ impl<'a> Session<'a> {
         virtual_now: Time,
     ) -> Result<Result<(usize, Time), String>, String> {
         if self.draining {
+            self.metrics.rejected.inc();
             return Err("daemon is draining; submissions are closed".into());
         }
         let release = release.unwrap_or_else(|| {
@@ -102,14 +107,22 @@ impl<'a> Session<'a> {
         let id = self.sim.admitted() + self.sim.queued();
         let app = submission.into_app(id, release);
         if let Err(e) = self.sim.offer(app.clone()) {
+            self.metrics.rejected.inc();
             return Err(e.to_string());
         }
+        let watch = Stopwatch::start();
         if let Err(e) = self.journal.append(&app) {
             return Ok(Err(format!(
                 "arrival accepted but journal write failed ({e}); \
                  the checkpoint is no longer trustworthy"
             )));
         }
+        watch.record(&self.metrics.journal_append);
+        self.sim.trace_event(TraceEvent::JournalFlush {
+            t: self.sim.now().as_secs(),
+            arrivals: self.journal.arrivals() as u64,
+            synced: false,
+        });
         self.last_release = self.last_release.max(release);
         Ok(Ok((id, release)))
     }
@@ -159,7 +172,7 @@ impl<'a> Session<'a> {
 
     /// Force the journal to durable storage; returns the arrival count.
     pub fn checkpoint(&mut self) -> Result<usize, String> {
-        self.journal.sync()?;
+        self.synced_flush()?;
         Ok(self.journal.arrivals())
     }
 
@@ -167,9 +180,39 @@ impl<'a> Session<'a> {
     /// after this; a later session resumes from the journal.
     pub fn drain(&mut self, virtual_now: Time) -> Result<usize, String> {
         self.journal.mark_drain(virtual_now.get())?;
-        self.journal.sync()?;
+        self.synced_flush()?;
         self.draining = true;
         Ok(self.journal.arrivals())
+    }
+
+    /// Fsync the journal, timing the barrier and stamping a `synced`
+    /// flush into the decision trace (when one is attached).
+    fn synced_flush(&mut self) -> Result<(), String> {
+        let watch = Stopwatch::start();
+        self.journal.sync()?;
+        watch.record(&self.metrics.journal_fsync);
+        self.sim.trace_event(TraceEvent::JournalFlush {
+            t: self.sim.now().as_secs(),
+            arrivals: self.journal.arrivals() as u64,
+            synced: true,
+        });
+        Ok(())
+    }
+
+    /// The session's metric handles (the daemon loop records request
+    /// latencies through these).
+    #[must_use]
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Refresh the queue-depth gauges from live engine state and
+    /// snapshot the whole registry — the `metrics` command's payload.
+    #[must_use]
+    pub fn metrics_snapshot(&self, virtual_now: Time) -> MetricsSnapshot {
+        self.metrics
+            .observe_depths(&self.status(virtual_now), self.sim.pending_len());
+        self.metrics.snapshot()
     }
 
     /// The journal file (for the `checkpoint` acknowledgement).
@@ -388,6 +431,84 @@ mod tests {
             .unwrap_err();
         assert!(err.contains("draining"), "{err}");
         assert!(session.status(Time::secs(60.0)).draining);
+    }
+
+    #[test]
+    fn metrics_count_journal_writes_and_refresh_queue_depths() {
+        let spec = spec();
+        let path = tmp("metrics.jsonl");
+        let mut policy = spec.policy.build_online(&spec.platform).unwrap();
+        let sim = Simulation::open(&spec.platform, policy.as_mut(), &spec.config).unwrap();
+        let journal = Journal::create(&path, &spec).unwrap();
+        let mut session = Session::new(sim, journal, &[]).unwrap();
+
+        for k in 0..3 {
+            session
+                .submit(submission(k), Some(Time::secs(10.0 + k as f64)), Time::ZERO)
+                .unwrap()
+                .unwrap();
+        }
+        session.checkpoint().unwrap();
+        // A rejection (draining closes admission) counts but never
+        // reaches the journal histograms.
+        session.drain(Time::secs(1.0)).unwrap();
+        let _ = session.submit(submission(3), None, Time::secs(1.0));
+
+        let snap = session.metrics_snapshot(Time::secs(1.0));
+        assert_eq!(
+            snap.histogram("serve.journal.append.ns").unwrap().count,
+            3,
+            "one append sample per acknowledged arrival"
+        );
+        assert_eq!(
+            snap.histogram("serve.journal.fsync.ns").unwrap().count,
+            2,
+            "checkpoint + drain each fsync once"
+        );
+        assert_eq!(snap.counter("serve.requests.rejected"), Some(1));
+        assert_eq!(snap.gauge("serve.engine.journaled"), Some(3));
+        assert_eq!(snap.gauge("serve.engine.queued"), Some(3));
+    }
+
+    /// A decision trace attached to the engine picks up the session's
+    /// journal-flush events — unsynced per acknowledged submit, synced
+    /// at checkpoint — interleaved with the engine's own decisions.
+    #[test]
+    fn journal_flushes_land_in_the_decision_trace() {
+        let spec = spec();
+        let path = tmp("trace.jsonl");
+        let mut policy = spec.policy.build_online(&spec.platform).unwrap();
+        let mut sim = Simulation::open(&spec.platform, policy.as_mut(), &spec.config).unwrap();
+        sim.enable_decision_trace(4096);
+        let journal = Journal::create(&path, &spec).unwrap();
+        let mut session = Session::new(sim, journal, &[]).unwrap();
+        for k in 0..2 {
+            session
+                .submit(submission(k), Some(Time::secs(10.0 + k as f64)), Time::ZERO)
+                .unwrap()
+                .unwrap();
+        }
+        session.checkpoint().unwrap();
+        let (outcome, _) = session.finish().unwrap();
+        let trace = outcome.decision_trace.expect("trace was attached");
+        let flushes: Vec<_> = trace
+            .records()
+            .filter(|r| r.event.kind() == "journal_flush")
+            .collect();
+        assert_eq!(flushes.len(), 3, "2 submits + 1 checkpoint");
+        let synced = flushes
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    iosched_sim::TraceEvent::JournalFlush { synced: true, .. }
+                )
+            })
+            .count();
+        assert_eq!(synced, 1);
+        // The engine's own decisions are in there too.
+        assert!(trace.records().any(|r| r.event.kind() == "admission"));
+        assert!(trace.records().any(|r| r.event.kind() == "retirement"));
     }
 
     #[test]

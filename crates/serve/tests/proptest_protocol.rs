@@ -17,6 +17,7 @@ const TEMPLATES: &[&str] = &[
     r#"{"cmd":"submit","procs":64,"instances":[[10.0,5.0],[0.0,2.5]],"release":3600}"#,
     r#"{"cmd":"status"}"#,
     r#"{"cmd":"telemetry","follow":true}"#,
+    r#"{"cmd":"metrics"}"#,
     r#"{"cmd":"checkpoint"}"#,
     r#"{"cmd":"drain"}"#,
     r#"{"cmd":"shutdown"}"#,

@@ -84,6 +84,7 @@ use iosched_model::{
     AppId, AppOutcome, AppSpec, Bw, Bytes, ObjectiveAccumulator, ObjectiveReport, Platform, Time,
     EPS,
 };
+use iosched_obs::{DecisionTrace, TraceEvent};
 use std::collections::VecDeque;
 
 /// Engine configuration.
@@ -507,11 +508,61 @@ pub struct Simulation<'a> {
     /// The interval opened by the last allocation, closed at the next
     /// event.
     tel_open: TelemetrySample,
-    /// Per-event progress trace on stderr (compiled out unless the
-    /// `sim-debug` feature is on; enabled at runtime via the
-    /// `IOSCHED_SIM_DEBUG` environment variable).
-    #[cfg(feature = "sim-debug")]
-    debug: bool,
+    /// Runtime-attached decision trace (see
+    /// [`Simulation::enable_decision_trace`]): a bounded ring of
+    /// structured scheduling events. Observation-only — `None` (the
+    /// default) costs one branch per record site, and attaching one
+    /// never changes simulation results.
+    dtrace: Option<Box<DecisionTrace>>,
+    /// The policy wakeup that entered the last event scan (INFINITY
+    /// when none was due): cached by `peek_next_event` so the traced
+    /// step can attribute wakeup-won events without a second
+    /// `next_wakeup` call.
+    wakeup_candidate: Time,
+    /// Per-phase wall-clock timing of the step path, recorded into an
+    /// engine-owned obs registry (compiled out unless the `obs-timing`
+    /// feature is on; read back via [`Simulation::timing_snapshot`]).
+    #[cfg(feature = "obs-timing")]
+    timing: StepTiming,
+}
+
+/// The `obs-timing` section set: one histogram per `step()` phase plus
+/// a step counter, registered in an engine-owned registry under
+/// `sim.step.*`.
+#[cfg(feature = "obs-timing")]
+#[derive(Debug)]
+struct StepTiming {
+    registry: iosched_obs::Registry,
+    sections: iosched_obs::Sections,
+    steps: iosched_obs::Counter,
+}
+
+#[cfg(feature = "obs-timing")]
+impl StepTiming {
+    const PEEK: usize = 0;
+    const ADVANCE: usize = 1;
+    const SETTLE: usize = 2;
+    const ALLOCATE: usize = 3;
+
+    fn new() -> Self {
+        let registry = iosched_obs::Registry::new();
+        let sections = iosched_obs::Sections::new(
+            &registry,
+            "sim.step",
+            &["peek", "advance", "settle", "allocate"],
+        );
+        let steps = registry.counter("sim.steps");
+        Self {
+            registry,
+            sections,
+            steps,
+        }
+    }
+
+    fn lap(&self, section: usize, watch: &mut iosched_obs::Stopwatch) {
+        self.sections.record(section, watch.elapsed_ns());
+        *watch = iosched_obs::Stopwatch::start();
+    }
 }
 
 impl<'a> Simulation<'a> {
@@ -704,8 +755,10 @@ impl<'a> Simulation<'a> {
             seg_capacity: platform.total_bw,
             telemetry: Telemetry::new(config.telemetry),
             tel_open: TelemetrySample::idle(Time::ZERO, platform.total_bw),
-            #[cfg(feature = "sim-debug")]
-            debug: std::env::var_os("IOSCHED_SIM_DEBUG").is_some(),
+            dtrace: None,
+            wakeup_candidate: Time::INFINITY,
+            #[cfg(feature = "obs-timing")]
+            timing: StepTiming::new(),
         };
         sim.settle_transitions()?;
         sim.allocate()?;
@@ -956,9 +1009,13 @@ impl<'a> Simulation<'a> {
             }
         }
         // Timetable-style policies re-allocate at their own boundaries.
+        // The candidate is cached for the decision trace's wakeup
+        // attribution, sparing the traced step a second virtual call.
+        self.wakeup_candidate = Time::INFINITY;
         if let Some(t) = self.policy.next_wakeup(self.now) {
             if t.approx_gt(self.now) {
                 t_next = t_next.min(t);
+                self.wakeup_candidate = t;
             }
         }
         // Communication traffic changes the available capacity at its
@@ -1029,13 +1086,15 @@ impl<'a> Simulation<'a> {
                 limit: self.config.max_events,
             });
         }
-        #[cfg(feature = "sim-debug")]
-        if self.debug && self.events.is_multiple_of(100_000) {
-            self.debug_tick();
-        }
+        #[cfg(feature = "obs-timing")]
+        self.timing.steps.inc();
+        #[cfg(feature = "obs-timing")]
+        let mut watch = iosched_obs::Stopwatch::start();
 
         // --- Find the next event. ------------------------------------
         let t_next = self.peek_next_event();
+        #[cfg(feature = "obs-timing")]
+        self.timing.lap(StepTiming::PEEK, &mut watch);
         // The horizon halts the run before the next event would land
         // past it: advance the fluid state to exactly the horizon (so
         // the windowed integrals cover it) and stop. No transition is
@@ -1090,6 +1149,17 @@ impl<'a> Simulation<'a> {
                 at: self.now.as_secs(),
             });
         }
+        // Decision trace: attribute the step to a policy-scheduled
+        // wakeup when that is what won the event scan (the candidate
+        // was cached by `peek_next_event`, so this costs no extra
+        // policy call). Bit-compare — the trace must not blur
+        // coincident events into wakeups.
+        if self.dtrace.is_some() && self.wakeup_candidate.get().to_bits() == t_next.get().to_bits()
+        {
+            self.trace_push(TraceEvent::PolicyWakeup {
+                t: t_next.as_secs(),
+            });
+        }
 
         // --- Advance the fluid state to t_next. -----------------------
         self.advance_to(t_next, true);
@@ -1102,6 +1172,8 @@ impl<'a> Simulation<'a> {
         if let Some(steady) = &mut self.steady {
             steady.record_interval(&closed);
         }
+        #[cfg(feature = "obs-timing")]
+        self.timing.lap(StepTiming::ADVANCE, &mut watch);
 
         // --- State transitions and re-allocation. ---------------------
         self.settle_transitions()?;
@@ -1114,8 +1186,12 @@ impl<'a> Simulation<'a> {
                 effective: self.seg_effective.clone(),
             });
         }
+        #[cfg(feature = "obs-timing")]
+        self.timing.lap(StepTiming::SETTLE, &mut watch);
         self.allocate()?;
         self.snapshot_segment();
+        #[cfg(feature = "obs-timing")]
+        self.timing.lap(StepTiming::ALLOCATE, &mut watch);
         Ok(StepStatus::Advanced)
     }
 
@@ -1186,30 +1262,54 @@ impl<'a> Simulation<'a> {
             per_app_bytes,
             telemetry,
             steady,
+            decision_trace: self.dtrace,
         }
     }
 
-    /// Per-event progress line, outlined off the step path (feature
-    /// `sim-debug`; runtime-enabled via `IOSCHED_SIM_DEBUG`).
-    #[cfg(feature = "sim-debug")]
+    /// Attach a bounded decision trace keeping the last `capacity`
+    /// scheduling events (admissions, grant sets, capacity-screen
+    /// fallbacks, retirements, policy wakeups — plus whatever the
+    /// embedding layer pushes through [`Simulation::trace_event`], e.g.
+    /// the daemon's journal flushes). Observation-only: results are
+    /// bit-identical with the trace on or off (pinned in
+    /// `tests/obs_identity.rs`). Idempotent per attach — calling again
+    /// replaces the trace.
+    pub fn enable_decision_trace(&mut self, capacity: usize) {
+        self.dtrace = Some(Box::new(DecisionTrace::new(capacity)));
+    }
+
+    /// The attached decision trace, if any.
+    #[must_use]
+    pub fn decision_trace(&self) -> Option<&DecisionTrace> {
+        self.dtrace.as_deref()
+    }
+
+    /// Record an externally observed event into the attached trace
+    /// (no-op without one). The daemon uses this to interleave journal
+    /// flushes with the engine's own decisions.
+    pub fn trace_event(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.dtrace {
+            t.push(event);
+        }
+    }
+
+    /// Outlined trace push: the hot paths branch on `is_some` and only
+    /// then pay the call.
     #[cold]
     #[inline(never)]
-    fn debug_tick(&self) {
-        let window = self
-            .telemetry
-            .windowed(Time::secs(60.0))
-            .map(|s| (s.utilization, s.contention));
-        eprintln!(
-            "[sim] event {}: t={:.6}s pending={} finished={} bb={:?} tel60s={:?}",
-            self.events,
-            self.now.as_secs(),
-            self.pending.len(),
-            self.finished,
-            self.bb
-                .as_ref()
-                .map(|b| (b.level().as_gib(), b.is_throttled())),
-            window,
-        );
+    fn trace_push(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.dtrace {
+            t.push(event);
+        }
+    }
+
+    /// Snapshot of the engine-owned `obs-timing` registry: `sim.steps`
+    /// counter plus `sim.step.{peek,advance,settle,allocate}.ns`
+    /// histograms.
+    #[cfg(feature = "obs-timing")]
+    #[must_use]
+    pub fn timing_snapshot(&self) -> iosched_obs::MetricsSnapshot {
+        self.timing.registry.snapshot()
     }
 
     /// Decay the transferring volumes (and the burst-buffer level) from
@@ -1391,6 +1491,13 @@ impl<'a> Simulation<'a> {
     /// Start application `i`'s current instance at `at` and register it
     /// with the matching event source.
     fn begin_instance(&mut self, i: usize, at: Time) {
+        if self.dtrace.is_some() {
+            self.trace_push(TraceEvent::Admission {
+                id: self.rts[i].spec.id().0 as u64,
+                t: at.as_secs(),
+                release: self.rts[i].spec.release().as_secs(),
+            });
+        }
         self.hot.start_instance(i, &self.rts[i], at);
         match self.hot.tag[i] {
             PhaseTag::Computing => self.compute.push(ComputeEvent {
@@ -1482,6 +1589,12 @@ impl<'a> Simulation<'a> {
         }
         if matches!(self.admission, Admission::Open { .. }) {
             self.free.push(i);
+        }
+        if self.dtrace.is_some() {
+            self.trace_push(TraceEvent::Retirement {
+                id: self.rts[i].spec.id().0 as u64,
+                t: d.as_secs(),
+            });
         }
     }
 
@@ -1643,6 +1756,15 @@ impl<'a> Simulation<'a> {
             suspect = true;
         }
         if suspect {
+            // Direct field access instead of `trace_push`: `ctx` still
+            // borrows the snapshot arena, so a whole-`self` method call
+            // is off the table here.
+            if let Some(tr) = &mut self.dtrace {
+                tr.push(TraceEvent::CapacityScreen {
+                    t: now.as_secs(),
+                    policy: self.policy.name(),
+                });
+            }
             // Cold path: a screen tripped, but only the tolerance-aware
             // check decides (an overshoot within EPS is permitted, exactly
             // as before). The rates already installed above are moot on
@@ -1687,6 +1809,15 @@ impl<'a> Simulation<'a> {
             backlog,
             pending: self.pending.len(),
         };
+        if let Some(tr) = &mut self.dtrace {
+            tr.push(TraceEvent::Grant {
+                t: now.as_secs(),
+                pending: self.pending.len() as u64,
+                granted: active as u64,
+                total_bw: total_granted.get(),
+                capacity: capacity.get(),
+            });
+        }
         Ok(())
     }
 

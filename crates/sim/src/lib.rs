@@ -57,3 +57,8 @@ pub use periodic_exec::{replay_apps, unroll_report, TimetablePolicy};
 pub use steady::SteadySummary;
 pub use telemetry::{Telemetry, TelemetrySample, TelemetrySummary};
 pub use trace::{BandwidthTrace, TraceSegment};
+
+// Decision-trace vocabulary, re-exported so engine embedders (the
+// daemon, the CLI) need no direct `iosched-obs` dependency to consume
+// [`Simulation::enable_decision_trace`].
+pub use iosched_obs::{DecisionTrace, TraceEvent, TraceRecord};

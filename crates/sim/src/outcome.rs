@@ -4,6 +4,7 @@ use crate::steady::SteadySummary;
 use crate::telemetry::TelemetrySummary;
 use crate::trace::BandwidthTrace;
 use iosched_model::{AppId, Bytes, ObjectiveReport, Time};
+use iosched_obs::DecisionTrace;
 
 /// Everything a finished simulation reports.
 #[derive(Debug, Clone)]
@@ -29,6 +30,11 @@ pub struct SimOutcome {
     /// Warmup-trimmed steady-state record (present iff the run set a
     /// `warmup`/`horizon` window or was driven by a stream source).
     pub steady: Option<SteadySummary>,
+    /// Bounded ring of structured scheduling decisions (present iff
+    /// [`crate::Simulation::enable_decision_trace`] attached one before
+    /// the run). Observation-only: every other field is bit-identical
+    /// with this on or off.
+    pub decision_trace: Option<Box<DecisionTrace>>,
 }
 
 impl SimOutcome {

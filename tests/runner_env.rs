@@ -1,10 +1,9 @@
 //! `RAYON_NUM_THREADS` handling of the `ScenarioRunner`.
 //!
 //! This lives in its own test binary on purpose: `std::env::set_var` is
-//! process-global and racy against concurrent `getenv` callers (e.g.
-//! the engine reads `IOSCHED_SIM_DEBUG` in `Simulation::new` when the
-//! `sim-debug` feature is compiled in), so the env mutation must not
-//! share a process with concurrently running tests.
+//! process-global and racy against concurrent `getenv` callers, so the
+//! env mutation must not share a process with concurrently running
+//! tests.
 //! With a single `#[test]` here, nothing else runs while the
 //! environment changes.
 

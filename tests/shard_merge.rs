@@ -218,6 +218,13 @@ fn manifest_and_footer_lines_roundtrip() {
         wall_ms: 123,
         cpu_ms: Some(77),
         peak_rss_kib: None,
+        block_time_ns: Some(iosched_obs::HistogramSnapshot {
+            count: 4,
+            sum: 4_000_000,
+            min: 800_000,
+            max: 1_400_000,
+            buckets: vec![(20, 3), (21, 1)],
+        }),
     };
     for line in [
         ShardLine::Manifest(manifest),
